@@ -1,0 +1,67 @@
+//! P4 — token blocking and parallel feature extraction over a 2k-row table:
+//! the scale path that keeps whole-table deduplication (and its LLM bill)
+//! tractable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lingua_core::executor::parallel_map;
+use lingua_dataset::world::{WorldConfig, WorldSpec};
+use lingua_dataset::{Record, Schema, Table, Value};
+use lingua_ml::features::pair_features;
+use lingua_tasks::er::blocking::token_blocking;
+
+fn beers_table(n: usize) -> Table {
+    let world = WorldSpec::generate_with(
+        3,
+        &WorldConfig { beers: n, products: 10, restaurants: 10, songs: 10, ..Default::default() },
+    );
+    let schema = Schema::of_names(["beer_name", "brewery"]);
+    let mut table = Table::new("beers", schema);
+    for beer in &world.beers {
+        table
+            .push(Record::new(vec![
+                Value::Str(beer.name.clone()),
+                Value::Str(beer.brewery.clone()),
+            ]))
+            .unwrap();
+    }
+    table
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let table = beers_table(2000);
+    let mut group = c.benchmark_group("blocking_2k_rows");
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("token_blocking", |b| {
+        b.iter(|| token_blocking(black_box(&table), "beer_name", 50).unwrap())
+    });
+    group.finish();
+
+    // Candidate scoring, sequential vs parallel.
+    let (pairs, _) = token_blocking(&table, "beer_name", 50).unwrap();
+    let rows = table.rows();
+    let fields: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(|v| v.render()).collect()).collect();
+    let mut group = c.benchmark_group("candidate_scoring");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(i, j)| pair_features(&fields[i], &fields[j])[0])
+                .sum::<f64>()
+        })
+    });
+    for threads in [2, 4] {
+        group.bench_function(format!("parallel_{threads}_threads"), |b| {
+            b.iter(|| {
+                parallel_map(&pairs, threads, |&(i, j)| pair_features(&fields[i], &fields[j])[0])
+                    .iter()
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! P2 — mini-SQL query engine throughput over a 10k-row table: the cost of
+//! the Connector's local execution path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lingua_dataset::query::Catalog;
+use lingua_dataset::{Record, Schema, Table, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn build_catalog(rows: usize) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(9);
+    let schema = Schema::of_names(["id", "name", "manufacturer", "price"]);
+    let makers = ["Sony", "Canon", "Garmin", "Epson", "Belkin"];
+    let mut table = Table::new("products", schema);
+    for i in 0..rows {
+        table
+            .push(Record::new(vec![
+                Value::Int(i as i64),
+                Value::Str(format!("product number {i}")),
+                Value::Str(makers[rng.gen_range(0..makers.len())].to_string()),
+                Value::Float((rng.gen_range(100..99999) as f64) / 100.0),
+            ]))
+            .unwrap();
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(table);
+    catalog
+}
+
+fn bench_query(c: &mut Criterion) {
+    let catalog = build_catalog(10_000);
+    let mut group = c.benchmark_group("query_engine_10k_rows");
+    group.throughput(Throughput::Elements(10_000));
+
+    group.bench_function("filter_numeric", |b| {
+        b.iter(|| {
+            catalog
+                .execute(black_box("SELECT id, price FROM products WHERE price < 100.0"))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("like_scan", |b| {
+        b.iter(|| {
+            catalog
+                .execute(black_box("SELECT id FROM products WHERE name LIKE '%999%'"))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("group_by_aggregate", |b| {
+        b.iter(|| {
+            catalog
+                .execute(black_box(
+                    "SELECT manufacturer, count(*), avg(price) FROM products GROUP BY manufacturer",
+                ))
+                .unwrap()
+        })
+    });
+
+    group.bench_function("order_by_limit", |b| {
+        b.iter(|| {
+            catalog
+                .execute(black_box("SELECT id, price FROM products ORDER BY price DESC LIMIT 10"))
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

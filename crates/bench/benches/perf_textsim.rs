@@ -1,0 +1,58 @@
+//! P3 — string-similarity and feature-extraction throughput: the inner loop
+//! of every matcher and of knowledge-base resolution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lingua_ml::features::{pair_features, rich_pair_features, HashingVectorizer};
+use lingua_ml::textsim;
+
+fn bench_textsim(c: &mut Criterion) {
+    let a = "Golden Lantern Imperial Stout";
+    let b = "Golden Lantren Imp. Stout - bottle";
+    let mut group = c.benchmark_group("textsim");
+
+    group.bench_function("levenshtein", |bch| {
+        bch.iter(|| textsim::levenshtein(black_box(a), black_box(b)))
+    });
+    group.bench_function("jaro_winkler", |bch| {
+        bch.iter(|| textsim::jaro_winkler(black_box(a), black_box(b)))
+    });
+    group.bench_function("jaccard_tokens", |bch| {
+        bch.iter(|| textsim::jaccard_tokens(black_box(a), black_box(b)))
+    });
+    group.bench_function("trigram_cosine", |bch| {
+        bch.iter(|| textsim::trigram_cosine(black_box(a), black_box(b)))
+    });
+    group.bench_function("monge_elkan", |bch| {
+        bch.iter(|| textsim::monge_elkan(black_box(a), black_box(b)))
+    });
+    group.finish();
+
+    let left: Vec<String> = vec![
+        "Hoppy Badger".into(),
+        "Stonegate Brewing".into(),
+        "American IPA".into(),
+        "5.2%".into(),
+    ];
+    let right: Vec<String> = vec![
+        "Hopy Badgr - IPA".into(),
+        "Stonegate".into(),
+        "".into(),
+        "5.20".into(),
+    ];
+    let mut group = c.benchmark_group("features");
+    group.bench_function("pair_features_4_fields", |bch| {
+        bch.iter(|| pair_features(black_box(&left), black_box(&right)))
+    });
+    group.bench_function("rich_pair_features_4_fields", |bch| {
+        bch.iter(|| rich_pair_features(black_box(&left), black_box(&right)))
+    });
+    let vectorizer = HashingVectorizer::new(512);
+    let text = "compact wireless keyboard from the vista 300 series with rechargeable battery";
+    group.bench_function("hashing_vectorizer_512", |bch| {
+        bch.iter(|| vectorizer.transform(black_box(text)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_textsim);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! **Ablation A2** — The cost claim (§3.2 Simulator + response caching):
+//! LLM calls, tokens, simulated latency, and dollars for a tagging stream
+//! under four configurations: plain LLM module, +cache, +simulator, +both.
+
+use lingua_bench::{arg_usize, write_json, TextTable};
+use lingua_core::modules::{LlmModule, Module, PromptBuilder};
+use lingua_core::optimizer::{Simulated, SimulatorConfig, StudentKind};
+use lingua_core::validation::OutputValidator;
+use lingua_core::{Data, ExecContext};
+use lingua_dataset::generators::names::{generate, NamesConfig};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{LlmService, SimLlm, SimLlmConfig};
+use std::sync::Arc;
+
+fn tagger() -> LlmModule {
+    LlmModule::new(
+        "tag_names",
+        PromptBuilder::Template {
+            template: "Is the following phrase a person name?\nLanguage: {language}\nText: {phrase}"
+                .into(),
+        },
+        OutputValidator::YesNo,
+    )
+}
+
+fn main() {
+    let stream_len = arg_usize("--stream", 2500);
+    println!("Ablation A2: LLM cost for a {stream_len}-phrase tagging stream\n");
+
+    // Build the phrase stream from the multilingual corpus (names +
+    // distractor proper nouns, as the noun-phrase extractor would emit).
+    let world = WorldSpec::generate(7000);
+    let corpus = generate(&world, &NamesConfig { passages: 900, ..Default::default() }, 7);
+    let mut stream: Vec<(String, String)> = Vec::new();
+    'outer: for passage in &corpus {
+        for name in &passage.person_names {
+            stream.push((name.clone(), passage.language.code().to_string()));
+            if stream.len() >= stream_len {
+                break 'outer;
+            }
+        }
+        // Interleave distractors so the stream is not all-positive.
+        if let Some(lex) = world.lexicons.get(&passage.language) {
+            if let Some(place) = lex.distractors.first() {
+                stream.push((place.clone(), passage.language.code().to_string()));
+            }
+        }
+    }
+    stream.truncate(stream_len);
+
+    let configs: [(&str, bool, bool); 4] = [
+        ("LLM module", false, false),
+        ("+ response cache", true, false),
+        ("+ simulator", false, true),
+        ("+ cache + simulator", true, true),
+    ];
+
+    let mut table = TextTable::new([
+        "Configuration",
+        "LLM calls",
+        "Cache hits",
+        "Tokens in",
+        "Sim. latency (s)",
+        "Cost (USD)",
+    ]);
+    let mut json_rows = Vec::new();
+    for (label, cache, simulate) in configs {
+        let llm = Arc::new(SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 7000, cache_enabled: cache, ..Default::default() },
+        ));
+        let mut ctx = ExecContext::new(llm.clone());
+        let mut module: Box<dyn Module> = if simulate {
+            Box::new(Simulated::new(
+                Box::new(tagger()),
+                StudentKind::Binary,
+                SimulatorConfig::default(),
+            ))
+        } else {
+            Box::new(tagger())
+        };
+        for (phrase, language) in &stream {
+            let input = Data::map([
+                ("phrase".to_string(), Data::Str(phrase.clone())),
+                ("language".to_string(), Data::Str(language.clone())),
+            ]);
+            let _ = module.invoke(input, &mut ctx).expect("tagging runs");
+        }
+        let usage = llm.usage();
+        let cost = usage.cost_usd(llm.pricing());
+        table.row([
+            label.to_string(),
+            usage.calls.to_string(),
+            usage.cache_hits.to_string(),
+            usage.tokens_in.to_string(),
+            format!("{:.1}", llm.simulated_latency_ms() as f64 / 1000.0),
+            format!("{cost:.4}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "config": label, "calls": usage.calls, "cache_hits": usage.cache_hits,
+            "tokens_in": usage.tokens_in, "cost_usd": cost,
+        }));
+    }
+    table.print();
+    println!(
+        "\nShape: the simulator bounds LLM spend to the warm-up prefix regardless of \
+         stream length; the cache only helps on exact repeats. Combined they make the \
+         marginal cost of a new record ~zero — the §3.2 economics."
+    );
+    write_json(
+        "ablation_llm_cost",
+        &serde_json::json!({ "stream": stream_len, "rows": json_rows }),
+    );
+}

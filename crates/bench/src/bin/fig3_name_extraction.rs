@@ -1,0 +1,83 @@
+//! **Figure 3 / §4.2** — Name extraction: the tokenize → noun-phrase → tag
+//! pipeline, its monolingual failure on multilingual data, the language-
+//! detection + multilingual-tools fix, and the simulator's cost reduction.
+
+use lingua_bench::{arg_usize, fmt_mean_std, write_json, SeriesSet, TextTable};
+use lingua_core::ExecContext;
+use lingua_dataset::generators::names::{generate, NamesConfig};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::SimLlm;
+use lingua_tasks::names::pipeline::register_tools;
+use lingua_tasks::names::{NameExtractionConfig, NameExtractionPipeline};
+use std::sync::Arc;
+
+fn main() {
+    let seeds = arg_usize("--seeds", 3);
+    let passages = arg_usize("--passages", 200);
+    println!(
+        "Figure 3 / Section 4.2: multilingual name extraction ({passages} passages, mean over {seeds} seed(s))\n"
+    );
+
+    let configs: [(&str, NameExtractionConfig); 3] = [
+        (
+            "monolingual (en-only)",
+            NameExtractionConfig { multilingual: false, simulate_tagger: false },
+        ),
+        (
+            "+ langdetect + multilingual tools",
+            NameExtractionConfig { multilingual: true, simulate_tagger: false },
+        ),
+        (
+            "+ simulator on the tagger",
+            NameExtractionConfig { multilingual: true, simulate_tagger: true },
+        ),
+    ];
+
+    let mut series = SeriesSet::default();
+    for seed in 0..seeds as u64 {
+        let world = WorldSpec::generate(3000 + seed);
+        let corpus = generate(&world, &NamesConfig { passages, ..Default::default() }, seed);
+        for (label, config) in &configs {
+            let llm = Arc::new(SimLlm::with_seed(&world, 3000 + seed));
+            let mut ctx = ExecContext::new(llm);
+            register_tools(&mut ctx, &world);
+            let mut pipeline =
+                NameExtractionPipeline::build(&mut ctx, config).expect("pipeline builds");
+            let score = pipeline.evaluate(&corpus, &mut ctx).expect("evaluation runs");
+            series.push(&format!("{label}/precision"), score.precision);
+            series.push(&format!("{label}/recall"), score.recall);
+            series.push(&format!("{label}/f1"), score.f1);
+            series.push(&format!("{label}/llm_calls"), score.llm_calls as f64);
+        }
+    }
+
+    let mut table = TextTable::new(["Configuration", "Precision", "Recall", "F1", "LLM calls"]);
+    for (label, _) in &configs {
+        table.row([
+            label.to_string(),
+            fmt_mean_std(series.get(&format!("{label}/precision")), 100.0),
+            fmt_mean_std(series.get(&format!("{label}/recall")), 100.0),
+            fmt_mean_std(series.get(&format!("{label}/f1")), 100.0),
+            format!("{:.0}", series.mean(&format!("{label}/llm_calls"))),
+        ]);
+    }
+    table.print();
+
+    let mono = series.mean("monolingual (en-only)/f1");
+    let multi = series.mean("+ langdetect + multilingual tools/f1");
+    let sim_calls = series.mean("+ simulator on the tagger/llm_calls");
+    let plain_calls = series.mean("+ langdetect + multilingual tools/llm_calls");
+    println!(
+        "\nShape: multilingual data degrades the monolingual pipeline (F1 {:.1} → {:.1} \
+         after the fix, +{:.1} points); the simulator serves the tagger at {:.0}% of the \
+         LLM calls.",
+        mono * 100.0,
+        multi * 100.0,
+        (multi - mono) * 100.0,
+        sim_calls / plain_calls.max(1.0) * 100.0
+    );
+    write_json(
+        "fig3_name_extraction",
+        &serde_json::json!({ "seeds": seeds, "passages": passages, "series": series.to_json() }),
+    );
+}

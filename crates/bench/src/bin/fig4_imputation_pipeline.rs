@@ -1,0 +1,93 @@
+//! **Figure 4** — The expert's data-imputation pipeline: an LLMGC module with
+//! generated rules, an LLM fallback for hard cases, and the Validator's
+//! repair cycle. This demo shows the artifacts themselves: the generated
+//! code, the validation history, and the per-row routing economics.
+
+use lingua_bench::write_json;
+use lingua_core::ExecContext;
+use lingua_dataset::generators::imputation::generate;
+use lingua_dataset::world::{BrandMention, WorldSpec};
+use lingua_llm_sim::SimLlm;
+use lingua_tasks::imputation::lingua::{register_tools, LinguaImputer};
+use lingua_tasks::imputation::Imputer;
+use std::sync::Arc;
+
+fn main() {
+    let world = WorldSpec::generate(4000);
+    let benchmark = generate(&world, 0);
+    let llm = Arc::new(SimLlm::with_seed(&world, 4000));
+    let mut ctx = ExecContext::new(llm);
+    register_tools(&mut ctx, &benchmark.vocabulary);
+
+    println!("Figure 4: the data-imputation pipeline (LLMGC rules + LLM fallback)\n");
+    let build_calls_before = ctx.llm.usage().calls;
+    let mut imputer = LinguaImputer::build(&mut ctx).expect("build + validation");
+    let build_calls = ctx.llm.usage().calls - build_calls_before;
+
+    println!("--- generated module (after validation) ---\n{}", imputer.source());
+    println!(
+        "--- validation ---\ncycles: {}, regenerations: {}, failure history: {:?}, \
+         construction cost: {build_calls} LLM call(s)\n",
+        imputer.validation.cycles, imputer.validation.regenerations,
+        imputer.validation.failure_history
+    );
+
+    // Routing economics per difficulty class.
+    let mut stats: Vec<(&str, usize, usize, usize)> = vec![
+        ("brand in name", 0, 0, 0),
+        ("brand in description", 0, 0, 0),
+        ("knowledge only (hard)", 0, 0, 0),
+    ];
+    for ((row, truth), mention) in benchmark
+        .table
+        .rows()
+        .iter()
+        .zip(&benchmark.truth)
+        .zip(&benchmark.mentions)
+    {
+        let before = ctx.llm.usage().calls;
+        let answer = imputer.impute(&row[0].render(), &row[1].render(), &mut ctx);
+        let calls = (ctx.llm.usage().calls - before) as usize;
+        let idx = match mention {
+            BrandMention::InName => 0,
+            BrandMention::InDescription => 1,
+            BrandMention::KnowledgeOnly => 2,
+        };
+        stats[idx].1 += 1;
+        stats[idx].2 += calls;
+        stats[idx].3 += usize::from(&answer == truth);
+    }
+
+    println!("--- per-row routing ---");
+    let mut total_rows = 0;
+    let mut total_calls = 0;
+    let mut total_correct = 0;
+    for (label, rows, calls, correct) in &stats {
+        println!(
+            "{label:<24} rows {rows:>4}   llm calls {calls:>4}   accuracy {:.1}%",
+            *correct as f64 / (*rows).max(1) as f64 * 100.0
+        );
+        total_rows += rows;
+        total_calls += calls;
+        total_correct += correct;
+    }
+    println!(
+        "\noverall: accuracy {:.2}% with {:.3} LLM calls/row — the rules absorb the easy \
+         five-sixths; only the hard rows pay for the LLM (paper: 94.48% at ~1/6 calls).",
+        total_correct as f64 / total_rows as f64 * 100.0,
+        total_calls as f64 / total_rows as f64
+    );
+
+    write_json(
+        "fig4_imputation_pipeline",
+        &serde_json::json!({
+            "validation_cycles": imputer.validation.cycles,
+            "regenerations": imputer.validation.regenerations,
+            "accuracy": total_correct as f64 / total_rows as f64,
+            "calls_per_row": total_calls as f64 / total_rows as f64,
+            "routing": stats.iter().map(|(label, rows, calls, correct)| {
+                serde_json::json!({"class": label, "rows": rows, "calls": calls, "correct": correct})
+            }).collect::<Vec<_>>(),
+        }),
+    );
+}

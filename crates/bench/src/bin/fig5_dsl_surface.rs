@@ -1,0 +1,62 @@
+//! **Figure 5** — The paper shows a GUI; a terminal reproduction demonstrates
+//! the same interaction surface textually: template search, pipeline
+//! inspection, DSL round-tripping, compilation preview, and the module
+//! taxonomy behind each operator.
+
+use lingua_bench::write_json;
+use lingua_core::prelude::*;
+use lingua_core::templates::TemplateRegistry;
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::SimLlm;
+use std::sync::Arc;
+
+fn main() {
+    println!("Figure 5: the Lingua Manga interaction surface (textual stand-in for the UI)\n");
+
+    // 1. Template search — what a no-code user does first.
+    let registry = TemplateRegistry::with_builtins();
+    println!("> search templates: \"find person names in text\"");
+    for hit in registry.search("find person names in text") {
+        println!("  [template] {:<24} {}", hit.name, hit.description);
+    }
+    println!();
+
+    // 2. Pipeline inspection (the canvas panel of the UI).
+    let template = registry.get("name_extraction").expect("builtin");
+    println!("> open template `{}`:\n{}\n", template.name, template.pipeline.pretty());
+
+    // 3. The DSL round-trip: edit-as-text is first-class.
+    let reparsed = Pipeline::parse(&template.pipeline.pretty()).expect("pretty output reparses");
+    assert_eq!(reparsed, template.pipeline);
+    println!("> pretty-printed DSL re-parses to the identical pipeline ✓\n");
+
+    // 4. Compilation preview: logical operators -> physical module kinds.
+    let world = WorldSpec::generate(5000);
+    let llm = Arc::new(SimLlm::with_seed(&world, 5000));
+    let mut ctx = ExecContext::new(llm);
+    ctx.tools.register(
+        "stopwords",
+        lingua_core::tools::stopwords_tool_from_world(&world),
+    );
+    let compiler = Compiler::with_builtins();
+    let physical = compiler.compile(&template.pipeline, &mut ctx).expect("compiles");
+    println!("> compile:\n{}", physical.describe());
+
+    // 5. Peek inside an LLMGC binding: the generated code a user can inspect
+    //    (the code panel of the UI).
+    for (op, module) in &physical.ops {
+        if module.kind() == ModuleKind::Llmgc {
+            println!("> inspect generated module for `{}`:\n{}", op.op_type, module.describe());
+            break;
+        }
+    }
+
+    write_json(
+        "fig5_dsl_surface",
+        &serde_json::json!({
+            "templates": registry.names().len(),
+            "roundtrip_ok": true,
+            "ops_compiled": physical.ops.len(),
+        }),
+    );
+}

@@ -1,0 +1,198 @@
+//! # lingua-bench
+//!
+//! Shared plumbing for the experiment binaries (`src/bin/*.rs`), each of
+//! which regenerates one table or figure from the paper — see `DESIGN.md`'s
+//! per-experiment index and `EXPERIMENTS.md` for paper-vs-measured numbers.
+//!
+//! Run an experiment:
+//!
+//! ```text
+//! cargo run --release -p lingua-bench --bin table1_entity_resolution
+//! ```
+//!
+//! Every binary accepts `--seeds N` (averaging over N world seeds) and
+//! writes a JSON record under `results/`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Parse `--seeds N` style args (very small, zero-dependency).
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Where experiment outputs land (workspace `results/`, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("LINGUA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Persist an experiment record as pretty JSON.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\nresults written to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+}
+
+/// A fixed-width text table printer for experiment output.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// Format `mean ± std` compactly.
+pub fn fmt_mean_std(values: &[f64], scale: f64) -> String {
+    format!("{:.2} ±{:.2}", mean(values) * scale, stddev(values) * scale)
+}
+
+/// Accumulate named series across seeds.
+#[derive(Debug, Default)]
+pub struct SeriesSet {
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl SeriesSet {
+    pub fn push(&mut self, name: &str, value: f64) {
+        self.series.entry(name.to_string()).or_default().push(value);
+    }
+
+    pub fn get(&self, name: &str) -> &[f64] {
+        self.series.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn mean(&self, name: &str) -> f64 {
+        mean(self.get(name))
+    }
+
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Object(
+            self.series
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        serde_json::json!({
+                            "values": v,
+                            "mean": mean(v),
+                            "stddev": stddev(v),
+                        }),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["Dataset", "F1"]);
+        t.row(["BeerAdvo-RateBeer", "89.66"]);
+        t.row(["x", "1"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Dataset"));
+        assert!(lines[2].contains("89.66"));
+        // Columns align: "F1" column starts at the same offset in all rows.
+        let offset = lines[0].find("F1").unwrap();
+        assert_eq!(&lines[2][offset..offset + 5], "89.66");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!(stddev(&[1.0, 1.0, 1.0]) < 1e-12);
+        assert!(stddev(&[5.0]) == 0.0);
+        let mut s = SeriesSet::default();
+        s.push("a", 1.0);
+        s.push("a", 3.0);
+        assert_eq!(s.mean("a"), 2.0);
+        assert_eq!(s.get("missing").len(), 0);
+        let json = s.to_json();
+        assert_eq!(json["a"]["mean"], 2.0);
+    }
+
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+    }
+}

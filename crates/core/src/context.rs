@@ -1,0 +1,186 @@
+//! Execution context: the services and shared state every module invocation
+//! receives, plus the host bridge that lets MangaScript programs reach back
+//! into the system.
+
+use crate::data::Data;
+use crate::error::CoreError;
+use crate::modules::Module;
+use crate::stats::ExecStats;
+use crate::tools::ToolRegistry;
+use lingua_llm_sim::{CompletionRequest, LlmService};
+use lingua_script::{Host, Value as ScriptValue};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared, named collection of live module instances, so modules (and LLMGC
+/// scripts via `call_module`) can invoke each other — §3.1: "LINGUA MANGA
+/// allows LLMGC to call other modules in the system".
+type SharedModule = Arc<Mutex<Box<dyn Module>>>;
+
+#[derive(Clone, Default)]
+pub struct ModuleRegistry {
+    inner: Arc<Mutex<BTreeMap<String, SharedModule>>>,
+}
+
+impl ModuleRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&self, name: impl Into<String>, module: Box<dyn Module>) {
+        self.inner.lock().insert(name.into(), Arc::new(Mutex::new(module)));
+    }
+
+    pub fn get(&self, name: &str) -> Option<SharedModule> {
+        self.inner.lock().get(name).cloned()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for ModuleRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleRegistry").field("modules", &self.names()).finish()
+    }
+}
+
+/// Everything a module invocation can reach.
+pub struct ExecContext {
+    /// The LLM service (shared; interior-mutable usage counters).
+    pub llm: Arc<dyn LlmService>,
+    /// Registered external tools.
+    pub tools: ToolRegistry,
+    /// Live modules addressable by `call_module`.
+    pub registry: ModuleRegistry,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+impl ExecContext {
+    pub fn new(llm: Arc<dyn LlmService>) -> ExecContext {
+        let stats = ExecStats { usage_at_start: llm.usage(), ..Default::default() };
+        ExecContext { llm, tools: ToolRegistry::new(), registry: ModuleRegistry::new(), stats }
+    }
+
+    pub fn with_tools(mut self, tools: ToolRegistry) -> ExecContext {
+        self.tools = tools;
+        self
+    }
+
+    /// Invoke a registered module by name.
+    ///
+    /// Note: a module invoking *itself* through the registry would deadlock
+    /// on its own mutex; recursion must go through script functions instead.
+    pub fn invoke_module(&mut self, name: &str, input: Data) -> Result<Data, CoreError> {
+        let module = self
+            .registry
+            .get(name)
+            .ok_or_else(|| CoreError::Compile(format!("no module named `{name}`")))?;
+        self.stats.record_invocation(name);
+        let mut guard = module.lock();
+        guard.invoke(input, self)
+    }
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("tools", &self.tools)
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
+/// Bridges MangaScript host calls back into the context.
+pub struct HostBridge<'a> {
+    pub ctx: &'a mut ExecContext,
+}
+
+impl Host for HostBridge<'_> {
+    fn call_llm(&mut self, prompt: &str) -> Result<String, String> {
+        Ok(self.ctx.llm.complete(&CompletionRequest::new(prompt)))
+    }
+
+    fn call_module(&mut self, name: &str, input: ScriptValue) -> Result<ScriptValue, String> {
+        let data = Data::from_script(&input);
+        self.ctx
+            .invoke_module(name, data)
+            .map(|out| out.to_script())
+            .map_err(|e| e.to_string())
+    }
+
+    fn call_tool(&mut self, name: &str, args: &[ScriptValue]) -> Result<ScriptValue, String> {
+        self.ctx.tools.call(name, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::CustomModule;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+
+    fn ctx() -> ExecContext {
+        let world = WorldSpec::generate(2);
+        ExecContext::new(Arc::new(SimLlm::with_seed(&world, 2)))
+    }
+
+    #[test]
+    fn registry_insert_and_invoke() {
+        let mut ctx = ctx();
+        ctx.registry.insert(
+            "upper",
+            Box::new(CustomModule::new("upper", |input, _| {
+                Ok(Data::Str(input.render().to_uppercase()))
+            })),
+        );
+        let out = ctx.invoke_module("upper", Data::Str("abc".into())).unwrap();
+        assert_eq!(out, Data::Str("ABC".into()));
+        assert_eq!(ctx.stats.invocations_of("upper"), 1);
+        assert!(ctx.invoke_module("missing", Data::Null).is_err());
+    }
+
+    #[test]
+    fn host_bridge_reaches_llm_tools_and_modules() {
+        let mut ctx = ctx();
+        ctx.tools.register_list("vocab", vec!["Sony".into()]);
+        ctx.registry.insert(
+            "echo",
+            Box::new(CustomModule::new("echo", |input, _| Ok(input))),
+        );
+        let mut bridge = HostBridge { ctx: &mut ctx };
+        let response = bridge.call_llm("Summarize.\nText: a b c").unwrap();
+        assert!(!response.is_empty());
+        let vocab = bridge.call_tool("vocab", &[]).unwrap();
+        assert_eq!(vocab.as_list().unwrap().len(), 1);
+        let echoed = bridge.call_module("echo", ScriptValue::Int(7)).unwrap();
+        assert_eq!(echoed, ScriptValue::Int(7));
+        assert!(bridge.call_module("missing", ScriptValue::Null).is_err());
+        assert!(bridge.call_tool("missing", &[]).is_err());
+    }
+
+    #[test]
+    fn modules_can_call_other_modules() {
+        let mut ctx = ctx();
+        ctx.registry.insert(
+            "inner",
+            Box::new(CustomModule::new("inner", |input, _| {
+                Ok(Data::Str(format!("[{}]", input.render())))
+            })),
+        );
+        ctx.registry.insert(
+            "outer",
+            Box::new(CustomModule::new("outer", |input, ctx| {
+                ctx.invoke_module("inner", input)
+            })),
+        );
+        let out = ctx.invoke_module("outer", Data::Str("x".into())).unwrap();
+        assert_eq!(out, Data::Str("[x]".into()));
+        assert_eq!(ctx.stats.invocations_of("inner"), 1);
+        assert_eq!(ctx.stats.invocations_of("outer"), 1);
+    }
+}

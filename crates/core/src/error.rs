@@ -1,0 +1,90 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors from compiling or executing pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The textual DSL failed to parse.
+    Dsl { line: usize, message: String },
+    /// A logical operator could not be bound to any physical module.
+    Compile(String),
+    /// A module failed at execution time.
+    Module { module: String, message: String },
+    /// A referenced pipeline variable is missing.
+    UnknownVariable(String),
+    /// Input data had the wrong shape for a module.
+    DataShape { expected: &'static str, got: String },
+    /// The connector rejected a query outside the allowlist.
+    ConnectorDenied(String),
+    /// Data-layer error (CSV, query engine, schema).
+    Data(String),
+    /// Script-layer error from an LLMGC module.
+    Script(String),
+    /// Validation gave up after exhausting its budgets.
+    ValidationExhausted { module: String, cycles: usize, regenerations: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dsl { line, message } => write!(f, "DSL error at line {line}: {message}"),
+            CoreError::Compile(message) => write!(f, "compile error: {message}"),
+            CoreError::Module { module, message } => {
+                write!(f, "module `{module}` failed: {message}")
+            }
+            CoreError::UnknownVariable(name) => write!(f, "unknown pipeline variable `{name}`"),
+            CoreError::DataShape { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            CoreError::ConnectorDenied(query) => {
+                write!(f, "connector denied query outside allowlist: {query}")
+            }
+            CoreError::Data(message) => write!(f, "data error: {message}"),
+            CoreError::Script(message) => write!(f, "script error: {message}"),
+            CoreError::ValidationExhausted { module, cycles, regenerations } => write!(
+                f,
+                "validation of `{module}` exhausted {cycles} cycle(s) and {regenerations} regeneration(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<lingua_dataset::DataError> for CoreError {
+    fn from(err: lingua_dataset::DataError) -> Self {
+        CoreError::Data(err.to_string())
+    }
+}
+
+impl From<lingua_script::ScriptError> for CoreError {
+    fn from(err: lingua_script::ScriptError) -> Self {
+        CoreError::Script(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CoreError::Module { module: "tagger".into(), message: "boom".into() };
+        assert!(err.to_string().contains("tagger"));
+        let err = CoreError::ValidationExhausted {
+            module: "np".into(),
+            cycles: 3,
+            regenerations: 2,
+        };
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn conversions_from_layers() {
+        let err: CoreError = lingua_dataset::DataError::UnknownColumn("x".into()).into();
+        assert!(matches!(err, CoreError::Data(_)));
+        let err: CoreError = lingua_script::ScriptError::OutOfFuel.into();
+        assert!(matches!(err, CoreError::Script(_)));
+    }
+}

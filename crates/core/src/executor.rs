@@ -1,0 +1,236 @@
+//! The executor: runs a compiled pipeline over a variable environment,
+//! tracing per-op durations and LLM usage deltas.
+
+use crate::compiler::PhysicalPipeline;
+use crate::context::ExecContext;
+use crate::data::Data;
+use crate::error::CoreError;
+use lingua_llm_sim::Usage;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Trace of one operator execution.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    pub op_type: String,
+    pub output: String,
+    pub wall: std::time::Duration,
+    /// LLM usage consumed by this op.
+    pub usage: Usage,
+}
+
+/// The result of a pipeline run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Final variable environment (every op output).
+    pub env: BTreeMap<String, Data>,
+    pub traces: Vec<OpTrace>,
+}
+
+impl RunReport {
+    /// Fetch a variable, erroring if absent.
+    pub fn get(&self, var: &str) -> Result<&Data, CoreError> {
+        self.env.get(var).ok_or_else(|| CoreError::UnknownVariable(var.to_string()))
+    }
+
+    /// Total LLM calls across the run.
+    pub fn llm_calls(&self) -> u64 {
+        self.traces.iter().map(|t| t.usage.calls).sum()
+    }
+
+    /// Compact text report.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for trace in &self.traces {
+            out.push_str(&format!(
+                "{:<24} {:>8.2?}  {} llm call(s)\n",
+                trace.op_type, trace.wall, trace.usage.calls
+            ));
+        }
+        out
+    }
+}
+
+/// Pipeline executor.
+pub struct Executor;
+
+impl Executor {
+    /// Run every op in order. Ops with one input receive that variable's
+    /// value; multi-input ops receive a map keyed by variable name; source
+    /// ops receive `Data::Null`.
+    pub fn run(
+        pipeline: &mut PhysicalPipeline,
+        ctx: &mut ExecContext,
+        initial_env: BTreeMap<String, Data>,
+    ) -> Result<RunReport, CoreError> {
+        let mut env = initial_env;
+        let mut traces = Vec::with_capacity(pipeline.ops.len());
+        for (op, module) in &mut pipeline.ops {
+            let input = match op.inputs.len() {
+                0 => Data::Null,
+                1 => env
+                    .get(&op.inputs[0])
+                    .cloned()
+                    .ok_or_else(|| CoreError::UnknownVariable(op.inputs[0].clone()))?,
+                _ => {
+                    let mut map = BTreeMap::new();
+                    for var in &op.inputs {
+                        let value = env
+                            .get(var)
+                            .cloned()
+                            .ok_or_else(|| CoreError::UnknownVariable(var.clone()))?;
+                        map.insert(var.clone(), value);
+                    }
+                    Data::Map(map)
+                }
+            };
+            let usage_before = ctx.llm.usage();
+            let start = Instant::now();
+            ctx.stats.record_invocation(module.name());
+            let output = module.invoke(input, ctx)?;
+            traces.push(OpTrace {
+                op_type: op.op_type.clone(),
+                output: op.output.clone(),
+                wall: start.elapsed(),
+                usage: ctx.llm.usage().since(&usage_before),
+            });
+            if !op.output.is_empty() {
+                env.insert(op.output.clone(), output);
+            }
+        }
+        Ok(RunReport { env, traces })
+    }
+}
+
+/// Parallel map over items with a pure function, using scoped threads.
+/// Used by record-at-a-time stages (feature extraction, blocking) where the
+/// work is CPU-bound and independent per item.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<U>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use crate::modules::CustomModule;
+    use crate::pipeline::{LogicalOp, Pipeline};
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    fn ctx() -> ExecContext {
+        let world = WorldSpec::generate(14);
+        ExecContext::new(Arc::new(SimLlm::with_seed(&world, 14)))
+    }
+
+    fn compiler_with_test_ops() -> Compiler {
+        let mut compiler = Compiler::with_builtins();
+        compiler.register("emit", |op, _| {
+            let value = op.params.get("value").cloned().unwrap_or_default();
+            Ok(Box::new(CustomModule::new("emit", move |_, _| Ok(Data::Str(value.clone()))))
+                as Box<dyn crate::modules::Module>)
+        });
+        compiler.register("concat", |_, _| {
+            Ok(Box::new(CustomModule::new("concat", |input, _| {
+                let map = input.as_map().ok_or(CoreError::DataShape {
+                    expected: "map",
+                    got: "other".into(),
+                })?;
+                let joined: Vec<String> = map.values().map(|v| v.render()).collect();
+                Ok(Data::Str(joined.join("+")))
+            })) as Box<dyn crate::modules::Module>)
+        });
+        compiler.register("exclaim", |_, _| {
+            Ok(Box::new(CustomModule::new("exclaim", |input, _| {
+                Ok(Data::Str(format!("{}!", input.render())))
+            })) as Box<dyn crate::modules::Module>)
+        });
+        compiler
+    }
+
+    #[test]
+    fn dataflow_executes_in_order() {
+        let compiler = compiler_with_test_ops();
+        let mut ctx = ctx();
+        let pipeline = Pipeline::new("t")
+            .op(LogicalOp::new("emit").output("a").param("value", "hello"))
+            .op(LogicalOp::new("exclaim").output("b").input("a"));
+        let mut physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+        let report = Executor::run(&mut physical, &mut ctx, BTreeMap::new()).unwrap();
+        assert_eq!(report.get("b").unwrap(), &Data::Str("hello!".into()));
+        assert_eq!(report.traces.len(), 2);
+        assert!(report.summary().contains("exclaim"));
+    }
+
+    #[test]
+    fn multi_input_ops_receive_maps() {
+        let compiler = compiler_with_test_ops();
+        let mut ctx = ctx();
+        let pipeline = Pipeline::new("t")
+            .op(LogicalOp::new("emit").output("x").param("value", "1"))
+            .op(LogicalOp::new("emit").output("y").param("value", "2"))
+            .op(LogicalOp::new("concat").output("z").input("x").input("y"));
+        let mut physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+        let report = Executor::run(&mut physical, &mut ctx, BTreeMap::new()).unwrap();
+        assert_eq!(report.get("z").unwrap(), &Data::Str("1+2".into()));
+    }
+
+    #[test]
+    fn missing_variables_error() {
+        let compiler = compiler_with_test_ops();
+        let mut ctx = ctx();
+        let pipeline = Pipeline::new("t").op(LogicalOp::new("exclaim").output("b").input("ghost"));
+        let mut physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+        let err = Executor::run(&mut physical, &mut ctx, BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownVariable(v) if v == "ghost"));
+    }
+
+    #[test]
+    fn initial_env_feeds_first_op() {
+        let compiler = compiler_with_test_ops();
+        let mut ctx = ctx();
+        let pipeline = Pipeline::new("t").op(LogicalOp::new("exclaim").output("b").input("seed"));
+        let mut physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+        let mut env = BTreeMap::new();
+        env.insert("seed".to_string(), Data::Str("go".into()));
+        let report = Executor::run(&mut physical, &mut ctx, env).unwrap();
+        assert_eq!(report.get("b").unwrap(), &Data::Str("go!".into()));
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential() {
+        let items: Vec<i64> = (0..1000).collect();
+        let sequential: Vec<i64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 7] {
+            let parallel = parallel_map(&items, threads, |x| x * x);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+        // Empty and tiny inputs are fine.
+        assert!(parallel_map::<i64, i64, _>(&[], 4, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[5], 4, |x| x + 1), vec![6]);
+    }
+}

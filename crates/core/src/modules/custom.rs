@@ -1,0 +1,75 @@
+//! Custom modules: hand-written code behind the standard module interface —
+//! "implemented with manually written code ... created by users with
+//! programming skills or provided by LINGUA MANGA as a default built-in
+//! module" (§3.1).
+
+use crate::context::ExecContext;
+use crate::data::Data;
+use crate::error::CoreError;
+use crate::modules::{Module, ModuleKind};
+
+type CustomFn = dyn FnMut(Data, &mut ExecContext) -> Result<Data, CoreError> + Send;
+
+/// A module wrapping an arbitrary Rust closure.
+pub struct CustomModule {
+    name: String,
+    description: String,
+    f: Box<CustomFn>,
+}
+
+impl CustomModule {
+    pub fn new<F>(name: impl Into<String>, f: F) -> CustomModule
+    where
+        F: FnMut(Data, &mut ExecContext) -> Result<Data, CoreError> + Send + 'static,
+    {
+        let name = name.into();
+        CustomModule { description: format!("custom module `{name}`"), name, f: Box::new(f) }
+    }
+
+    pub fn with_description(mut self, description: impl Into<String>) -> CustomModule {
+        self.description = description.into();
+        self
+    }
+}
+
+impl Module for CustomModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::Custom
+    }
+
+    fn invoke(&mut self, input: Data, ctx: &mut ExecContext) -> Result<Data, CoreError> {
+        (self.f)(input, ctx)
+    }
+
+    fn describe(&self) -> String {
+        self.description.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    #[test]
+    fn custom_module_runs_closures_with_state() {
+        let world = WorldSpec::generate(1);
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 1)));
+        let mut counter = 0u32;
+        let mut module = CustomModule::new("counter", move |input, _| {
+            counter += 1;
+            Ok(Data::Str(format!("{}#{counter}", input.render())))
+        })
+        .with_description("counts invocations");
+        assert_eq!(module.kind(), ModuleKind::Custom);
+        assert_eq!(module.describe(), "counts invocations");
+        assert_eq!(module.invoke(Data::Str("a".into()), &mut ctx).unwrap(), Data::Str("a#1".into()));
+        assert_eq!(module.invoke(Data::Str("b".into()), &mut ctx).unwrap(), Data::Str("b#2".into()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Decorated modules: "the most advanced module in LINGUA MANGA, a decorated
+//! module can comprise multiple basic modules and be enhanced by the
+//! optimizer" (§3.1).
+//!
+//! A [`DecoratedModule`] chains stages (each any [`Module`]) and can apply an
+//! output validator to the final result. Optimizer enhancements compose the
+//! same way: wrap a stage in [`crate::optimizer::Simulated`] and it plugs in
+//! here unchanged.
+
+use crate::context::ExecContext;
+use crate::data::Data;
+use crate::error::CoreError;
+use crate::modules::{Module, ModuleKind};
+use crate::validation::OutputValidator;
+
+/// A chain of modules with optional final output validation.
+pub struct DecoratedModule {
+    name: String,
+    stages: Vec<Box<dyn Module>>,
+    output_validator: Option<OutputValidator>,
+    invocations: u64,
+}
+
+impl DecoratedModule {
+    pub fn new(name: impl Into<String>) -> DecoratedModule {
+        DecoratedModule {
+            name: name.into(),
+            stages: Vec::new(),
+            output_validator: None,
+            invocations: 0,
+        }
+    }
+
+    /// Append a stage.
+    pub fn stage(mut self, module: Box<dyn Module>) -> DecoratedModule {
+        self.stages.push(module);
+        self
+    }
+
+    /// Validate the final output.
+    pub fn with_output_validator(mut self, validator: OutputValidator) -> DecoratedModule {
+        self.output_validator = Some(validator);
+        self
+    }
+
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+impl Module for DecoratedModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::Decorated
+    }
+
+    fn invoke(&mut self, input: Data, ctx: &mut ExecContext) -> Result<Data, CoreError> {
+        self.invocations += 1;
+        let mut current = input;
+        for stage in &mut self.stages {
+            ctx.stats.record_invocation(stage.name());
+            current = stage.invoke(current, ctx)?;
+        }
+        if let Some(validator) = &self.output_validator {
+            if let Data::Str(text) = &current {
+                if let Some(validated) = validator.validate(text) {
+                    return Ok(validated);
+                }
+            }
+        }
+        Ok(current)
+    }
+
+    fn describe(&self) -> String {
+        let stages: Vec<String> = self.stages.iter().map(|s| s.describe()).collect();
+        format!("decorated module `{}` with {} stage(s):\n{}", self.name, stages.len(), stages.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::CustomModule;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    fn ctx() -> ExecContext {
+        let world = WorldSpec::generate(6);
+        ExecContext::new(Arc::new(SimLlm::with_seed(&world, 6)))
+    }
+
+    #[test]
+    fn stages_run_in_order() {
+        let mut ctx = ctx();
+        let mut module = DecoratedModule::new("pipeline")
+            .stage(Box::new(CustomModule::new("add_a", |input, _| {
+                Ok(Data::Str(format!("{}a", input.render())))
+            })))
+            .stage(Box::new(CustomModule::new("add_b", |input, _| {
+                Ok(Data::Str(format!("{}b", input.render())))
+            })));
+        let out = module.invoke(Data::Str("x".into()), &mut ctx).unwrap();
+        assert_eq!(out, Data::Str("xab".into()));
+        assert_eq!(module.stage_count(), 2);
+        assert_eq!(module.invocations(), 1);
+        assert_eq!(ctx.stats.invocations_of("add_a"), 1);
+    }
+
+    #[test]
+    fn output_validator_applies_to_text_results() {
+        let mut ctx = ctx();
+        let mut module = DecoratedModule::new("validated")
+            .stage(Box::new(CustomModule::new("speak", |_, _| {
+                Ok(Data::Str("Yes, definitely the same.".into()))
+            })))
+            .with_output_validator(OutputValidator::YesNo);
+        let out = module.invoke(Data::Null, &mut ctx).unwrap();
+        assert_eq!(out, Data::Bool(true));
+    }
+
+    #[test]
+    fn stage_errors_propagate() {
+        let mut ctx = ctx();
+        let mut module = DecoratedModule::new("failing").stage(Box::new(CustomModule::new(
+            "boom",
+            |_, _| Err(CoreError::Module { module: "boom".into(), message: "bad".into() }),
+        )));
+        assert!(module.invoke(Data::Null, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn empty_decorated_module_is_identity() {
+        let mut ctx = ctx();
+        let mut module = DecoratedModule::new("empty");
+        assert_eq!(module.invoke(Data::Int(3), &mut ctx).unwrap(), Data::Int(3));
+    }
+}

@@ -1,0 +1,248 @@
+//! LLMGC modules: LLM-generated MangaScript programs behind the module
+//! interface (§3.1). The program really executes in the interpreter; the
+//! host bridge gives it `call_llm`, `call_module`, and `call_tool`.
+
+use crate::context::{ExecContext, HostBridge};
+use crate::data::Data;
+use crate::error::CoreError;
+use crate::modules::{Module, ModuleKind};
+use lingua_llm_sim::{CodeGenSpec, GeneratedCode};
+use lingua_script::{parse, Interpreter, Program};
+
+/// Default interpreter fuel for one module invocation.
+pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+/// A module whose body is LLM-generated code.
+pub struct LlmgcModule {
+    name: String,
+    spec: CodeGenSpec,
+    source: String,
+    program: Program,
+    entry: String,
+    fuel: u64,
+    /// Generation metadata for experiment introspection.
+    pub generation: Option<GeneratedCode>,
+}
+
+impl LlmgcModule {
+    /// Ask the context's LLM to generate the module's code now.
+    pub fn generate(
+        name: impl Into<String>,
+        spec: CodeGenSpec,
+        ctx: &ExecContext,
+    ) -> Result<LlmgcModule, CoreError> {
+        let generated = ctx.llm.generate_code(&spec);
+        LlmgcModule::from_generated(name, spec, generated)
+    }
+
+    /// Wrap an already-generated program.
+    pub fn from_generated(
+        name: impl Into<String>,
+        spec: CodeGenSpec,
+        generated: GeneratedCode,
+    ) -> Result<LlmgcModule, CoreError> {
+        let program = parse(&generated.source)?;
+        let entry =
+            if spec.function_name.is_empty() { "process".to_string() } else { spec.function_name.clone() };
+        Ok(LlmgcModule {
+            name: name.into(),
+            source: generated.source.clone(),
+            program,
+            entry,
+            fuel: DEFAULT_FUEL,
+            spec,
+            generation: Some(generated),
+        })
+    }
+
+    /// Build from hand-supplied source (a user pasting code is also §3.1's
+    /// "code snippets to optimize the code generation process").
+    pub fn from_source(
+        name: impl Into<String>,
+        spec: CodeGenSpec,
+        source: impl Into<String>,
+    ) -> Result<LlmgcModule, CoreError> {
+        let source = source.into();
+        let program = parse(&source)?;
+        let entry =
+            if spec.function_name.is_empty() { "process".to_string() } else { spec.function_name.clone() };
+        Ok(LlmgcModule { name: name.into(), source, program, entry, fuel: DEFAULT_FUEL, spec, generation: None })
+    }
+
+    pub fn with_fuel(mut self, fuel: u64) -> LlmgcModule {
+        self.fuel = fuel;
+        self
+    }
+
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    pub fn spec(&self) -> &CodeGenSpec {
+        &self.spec
+    }
+
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// Replace the program (used by the Validator's repair cycle).
+    pub fn replace_program(&mut self, generated: GeneratedCode) -> Result<(), CoreError> {
+        self.program = parse(&generated.source)?;
+        self.source = generated.source.clone();
+        self.generation = Some(generated);
+        Ok(())
+    }
+}
+
+impl Module for LlmgcModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::Llmgc
+    }
+
+    fn invoke(&mut self, input: Data, ctx: &mut ExecContext) -> Result<Data, CoreError> {
+        let script_input = input.to_script();
+        let mut interpreter = Interpreter::new(&self.program).with_fuel(self.fuel);
+        let mut bridge = HostBridge { ctx };
+        let result = interpreter
+            .call(&mut bridge, &self.entry, vec![script_input])
+            .map_err(|e| CoreError::Module {
+                module: self.name.clone(),
+                message: e.to_string(),
+            })?;
+        Ok(Data::from_script(&result))
+    }
+
+    fn describe(&self) -> String {
+        format!("llmgc module `{}`:\n{}", self.name, self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    fn ctx() -> ExecContext {
+        let world = WorldSpec::generate(4);
+        ExecContext::new(Arc::new(SimLlm::with_seed(&world, 4)))
+    }
+
+    fn spec(task: &str) -> CodeGenSpec {
+        CodeGenSpec { task: task.into(), function_name: "process".into(), hints: vec![] }
+    }
+
+    #[test]
+    fn hand_written_source_runs() {
+        let mut ctx = ctx();
+        let mut module = LlmgcModule::from_source(
+            "doubler",
+            spec("double every number"),
+            "fn process(xs) { let out = []; for x in xs { push(out, x * 2); } return out; }",
+        )
+        .unwrap();
+        let out = module
+            .invoke(Data::List(vec![Data::Int(1), Data::Int(2)]), &mut ctx)
+            .unwrap();
+        assert_eq!(out, Data::List(vec![Data::Int(2), Data::Int(4)]));
+        assert_eq!(module.kind(), ModuleKind::Llmgc);
+        assert!(module.describe().contains("fn process"));
+    }
+
+    #[test]
+    fn generated_tokenizer_runs_end_to_end() {
+        let mut ctx = ctx();
+        let mut module =
+            LlmgcModule::generate("tokenizer", spec("tokenize the text into words"), &ctx).unwrap();
+        // The generation may carry a bug; either way the program must parse
+        // and run (or fail with a module error, never panic).
+        let result = module.invoke(Data::Str("Hello there world".into()), &mut ctx);
+        match result {
+            Ok(Data::List(tokens)) => assert!(!tokens.is_empty()),
+            Ok(other) => panic!("unexpected output {other:?}"),
+            Err(CoreError::Module { .. }) => {} // a buggy generation crashing is legitimate
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scripts_reach_tools_through_the_bridge() {
+        let mut ctx = ctx();
+        ctx.tools.register_list("colors", vec!["red".into(), "blue".into()]);
+        let mut module = LlmgcModule::from_source(
+            "tool_user",
+            spec("list colors"),
+            r#"fn process(x) { return len(call_tool("colors")); }"#,
+        )
+        .unwrap();
+        assert_eq!(module.invoke(Data::Null, &mut ctx).unwrap(), Data::Int(2));
+    }
+
+    #[test]
+    fn scripts_reach_the_llm_through_the_bridge() {
+        let mut ctx = ctx();
+        let mut module = LlmgcModule::from_source(
+            "asker",
+            spec("summarize"),
+            r#"fn process(text) { return call_llm("Summarize the following.\nText: " + text); }"#,
+        )
+        .unwrap();
+        let out = module
+            .invoke(Data::Str("The audit finished early. Everyone was pleased.".into()), &mut ctx)
+            .unwrap();
+        assert!(out.as_str().unwrap().contains("audit"));
+    }
+
+    #[test]
+    fn runaway_scripts_hit_the_fuel_limit() {
+        let mut ctx = ctx();
+        let mut module = LlmgcModule::from_source(
+            "loopy",
+            spec("loop forever"),
+            "fn process(x) { while true { } return x; }",
+        )
+        .unwrap()
+        .with_fuel(5_000);
+        let err = module.invoke(Data::Null, &mut ctx).unwrap_err();
+        assert!(err.to_string().contains("fuel"), "{err}");
+    }
+
+    #[test]
+    fn replace_program_swaps_behaviour() {
+        let mut ctx = ctx();
+        let mut module = LlmgcModule::from_source(
+            "swappable",
+            spec("id"),
+            "fn process(x) { return 1; }",
+        )
+        .unwrap();
+        assert_eq!(module.invoke(Data::Null, &mut ctx).unwrap(), Data::Int(1));
+        module
+            .replace_program(GeneratedCode {
+                source: "fn process(x) { return 2; }".into(),
+                template: lingua_llm_sim::TemplateKind::Identity,
+                bug: None,
+            })
+            .unwrap();
+        assert_eq!(module.invoke(Data::Null, &mut ctx).unwrap(), Data::Int(2));
+        // Broken replacement is rejected and the old program kept.
+        let err = module.replace_program(GeneratedCode {
+            source: "fn process(x) {".into(),
+            template: lingua_llm_sim::TemplateKind::Identity,
+            bug: None,
+        });
+        assert!(err.is_err());
+        assert_eq!(module.invoke(Data::Null, &mut ctx).unwrap(), Data::Int(2));
+    }
+
+    #[test]
+    fn bad_source_fails_to_construct() {
+        assert!(LlmgcModule::from_source("bad", spec("x"), "fn process( {").is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Execution statistics: per-module invocation counts and the LLM usage
+//! deltas that back the paper's cost accounting.
+
+use lingua_llm_sim::Usage;
+use std::collections::BTreeMap;
+
+/// Counters collected during pipeline execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Invocations per module name.
+    pub invocations: BTreeMap<String, u64>,
+    /// LLM usage snapshot at executor start (for delta reporting).
+    pub usage_at_start: Usage,
+}
+
+impl ExecStats {
+    pub fn record_invocation(&mut self, module: &str) {
+        *self.invocations.entry(module.to_string()).or_default() += 1;
+    }
+
+    pub fn invocations_of(&self, module: &str) -> u64 {
+        self.invocations.get(module).copied().unwrap_or(0)
+    }
+
+    pub fn total_invocations(&self) -> u64 {
+        self.invocations.values().sum()
+    }
+
+    /// Render a compact text report.
+    pub fn report(&self, usage_now: &Usage) -> String {
+        let delta = usage_now.since(&self.usage_at_start);
+        let mut out = String::from("module invocations:\n");
+        for (name, count) in &self.invocations {
+            out.push_str(&format!("  {name}: {count}\n"));
+        }
+        out.push_str(&format!(
+            "llm: {} call(s), {} tokens in, {} tokens out, {} cache hit(s)\n",
+            delta.calls, delta.tokens_in, delta.tokens_out, delta.cache_hits
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut stats = ExecStats::default();
+        stats.record_invocation("a");
+        stats.record_invocation("a");
+        stats.record_invocation("b");
+        assert_eq!(stats.invocations_of("a"), 2);
+        assert_eq!(stats.invocations_of("missing"), 0);
+        assert_eq!(stats.total_invocations(), 3);
+    }
+
+    #[test]
+    fn report_includes_deltas() {
+        let mut stats = ExecStats::default();
+        stats.record_invocation("matcher");
+        let mut usage = Usage::default();
+        usage.record(100, 20);
+        let report = stats.report(&usage);
+        assert!(report.contains("matcher: 1"));
+        assert!(report.contains("1 call(s)"));
+        assert!(report.contains("100 tokens in"));
+    }
+}

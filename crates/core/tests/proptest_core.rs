@@ -1,0 +1,91 @@
+//! Property tests for lingua-core: Data ↔ MangaScript round-trips, DSL
+//! parser totality, and pipeline pretty/parse round-trips.
+
+use lingua_core::data::Data;
+use lingua_core::modules::ModuleKind;
+use lingua_core::pipeline::{LogicalOp, Pipeline};
+use proptest::prelude::*;
+
+fn scalar() -> impl Strategy<Value = Data> {
+    prop_oneof![
+        Just(Data::Null),
+        any::<bool>().prop_map(Data::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Data::Int),
+        (-1e6f64..1e6).prop_map(|f| Data::Float((f * 16.0).round() / 16.0)),
+        "[ -~]{0,24}".prop_map(Data::Str),
+    ]
+}
+
+fn data(depth: u32) -> impl Strategy<Value = Data> {
+    scalar().prop_recursive(depth, 48, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Data::List),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Data::Map),
+        ]
+    })
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a DSL keyword", |s| {
+        !matches!(s.as_str(), "pipeline" | "using" | "with")
+    })
+}
+
+fn logical_op() -> impl Strategy<Value = LogicalOp> {
+    (
+        ident(),
+        prop::option::of(ident()),
+        prop::collection::vec(ident(), 0..3),
+        prop::option::of(prop_oneof![
+            Just(ModuleKind::Custom),
+            Just(ModuleKind::Llm),
+            Just(ModuleKind::Llmgc),
+        ]),
+        prop::collection::btree_map("[a-z]{1,6}", "[ -~&&[^\\\\]]{0,16}", 0..3),
+    )
+        .prop_map(|(op_type, output, inputs, kind, params)| {
+            let mut op = LogicalOp::new(op_type);
+            if let Some(output) = output {
+                op.output = output;
+            }
+            op.inputs = inputs;
+            op.kind = kind;
+            op.params = params;
+            op
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Data survives the trip through MangaScript values (scripts can consume
+    /// and produce any pipeline value losslessly).
+    #[test]
+    fn data_script_roundtrip(d in data(3)) {
+        let back = Data::from_script(&d.to_script());
+        prop_assert!(back.loose_eq(&d), "{back:?} vs {d:?}");
+    }
+
+    /// The DSL parser is total — no panic on arbitrary input.
+    #[test]
+    fn dsl_parser_is_total(src in "[ -~\n]{0,160}") {
+        let _ = Pipeline::parse(&src);
+    }
+
+    /// pretty(pipeline) re-parses to the identical pipeline.
+    #[test]
+    fn pipeline_pretty_roundtrip(name in ident(), ops in prop::collection::vec(logical_op(), 0..5)) {
+        let pipeline = Pipeline { name, ops };
+        let pretty = pipeline.pretty();
+        let reparsed = Pipeline::parse(&pretty)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{pretty}"));
+        prop_assert_eq!(reparsed, pipeline);
+    }
+
+    /// Data rendering is total and loose_eq is reflexive.
+    #[test]
+    fn data_render_total_and_eq_reflexive(d in data(3)) {
+        let _ = d.render();
+        prop_assert!(d.loose_eq(&d));
+    }
+}

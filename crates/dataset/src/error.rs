@@ -1,0 +1,72 @@
+//! Error type shared by the data-model, CSV, and query modules.
+
+use std::fmt;
+
+/// Errors produced while manipulating tables, parsing CSV, or running queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A record's arity does not match its schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value had the wrong type for the operation.
+    TypeMismatch { expected: &'static str, got: &'static str },
+    /// CSV input was malformed.
+    Csv { line: usize, message: String },
+    /// The mini-SQL text failed to parse.
+    QueryParse { position: usize, message: String },
+    /// A query was well-formed but could not be executed.
+    QueryExec(String),
+    /// An I/O failure (message only, to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "record arity mismatch: schema has {expected} columns, record has {got}")
+            }
+            DataError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            DataError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            DataError::QueryParse { position, message } => {
+                write!(f, "query parse error at byte {position}: {message}")
+            }
+            DataError::QueryExec(message) => write!(f, "query execution error: {message}"),
+            DataError::Io(message) => write!(f, "io error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(err: std::io::Error) -> Self {
+        DataError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let err = DataError::UnknownColumn("price".into());
+        assert!(err.to_string().contains("price"));
+        let err = DataError::ArityMismatch { expected: 3, got: 2 };
+        assert!(err.to_string().contains('3') && err.to_string().contains('2'));
+        let err = DataError::Csv { line: 7, message: "unterminated quote".into() };
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: DataError = io.into();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded synthetic dataset generators reproducing the structure and
+//! difficulty of every dataset in the paper's evaluation.
+//!
+//! * [`er`] — entity-resolution pair benchmarks shaped like the Magellan
+//!   repository datasets (BeerAdvo-RateBeer, Fodors-Zagats, iTunes-Amazon).
+//! * [`imputation`] — a Buy-style product catalogue with a missing
+//!   `manufacturer` column.
+//! * [`names`] — a multilingual name-extraction corpus (the startup-company
+//!   workload of §4.2).
+//! * [`corruption`] — the perturbation toolbox (typos, abbreviations, token
+//!   drop/reorder, case and format jitter) shared by the generators.
+
+pub mod corruption;
+pub mod er;
+pub mod imputation;
+pub mod names;

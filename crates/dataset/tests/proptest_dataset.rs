@@ -1,0 +1,101 @@
+//! Property tests for the CSV codec and the mini-SQL query engine.
+
+use lingua_dataset::query::{like_match, Catalog, Query};
+use lingua_dataset::{csv, Record, Schema, Table, Value};
+use proptest::prelude::*;
+
+fn cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-10_000i64..10_000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(|f| Value::Float((f * 4.0).round() / 4.0 + 0.25)),
+        // Strings that cannot be mistaken for numbers/bools/empties.
+        "[a-zA-Z][a-zA-Z ,\"\n']{0,20}".prop_map(Value::Str),
+    ]
+}
+
+fn table() -> impl Strategy<Value = Table> {
+    (2usize..5, 0usize..30).prop_flat_map(|(cols, rows)| {
+        let schema: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+        prop::collection::vec(prop::collection::vec(cell(), cols..=cols), rows..=rows).prop_map(
+            move |rows| {
+                let schema = Schema::of_names(schema.clone());
+                let rows = rows.into_iter().map(Record::new).collect();
+                Table::with_rows("t", schema, rows).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CSV write → read reproduces the table exactly, as long as string cells
+    /// are not ambiguous with other types (the generator guarantees that).
+    #[test]
+    fn csv_roundtrip(t in table()) {
+        let text = csv::write_str(&t);
+        let back = csv::read_str("t", &text).unwrap();
+        prop_assert_eq!(back.schema(), t.schema());
+        prop_assert_eq!(back.rows(), t.rows());
+    }
+
+    /// LIMIT n never returns more than n rows and is a prefix of the
+    /// unlimited result.
+    #[test]
+    fn limit_is_a_prefix(t in table(), n in 0usize..10) {
+        let mut catalog = Catalog::new();
+        catalog.register(t);
+        let all = catalog.execute("SELECT * FROM t").unwrap();
+        let limited = catalog.execute(&format!("SELECT * FROM t LIMIT {n}")).unwrap();
+        prop_assert!(limited.len() <= n);
+        prop_assert_eq!(limited.rows(), &all.rows()[..limited.len()]);
+    }
+
+    /// ORDER BY produces a permutation that is sorted under Value::total_cmp.
+    #[test]
+    fn order_by_sorts(t in table()) {
+        let mut catalog = Catalog::new();
+        catalog.register(t.clone());
+        let sorted = catalog.execute("SELECT c0 FROM t ORDER BY c0").unwrap();
+        prop_assert_eq!(sorted.len(), t.len());
+        for w in sorted.rows().windows(2) {
+            prop_assert_ne!(w[0][0].total_cmp(&w[1][0]), std::cmp::Ordering::Greater);
+        }
+    }
+
+    /// COUNT(*) equals the number of rows matching the predicate computed
+    /// directly.
+    #[test]
+    fn count_matches_filter(t in table(), threshold in -10_000i64..10_000) {
+        let mut catalog = Catalog::new();
+        catalog.register(t.clone());
+        let sql = format!("SELECT count(*) FROM t WHERE c1 > {threshold}");
+        let result = catalog.execute(&sql).unwrap();
+        let expected = t
+            .rows()
+            .iter()
+            .filter(|r| r[1].total_cmp(&Value::Int(threshold)) == std::cmp::Ordering::Greater
+                && !r[1].is_null()
+                && r[1].as_f64().is_some())
+            .count();
+        prop_assert_eq!(result.cell(0, "count(*)").unwrap(), &Value::Int(expected as i64));
+    }
+
+    /// The query parser never panics on arbitrary input.
+    #[test]
+    fn query_parser_never_panics(sql in "[ -~]{0,60}") {
+        let _ = Query::parse(&sql);
+    }
+
+    /// LIKE with a pattern equal to the text (no wildcards) always matches,
+    /// and `%text%` matches any superstring.
+    #[test]
+    fn like_reflexive_and_substring(text in "[a-z]{0,10}", pre in "[a-z]{0,5}", post in "[a-z]{0,5}") {
+        prop_assert!(like_match(&text, &text));
+        let pattern = format!("%{text}%");
+        let haystack = format!("{pre}{text}{post}");
+        prop_assert!(like_match(&pattern, &haystack));
+    }
+}

@@ -1,0 +1,12 @@
+//! Per-intent response behaviours.
+//!
+//! Each behaviour receives the knowledge base, the calibration, the parsed
+//! prompt, and a per-call seeded RNG, and produces the response text a real
+//! LLM would have produced — including surface-form instability.
+
+pub mod entity_match;
+pub mod impute;
+pub mod langdetect;
+pub mod schema_match;
+pub mod summarize;
+pub mod tag;

@@ -1,0 +1,153 @@
+//! Schema matching: align two column lists — a classic data-integration task
+//! from the paper's introduction (Data Tamer's territory).
+//!
+//! Prompt protocol:
+//!
+//! ```text
+//! Perform schema matching between the tables.
+//! Columns A: product_name, maker, cost
+//! Columns B: name, manufacturer, price_usd
+//! ```
+//!
+//! Response: `product_name -> name; maker -> manufacturer; cost -> price_usd`
+
+use lingua_ml::textsim;
+
+/// Semantic synonym groups the model "knows" — the world knowledge a real
+/// LLM brings to column alignment beyond string similarity.
+const SYNONYMS: &[&[&str]] = &[
+    &["name", "title", "product_name", "song_name", "beer_name", "label"],
+    &["manufacturer", "maker", "brand", "producer", "vendor", "company"],
+    &["price", "cost", "price_usd", "amount", "msrp"],
+    &["description", "details", "summary", "info", "text"],
+    &["address", "addr", "street", "location"],
+    &["city", "town", "municipality"],
+    &["phone", "telephone", "phone_number", "tel"],
+    &["artist", "artist_name", "singer", "band", "performer"],
+    &["album", "album_name", "record"],
+    &["year", "released", "release_year", "date"],
+    &["time", "duration", "length"],
+    &["genre", "category", "style", "type"],
+];
+
+fn synonym_group(column: &str) -> Option<usize> {
+    let norm = column.to_lowercase();
+    SYNONYMS.iter().position(|group| group.contains(&norm.as_str()))
+}
+
+/// Similarity between two column names: synonym-group identity dominates,
+/// string similarity breaks ties.
+pub fn column_similarity(a: &str, b: &str) -> f64 {
+    let string_sim = textsim::jaro_winkler(&a.to_lowercase(), &b.to_lowercase())
+        .max(textsim::overlap_tokens(
+            &a.to_lowercase().replace('_', " "),
+            &b.to_lowercase().replace('_', " "),
+        ));
+    match (synonym_group(a), synonym_group(b)) {
+        (Some(ga), Some(gb)) if ga == gb => 0.9 + 0.1 * string_sim,
+        _ => string_sim,
+    }
+}
+
+/// Greedy best-first one-to-one matching between two column lists. Pairs
+/// below `threshold` stay unmatched.
+pub fn match_columns(a: &[String], b: &[String], threshold: f64) -> Vec<(String, String)> {
+    let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        for (j, cb) in b.iter().enumerate() {
+            scored.push((column_similarity(ca, cb), i, j));
+        }
+    }
+    scored.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+    let mut used_a = vec![false; a.len()];
+    let mut used_b = vec![false; b.len()];
+    let mut out = Vec::new();
+    for (score, i, j) in scored {
+        if score < threshold {
+            break;
+        }
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            out.push((a[i].clone(), b[j].clone()));
+        }
+    }
+    out
+}
+
+/// Produce the response for a schema-matching prompt (parses the raw prompt
+/// for the `Columns A:` / `Columns B:` lines).
+pub fn respond(raw_prompt: &str) -> String {
+    let mut cols_a: Vec<String> = Vec::new();
+    let mut cols_b: Vec<String> = Vec::new();
+    for line in raw_prompt.lines() {
+        let t = line.trim();
+        let lower = t.to_lowercase();
+        if let Some(rest) = lower.strip_prefix("columns a:") {
+            cols_a = rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+        } else if let Some(rest) = lower.strip_prefix("columns b:") {
+            cols_b = rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+        }
+    }
+    if cols_a.is_empty() || cols_b.is_empty() {
+        return "Please list the columns of both tables.".to_string();
+    }
+    let pairs = match_columns(&cols_a, &cols_b, 0.6);
+    if pairs.is_empty() {
+        return "No confident column correspondences found.".to_string();
+    }
+    pairs
+        .iter()
+        .map(|(a, b)| format!("{a} -> {b}"))
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synonyms_align_across_vocabularies() {
+        let response = respond(
+            "Perform schema matching between the tables.\n\
+             Columns A: product_name, maker, cost\n\
+             Columns B: name, manufacturer, price_usd",
+        );
+        assert!(response.contains("product_name -> name"), "{response}");
+        assert!(response.contains("maker -> manufacturer"), "{response}");
+        assert!(response.contains("cost -> price_usd"), "{response}");
+    }
+
+    #[test]
+    fn string_similarity_handles_unknown_columns() {
+        let pairs = match_columns(
+            &["customer_id".to_string(), "zzz".to_string()],
+            &["customerid".to_string(), "qqq".to_string()],
+            0.6,
+        );
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, "customer_id");
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        let pairs = match_columns(
+            &["name".to_string(), "title".to_string()],
+            &["name".to_string()],
+            0.5,
+        );
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn missing_columns_get_a_clarification() {
+        assert!(respond("Perform schema matching.").contains("list the columns"));
+    }
+
+    #[test]
+    fn low_similarity_yields_no_matches() {
+        let pairs = match_columns(&["alpha".to_string()], &["zu".to_string()], 0.8);
+        assert!(pairs.is_empty());
+    }
+}

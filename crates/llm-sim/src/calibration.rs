@@ -1,0 +1,142 @@
+//! Calibration constants for the simulated LLM.
+//!
+//! Each constant is documented against the paper number it was tuned to
+//! reproduce. Everything else in the system — baselines, optimizer behaviour,
+//! dataset difficulty — interacts with these constants, so the reported
+//! experiment results are *emergent* from the simulation rather than
+//! hard-coded.
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural parameters of the simulated LLM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    // -- knowledge coverage ---------------------------------------------------
+    /// Probability the LLM "knows" a given beer entity (brewery + name).
+    /// Beer databases are niche → moderate coverage. Drives the gap between
+    /// Lingua Manga (89.66 F1) and the supervised ceiling (94.37) on
+    /// BeerAdvo-RateBeer in Table 1.
+    pub beer_entity_coverage: f64,
+    /// Restaurant knowledge (Fodors/Zagats-style entities are famous →
+    /// high coverage; Table 1 row 2 has every method ≥ 87).
+    pub restaurant_entity_coverage: f64,
+    /// Song knowledge (long-tail catalogue → moderate).
+    pub song_entity_coverage: f64,
+    /// Error rate even on entities the LLM knows (mis-recall).
+    pub known_entity_error: f64,
+
+    /// Probability a product *line* → manufacturer fact is known
+    /// ("PlayStation → Sony"). Tuned so the pure-LLM imputation accuracy
+    /// lands near the paper's 93.92% given the 5/6-easy dataset mix.
+    pub product_line_coverage: f64,
+    /// Accuracy of reading a manufacturer that is literally present in the
+    /// product text (reading comprehension, near-perfect).
+    pub text_mention_accuracy: f64,
+    /// Expected chance of guessing the right manufacturer with no knowledge
+    /// at all. Documents the emergent rate (the blind guesser picks
+    /// deterministically from the candidate vocabulary, ≈ 1/|vocabulary|);
+    /// not consumed by the behaviours directly.
+    pub blind_guess_accuracy: f64,
+
+    /// Per-language person-name lexicon coverage `(english, other-latin,
+    /// romanized-cjk)`. English corpora dominate pre-training.
+    pub name_coverage_english: f64,
+    pub name_coverage_latin: f64,
+    pub name_coverage_cjk: f64,
+
+    // -- output instability -----------------------------------------------------
+    /// Probability of a verbose / decorated answer ("They appear to be the
+    /// same entity.") when the prompt does NOT pin the output format. This is
+    /// what sinks the FMs baseline's naive parser (Table 1, FMs column; §4.3
+    /// FMs 84.6%).
+    pub verbose_answer_rate_unpinned: f64,
+    /// Same, when the prompt explicitly says "Answer yes or no." — prompt
+    /// engineering reduces but does not eliminate format drift.
+    pub verbose_answer_rate_pinned: f64,
+    /// Rate of outright hallucinated answers (confidently wrong).
+    pub hallucination_rate: f64,
+
+    // -- entity-match heuristic (when entities are unknown) ---------------------
+    /// Decision threshold on the record-similarity score for a *naive* prompt
+    /// (no examples). Deliberately low: LLMs say "yes" too eagerly for
+    /// superficially similar records.
+    pub match_threshold_naive: f64,
+    /// Threshold once the prompt carries a few labeled examples
+    /// (the in-context calibration Lingua Manga's templates provide).
+    pub match_threshold_calibrated: f64,
+
+    // -- code generation -----------------------------------------------------
+    /// Probability the first generation of an LLMGC module carries a bug.
+    pub codegen_bug_rate: f64,
+    /// Probability a repair attempt (with a correct suggestion) removes the
+    /// bug rather than introducing a different one.
+    pub repair_success_rate: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            beer_entity_coverage: 0.86,
+            restaurant_entity_coverage: 0.88,
+            song_entity_coverage: 0.60,
+            known_entity_error: 0.006,
+
+            product_line_coverage: 0.68,
+            text_mention_accuracy: 0.99,
+            blind_guess_accuracy: 0.03,
+
+            name_coverage_english: 0.97,
+            name_coverage_latin: 0.93,
+            name_coverage_cjk: 0.88,
+
+            verbose_answer_rate_unpinned: 0.22,
+            verbose_answer_rate_pinned: 0.015,
+            hallucination_rate: 0.01,
+
+            match_threshold_naive: 0.56,
+            match_threshold_calibrated: 0.66,
+
+            codegen_bug_rate: 0.45,
+            repair_success_rate: 0.85,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_probabilities() {
+        let c = Calibration::default();
+        for p in [
+            c.beer_entity_coverage,
+            c.restaurant_entity_coverage,
+            c.song_entity_coverage,
+            c.known_entity_error,
+            c.product_line_coverage,
+            c.text_mention_accuracy,
+            c.blind_guess_accuracy,
+            c.name_coverage_english,
+            c.name_coverage_latin,
+            c.name_coverage_cjk,
+            c.verbose_answer_rate_unpinned,
+            c.verbose_answer_rate_pinned,
+            c.hallucination_rate,
+            c.match_threshold_naive,
+            c.match_threshold_calibrated,
+            c.codegen_bug_rate,
+            c.repair_success_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn calibrated_threshold_is_stricter_than_naive() {
+        let c = Calibration::default();
+        assert!(c.match_threshold_calibrated > c.match_threshold_naive);
+        assert!(c.verbose_answer_rate_pinned < c.verbose_answer_rate_unpinned);
+        assert!(c.name_coverage_english > c.name_coverage_cjk);
+    }
+}

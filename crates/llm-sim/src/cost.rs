@@ -1,0 +1,109 @@
+//! Token counting and dollar-cost accounting.
+//!
+//! The paper's core efficiency argument is that LLM calls are expensive in
+//! money, latency, and privacy; the optimizer exists to minimize them. Every
+//! call through [`crate::SimLlm`] is metered here so benchmark binaries can
+//! report call counts and simulated spend.
+
+use serde::{Deserialize, Serialize};
+
+/// Approximate tokenizer: whitespace-split words plus a surcharge for long
+/// words (BPE splits them) and punctuation. Close enough to real tokenizers
+/// to make relative comparisons meaningful.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    for word in text.split_whitespace() {
+        let chars = word.chars().count();
+        // ~1 token per 4 characters, minimum 1 per word.
+        tokens += 1 + chars / 5;
+    }
+    tokens.max(if text.is_empty() { 0 } else { 1 })
+}
+
+/// Per-1k-token pricing, defaulting to GPT-3.5-era rates (USD).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenPricing {
+    pub input_per_1k: f64,
+    pub output_per_1k: f64,
+}
+
+impl Default for TokenPricing {
+    fn default() -> Self {
+        TokenPricing { input_per_1k: 0.0015, output_per_1k: 0.002 }
+    }
+}
+
+/// Cumulative usage across a service's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Usage {
+    pub calls: u64,
+    pub tokens_in: u64,
+    pub tokens_out: u64,
+    /// Calls answered from the response cache (not counted in `calls`).
+    pub cache_hits: u64,
+}
+
+impl Usage {
+    pub fn record(&mut self, tokens_in: usize, tokens_out: usize) {
+        self.calls += 1;
+        self.tokens_in += tokens_in as u64;
+        self.tokens_out += tokens_out as u64;
+    }
+
+    pub fn cost_usd(&self, pricing: &TokenPricing) -> f64 {
+        self.tokens_in as f64 / 1000.0 * pricing.input_per_1k
+            + self.tokens_out as f64 / 1000.0 * pricing.output_per_1k
+    }
+
+    /// Usage delta since an earlier snapshot.
+    pub fn since(&self, earlier: &Usage) -> Usage {
+        Usage {
+            calls: self.calls - earlier.calls,
+            tokens_in: self.tokens_in - earlier.tokens_in,
+            tokens_out: self.tokens_out - earlier.tokens_out,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_counts_scale_with_text() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("hi"), 1);
+        let short = count_tokens("determine if these entities match");
+        let long = count_tokens(
+            "determine if these entities match: record a has a very long description field",
+        );
+        assert!(long > short);
+        // Long words cost more than one token.
+        assert!(count_tokens("internationalization") >= 4);
+    }
+
+    #[test]
+    fn usage_accumulates_and_prices() {
+        let mut u = Usage::default();
+        u.record(1000, 500);
+        u.record(500, 250);
+        assert_eq!(u.calls, 2);
+        assert_eq!(u.tokens_in, 1500);
+        assert_eq!(u.tokens_out, 750);
+        let cost = u.cost_usd(&TokenPricing::default());
+        assert!((cost - (1.5 * 0.0015 + 0.75 * 0.002)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let mut u = Usage::default();
+        u.record(100, 10);
+        let snapshot = u;
+        u.record(200, 20);
+        let delta = u.since(&snapshot);
+        assert_eq!(delta.calls, 1);
+        assert_eq!(delta.tokens_in, 200);
+        assert_eq!(delta.tokens_out, 20);
+    }
+}

@@ -1,0 +1,394 @@
+//! The LLM service facade.
+//!
+//! [`SimLlm`] is the single entry point the rest of the system talks to. It
+//! routes prompts through [`crate::prompt`] to the behaviours, meters every
+//! call in tokens and dollars, optionally caches responses, and exposes the
+//! structured code-generation endpoints used by LLMGC modules.
+
+use crate::behaviors;
+use crate::calibration::Calibration;
+use crate::codegen::{self, CodeGenSpec, GeneratedCode};
+use crate::cost::{count_tokens, TokenPricing, Usage};
+use crate::knowledge::KnowledgeBase;
+use crate::prompt::{self, TaskIntent};
+use lingua_dataset::world::WorldSpec;
+use lingua_ml::features::{fxhash, HashingVectorizer};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A completion request. Kept minimal: the simulated service is temperature-0
+/// (responses are a pure function of the prompt and the service seed).
+#[derive(Debug, Clone)]
+pub struct CompletionRequest {
+    pub prompt: String,
+}
+
+impl CompletionRequest {
+    pub fn new(prompt: impl Into<String>) -> Self {
+        CompletionRequest { prompt: prompt.into() }
+    }
+}
+
+/// The service interface `lingua-core` programs against. Implementations must
+/// be shareable across threads (the executor may parallelize record batches).
+pub trait LlmService: Send + Sync {
+    /// Free-text completion.
+    fn complete(&self, request: &CompletionRequest) -> String;
+    /// Deterministic text embedding (for data-discovery tasks).
+    fn embed(&self, text: &str) -> Vec<f64>;
+    /// Cumulative usage counters.
+    fn usage(&self) -> Usage;
+    /// Simulated wall-clock latency accumulated so far, in milliseconds.
+    fn simulated_latency_ms(&self) -> u64;
+    /// Generate an LLMGC module program (metered like a completion).
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode;
+    /// Ask for a fix suggestion given code and failure descriptions.
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String;
+    /// Regenerate code after a failed validation, given the suggestion.
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode;
+}
+
+/// Configuration for [`SimLlm`].
+#[derive(Debug, Clone)]
+pub struct SimLlmConfig {
+    pub seed: u64,
+    pub calibration: Calibration,
+    pub pricing: TokenPricing,
+    /// Response cache (identical prompt → cached answer, no tokens billed).
+    pub cache_enabled: bool,
+    /// Simulated per-call latency, accumulated in a counter (never slept).
+    pub latency_ms_per_call: u64,
+}
+
+impl Default for SimLlmConfig {
+    fn default() -> Self {
+        SimLlmConfig {
+            seed: 0,
+            calibration: Calibration::default(),
+            pricing: TokenPricing::default(),
+            cache_enabled: false,
+            latency_ms_per_call: 350,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    usage: Usage,
+    cache: HashMap<u64, String>,
+    latency_ms: u64,
+    /// Monotonic nonce so repeated code-generation attempts differ.
+    codegen_counter: u64,
+}
+
+/// The simulated LLM service.
+pub struct SimLlm {
+    config: SimLlmConfig,
+    knowledge: KnowledgeBase,
+    vectorizer: HashingVectorizer,
+    state: Mutex<State>,
+}
+
+impl SimLlm {
+    /// Build the service over a world (constructs the knowledge base).
+    pub fn new(world: &WorldSpec, config: SimLlmConfig) -> SimLlm {
+        let knowledge = KnowledgeBase::from_world(world, &config.calibration, config.seed);
+        SimLlm {
+            config,
+            knowledge,
+            vectorizer: HashingVectorizer::new(512),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Convenience constructor with defaults.
+    pub fn with_seed(world: &WorldSpec, seed: u64) -> SimLlm {
+        SimLlm::new(world, SimLlmConfig { seed, ..Default::default() })
+    }
+
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.knowledge
+    }
+
+    pub fn calibration(&self) -> &Calibration {
+        &self.config.calibration
+    }
+
+    pub fn pricing(&self) -> &TokenPricing {
+        &self.config.pricing
+    }
+
+    /// Zero the usage counters (between experiment arms).
+    pub fn reset_usage(&self) {
+        let mut state = self.state.lock();
+        state.usage = Usage::default();
+        state.latency_ms = 0;
+    }
+
+    fn respond(&self, prompt_text: &str) -> String {
+        let parsed = prompt::parse(prompt_text);
+        // Per-call RNG: pure function of (service seed, prompt) — temperature-0
+        // semantics; identical prompts always answer identically.
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ fxhash(prompt_text.as_bytes()));
+        match parsed.intent {
+            TaskIntent::EntityMatch => behaviors::entity_match::respond(
+                &self.knowledge,
+                &self.config.calibration,
+                &parsed,
+                &mut rng,
+            ),
+            TaskIntent::Impute => behaviors::impute::respond(
+                &self.knowledge,
+                &self.config.calibration,
+                &parsed,
+                &mut rng,
+            ),
+            TaskIntent::TagNames => behaviors::tag::respond(
+                &self.knowledge,
+                &self.config.calibration,
+                &parsed,
+                &mut rng,
+            ),
+            TaskIntent::DetectLanguage => behaviors::langdetect::respond(
+                &self.knowledge,
+                &self.config.calibration,
+                &parsed,
+                &mut rng,
+            ),
+            TaskIntent::Summarize => behaviors::summarize::respond(&parsed),
+            TaskIntent::SchemaMatch => behaviors::schema_match::respond(prompt_text),
+            TaskIntent::Unknown => {
+                "I'm not sure what task you are asking for. Please describe the data \
+                 curation task (entity resolution, imputation, extraction, ...)."
+                    .to_string()
+            }
+        }
+    }
+
+    fn meter(&self, prompt_text: &str, response: &str) {
+        let mut state = self.state.lock();
+        state.usage.record(count_tokens(prompt_text), count_tokens(response));
+        state.latency_ms += self.config.latency_ms_per_call;
+    }
+
+    // -- structured code-generation endpoints (see the LlmService trait) -----
+
+    fn generate_code_impl(&self, spec: &CodeGenSpec) -> GeneratedCode {
+        let nonce = {
+            let mut state = self.state.lock();
+            state.codegen_counter += 1;
+            state.codegen_counter
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ fxhash(spec.task.as_bytes()) ^ nonce.wrapping_mul(0x9e37),
+        );
+        let code = codegen::generate(spec, &self.config.calibration, &mut rng);
+        self.meter(&spec.task, &code.source);
+        code
+    }
+
+    fn suggest_fix_impl(&self, source: &str, failures: &[String]) -> String {
+        let suggestion = codegen::suggest_fix(source, failures);
+        let request = format!("{source}\n{}", failures.join("\n"));
+        self.meter(&request, &suggestion);
+        suggestion
+    }
+
+    fn repair_code_impl(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode {
+        let nonce = {
+            let mut state = self.state.lock();
+            state.codegen_counter += 1;
+            state.codegen_counter
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed
+                ^ fxhash(previous.source.as_bytes())
+                ^ nonce.wrapping_mul(0x517c_c1b7),
+        );
+        let code = codegen::repair(spec, &self.config.calibration, previous, suggestion, &mut rng);
+        let request = format!("{}\n{suggestion}", previous.source);
+        self.meter(&request, &code.source);
+        code
+    }
+}
+
+impl LlmService for SimLlm {
+    fn complete(&self, request: &CompletionRequest) -> String {
+        let key = fxhash(request.prompt.as_bytes());
+        if self.config.cache_enabled {
+            let mut state = self.state.lock();
+            if let Some(hit) = state.cache.get(&key) {
+                let hit = hit.clone();
+                state.usage.cache_hits += 1;
+                return hit;
+            }
+        }
+        let response = self.respond(&request.prompt);
+        self.meter(&request.prompt, &response);
+        if self.config.cache_enabled {
+            self.state.lock().cache.insert(key, response.clone());
+        }
+        response
+    }
+
+    fn embed(&self, text: &str) -> Vec<f64> {
+        let mut state = self.state.lock();
+        state.usage.record(count_tokens(text), 0);
+        state.latency_ms += self.config.latency_ms_per_call / 4;
+        drop(state);
+        self.vectorizer
+            .transform(&crate::embeddings::normalize_for_embedding(text))
+    }
+
+    fn usage(&self) -> Usage {
+        self.state.lock().usage
+    }
+
+    fn simulated_latency_ms(&self) -> u64 {
+        self.state.lock().latency_ms
+    }
+
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
+        self.generate_code_impl(spec)
+    }
+
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
+        self.suggest_fix_impl(source, failures)
+    }
+
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode {
+        self.repair_code_impl(spec, previous, suggestion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> SimLlm {
+        let world = WorldSpec::generate(5);
+        SimLlm::with_seed(&world, 5)
+    }
+
+    #[test]
+    fn completion_is_deterministic() {
+        let svc = service();
+        let req = CompletionRequest::new(
+            "Determine if these refer to the same entity.\n\
+             Record A: beer_name: Hoppy Badger; brewery: Stonegate Brewing\n\
+             Record B: beer_name: Hoppy Badger; brewery: Stonegate Brewing\n\
+             Answer yes or no.",
+        );
+        assert_eq!(svc.complete(&req), svc.complete(&req));
+    }
+
+    #[test]
+    fn usage_is_metered() {
+        let svc = service();
+        assert_eq!(svc.usage().calls, 0);
+        svc.complete(&CompletionRequest::new("Summarize. Text: hello world"));
+        let usage = svc.usage();
+        assert_eq!(usage.calls, 1);
+        assert!(usage.tokens_in > 0);
+        assert!(svc.simulated_latency_ms() > 0);
+        svc.reset_usage();
+        assert_eq!(svc.usage().calls, 0);
+    }
+
+    #[test]
+    fn cache_avoids_repeat_billing() {
+        let world = WorldSpec::generate(5);
+        let svc = SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 5, cache_enabled: true, ..Default::default() },
+        );
+        let req = CompletionRequest::new("Summarize. Text: the same text every time");
+        let a = svc.complete(&req);
+        let b = svc.complete(&req);
+        assert_eq!(a, b);
+        let usage = svc.usage();
+        assert_eq!(usage.calls, 1);
+        assert_eq!(usage.cache_hits, 1);
+    }
+
+    #[test]
+    fn unknown_prompts_get_a_clarification() {
+        let svc = service();
+        let response = svc.complete(&CompletionRequest::new("What's your favourite colour?"));
+        assert!(response.contains("not sure"));
+    }
+
+    #[test]
+    fn codegen_endpoints_are_metered_and_vary_per_attempt() {
+        let svc = service();
+        let spec = CodeGenSpec {
+            task: "tokenize the text".into(),
+            function_name: "process".into(),
+            hints: vec![],
+        };
+        let first = svc.generate_code(&spec);
+        let mut attempts = vec![first.bug];
+        for _ in 0..10 {
+            attempts.push(svc.generate_code(&spec).bug);
+        }
+        // Across 11 attempts at a 45% bug rate we should see both outcomes.
+        assert!(attempts.iter().any(|b| b.is_some()));
+        assert!(attempts.iter().any(|b| b.is_none()));
+        assert!(svc.usage().calls >= 11);
+    }
+
+    #[test]
+    fn repair_loop_terminates() {
+        let svc = service();
+        let spec = CodeGenSpec {
+            task: "extract noun phrases from the tokens".into(),
+            function_name: "process".into(),
+            hints: vec![],
+        };
+        let mut code = svc.generate_code(&spec);
+        let mut rounds = 0;
+        while code.bug.is_some() && rounds < 12 {
+            let suggestion = svc.suggest_fix(&code.source, &["failing case".into()]);
+            code = svc.repair_code(&spec, &code, &suggestion);
+            rounds += 1;
+        }
+        assert!(code.bug.is_none(), "did not converge");
+    }
+
+    #[test]
+    fn embeddings_are_deterministic_and_metered() {
+        let svc = service();
+        let a = svc.embed("product catalogue table");
+        let b = svc.embed("product catalogue table");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 512);
+        assert!(svc.usage().tokens_in > 0);
+        // Different texts embed differently.
+        let c = svc.embed("completely different words");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimLlm>();
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the simulated LLM: total robustness to arbitrary
+//! prompts, determinism, and monotone metering.
+
+use lingua_llm_sim::{CompletionRequest, LlmService, SimLlm};
+use lingua_dataset::world::WorldSpec;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn service() -> &'static SimLlm {
+    static SERVICE: OnceLock<(WorldSpec, SimLlm)> = OnceLock::new();
+    let (_, svc) = SERVICE.get_or_init(|| {
+        let world = WorldSpec::generate(999);
+        let svc = SimLlm::with_seed(&world, 999);
+        (world, svc)
+    });
+    svc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The service never panics, whatever the prompt — including prompts with
+    /// section markers, partial records, and non-ASCII content.
+    #[test]
+    fn completion_is_total(prompt in "[ -~àéüşğ\n]{0,200}") {
+        let svc = service();
+        let _ = svc.complete(&CompletionRequest::new(&prompt));
+    }
+
+    /// Same prompt → same answer (temperature-0 semantics).
+    #[test]
+    fn completion_is_deterministic(prompt in "[ -~\n]{0,120}") {
+        let svc = service();
+        let a = svc.complete(&CompletionRequest::new(&prompt));
+        let b = svc.complete(&CompletionRequest::new(&prompt));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Metering is monotone: every completion strictly grows the counters.
+    #[test]
+    fn metering_is_monotone(prompt in "[a-z ]{1,80}") {
+        let svc = service();
+        let before = svc.usage();
+        let _ = svc.complete(&CompletionRequest::new(&prompt));
+        let after = svc.usage();
+        prop_assert_eq!(after.calls, before.calls + 1);
+        prop_assert!(after.tokens_in > before.tokens_in);
+    }
+
+    /// Structured prompts with adversarial record content are handled:
+    /// fields containing the protocol's own separators must not panic and
+    /// must still produce a yes/no-shaped answer.
+    #[test]
+    fn entity_match_prompts_with_adversarial_fields(
+        a in "[ -~]{0,40}",
+        b in "[ -~]{0,40}",
+    ) {
+        let svc = service();
+        let prompt = format!(
+            "Please determine if the following two records refer to the same entity.\n\
+             Record A: beer_name: {a}; brewery: {b}\n\
+             Record B: beer_name: {b}; brewery: {a}\n\
+             Answer yes or no."
+        );
+        let response = svc.complete(&CompletionRequest::new(&prompt));
+        prop_assert!(!response.is_empty());
+    }
+
+    /// Embeddings: deterministic, fixed-dimension, finite.
+    #[test]
+    fn embeddings_are_well_formed(text in "[ -~]{0,120}") {
+        let svc = service();
+        let e = svc.embed(&text);
+        prop_assert_eq!(e.len(), 512);
+        prop_assert!(e.iter().all(|x| x.is_finite()));
+        prop_assert_eq!(svc.embed(&text), e);
+    }
+}

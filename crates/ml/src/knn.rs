@@ -1,0 +1,123 @@
+//! k-nearest-neighbour classification with cosine or Euclidean distance.
+
+use crate::Example;
+
+/// Distance metric for [`Knn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    Euclidean,
+    Cosine,
+}
+
+/// A lazy (memorizing) kNN classifier.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    metric: Metric,
+    examples: Vec<Example>,
+}
+
+impl Knn {
+    pub fn new(k: usize, metric: Metric, examples: Vec<Example>) -> Knn {
+        assert!(k >= 1, "k must be >= 1");
+        assert!(!examples.is_empty(), "cannot build kNN over an empty set");
+        Knn { k, metric, examples }
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self.metric {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Cosine => {
+                let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+                let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    1.0
+                } else {
+                    1.0 - dot / (na * nb)
+                }
+            }
+        }
+    }
+
+    /// Predict the majority label among the k nearest examples, along with
+    /// the vote fraction it won (a confidence proxy).
+    pub fn predict(&self, features: &[f64]) -> (usize, f64) {
+        let mut dists: Vec<(f64, usize)> = self
+            .examples
+            .iter()
+            .map(|ex| (self.distance(features, &ex.features), ex.label))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut votes: std::collections::BTreeMap<usize, usize> = Default::default();
+        for (_, label) in &dists[..k] {
+            *votes.entry(*label).or_default() += 1;
+        }
+        let (&label, &count) = votes.iter().max_by_key(|(_, &c)| c).unwrap();
+        (label, count as f64 / k as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Example> {
+        // Two clusters at (0,0) and (10,10).
+        let mut out = Vec::new();
+        for dx in 0..3 {
+            for dy in 0..3 {
+                out.push(Example::new(vec![dx as f64 * 0.1, dy as f64 * 0.1], 0));
+                out.push(Example::new(vec![10.0 + dx as f64 * 0.1, 10.0 + dy as f64 * 0.1], 1));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn euclidean_classification() {
+        let knn = Knn::new(3, Metric::Euclidean, grid());
+        assert_eq!(knn.predict(&[0.5, 0.5]).0, 0);
+        assert_eq!(knn.predict(&[9.0, 9.0]).0, 1);
+    }
+
+    #[test]
+    fn confidence_reflects_vote_share() {
+        let knn = Knn::new(5, Metric::Euclidean, grid());
+        let (_, conf) = knn.predict(&[0.0, 0.0]);
+        assert_eq!(conf, 1.0);
+    }
+
+    #[test]
+    fn cosine_metric_ignores_magnitude() {
+        let examples = vec![
+            Example::new(vec![1.0, 0.0], 0),
+            Example::new(vec![0.0, 1.0], 1),
+        ];
+        let knn = Knn::new(1, Metric::Cosine, examples);
+        // Large-magnitude vector in the x direction is still class 0.
+        assert_eq!(knn.predict(&[100.0, 1.0]).0, 0);
+        // Zero vector: maximal distance from everything; still answers.
+        let (label, _) = knn.predict(&[0.0, 0.0]);
+        assert!(label <= 1);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let examples = vec![Example::new(vec![0.0], 7)];
+        let knn = Knn::new(99, Metric::Euclidean, examples);
+        assert_eq!(knn.predict(&[0.5]).0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_examples_panic() {
+        Knn::new(1, Metric::Euclidean, vec![]);
+    }
+}

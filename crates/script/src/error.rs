@@ -1,0 +1,100 @@
+//! Errors and source spans.
+
+use std::fmt;
+
+/// A byte range in the source text, with a 1-based line for messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: usize) -> Span {
+        Span { start, end, line }
+    }
+
+    /// A span covering both inputs.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Everything that can go wrong while lexing, parsing, or running a script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    Lex { span: Span, message: String },
+    Parse { span: Span, message: String },
+    /// A runtime error, e.g. a type error or unknown variable.
+    Runtime { span: Span, message: String },
+    /// The fuel budget was exhausted — the Validator's "timeout".
+    OutOfFuel,
+    /// A host call (`call_llm` / `call_module` / `call_tool`) failed.
+    Host { message: String },
+}
+
+impl ScriptError {
+    pub fn runtime(span: Span, message: impl Into<String>) -> ScriptError {
+        ScriptError::Runtime { span, message: message.into() }
+    }
+
+    /// Short classification used by failure reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScriptError::Lex { .. } => "lex",
+            ScriptError::Parse { .. } => "parse",
+            ScriptError::Runtime { .. } => "runtime",
+            ScriptError::OutOfFuel => "timeout",
+            ScriptError::Host { .. } => "host",
+        }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            ScriptError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            ScriptError::Runtime { span, message } => {
+                write!(f, "runtime error at {span}: {message}")
+            }
+            ScriptError::OutOfFuel => write!(f, "execution exceeded its fuel budget"),
+            ScriptError::Host { message } => write!(f, "host call failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7, 1);
+        let b = Span::new(10, 14, 2);
+        assert_eq!(a.merge(b), Span::new(3, 14, 1));
+        assert_eq!(b.merge(a), Span::new(3, 14, 1));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let err = ScriptError::runtime(Span::new(0, 1, 12), "bad index");
+        assert!(err.to_string().contains("line 12"));
+        assert!(err.to_string().contains("bad index"));
+        assert_eq!(err.kind(), "runtime");
+        assert_eq!(ScriptError::OutOfFuel.kind(), "timeout");
+    }
+}

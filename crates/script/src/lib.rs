@@ -1,0 +1,64 @@
+//! # lingua-script — MangaScript
+//!
+//! A small, dynamically-typed, interpreted language. In the Lingua Manga
+//! reproduction this is the language that **LLM-generated code (LLMGC)
+//! modules** are written in: the simulated LLM emits MangaScript programs,
+//! the `lingua-core` Validator executes them on test cases, observes real
+//! failures, and drives the suggest-and-regenerate repair loop from §3.2 of
+//! the paper.
+//!
+//! Design goals:
+//!
+//! * **Real execution** — a tree-walking interpreter with a *fuel* budget so
+//!   buggy generated code (infinite loops included) is safely bounded; fuel
+//!   exhaustion is the paper's validation "timeout".
+//! * **Host bridge** — programs can `call_llm(prompt)`, `call_module(name,
+//!   input)`, and `call_tool(name, args...)`, which is how LLMGC modules use
+//!   the LLM as an external tool and compose with other modules (§3.1).
+//! * **Printable ASTs** — [`pretty`] renders any program back to source, so
+//!   generated code is inspectable and `parse ∘ pretty` is the identity
+//!   (property-tested).
+//!
+//! ## Example
+//!
+//! ```
+//! use lingua_script::{parse, Interpreter, NoHost, Value};
+//!
+//! let program = parse(r#"
+//!     fn double_positive(xs) {
+//!         let out = [];
+//!         for x in xs {
+//!             if x > 0 { push(out, x * 2); }
+//!         }
+//!         return out;
+//!     }
+//! "#).unwrap();
+//! let mut interp = Interpreter::new(&program);
+//! let result = interp
+//!     .call(&mut NoHost, "double_positive", vec![Value::List(vec![
+//!         Value::Int(3), Value::Int(-1), Value::Int(5),
+//!     ])])
+//!     .unwrap();
+//! assert_eq!(result, Value::List(vec![Value::Int(6), Value::Int(10)]));
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+pub mod value;
+
+pub use ast::{BinOp, Expr, FnDecl, Program, Stmt, UnOp};
+pub use error::{ScriptError, Span};
+pub use interp::{Host, Interpreter, NoHost};
+pub use value::Value;
+
+/// Parse MangaScript source into a [`Program`].
+pub fn parse(source: &str) -> Result<Program, ScriptError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_tokens(&tokens)
+}

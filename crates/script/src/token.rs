@@ -1,0 +1,99 @@
+//! Tokens.
+
+use crate::error::Span;
+
+/// The kinds of token MangaScript knows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals & identifiers
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+
+    // Keywords
+    Fn,
+    Let,
+    If,
+    Else,
+    While,
+    For,
+    In,
+    Return,
+    Break,
+    Continue,
+    True,
+    False,
+    Null,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for identifiers.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "fn" => TokenKind::Fn,
+            "let" => TokenKind::Let,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "in" => TokenKind::In,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "null" => TokenKind::Null,
+            _ => return None,
+        })
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("fn"), Some(TokenKind::Fn));
+        assert_eq!(TokenKind::keyword("return"), Some(TokenKind::Return));
+        assert_eq!(TokenKind::keyword("banana"), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests: `parse(pretty(ast))` is the identity (modulo spans), and
+//! the interpreter never panics on arbitrary small programs.
+
+use lingua_script::{ast::*, parse, pretty, Interpreter, NoHost, Value};
+use proptest::prelude::*;
+
+fn span() -> Span {
+    Span::default()
+}
+
+use lingua_script::error::Span;
+
+/// Generator for identifiers that are not keywords or builtin special forms.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "fn" | "let" | "if" | "else" | "while" | "for" | "in" | "return" | "break"
+                | "continue" | "true" | "false" | "null" | "push" | "pop" | "insert" | "delete"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Null(span())),
+        any::<bool>().prop_map(|b| Expr::Bool(b, span())),
+        (-1000i64..1000).prop_map(|i| Expr::Int(i, span())),
+        (-100.0f64..100.0)
+            .prop_map(|f| Expr::Float((f * 8.0).round() / 8.0, span())),
+        "[ -~]{0,12}".prop_map(|s| Expr::Str(s, span())),
+    ]
+}
+
+fn expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), ident().prop_map(|n| Expr::Var(n, span()))];
+    leaf.prop_recursive(depth, 32, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(|items| Expr::List(items, span())),
+            prop::collection::vec(("[a-z]{1,4}", inner.clone()), 0..3)
+                .prop_map(|pairs| Expr::Map(pairs, span())),
+            (inner.clone(), inner.clone(), binop()).prop_map(|(l, r, op)| Expr::Binary(
+                op,
+                Box::new(l),
+                Box::new(r),
+                span()
+            )),
+            (inner.clone(), unop())
+                .prop_map(|(e, op)| Expr::Unary(op, Box::new(e), span())),
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Call(name, args, span())),
+            (inner.clone(), inner).prop_map(|(b, i)| Expr::Index(
+                Box::new(b),
+                Box::new(i),
+                span()
+            )),
+        ]
+    })
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)]
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let simple = prop_oneof![
+        (ident(), expr(2)).prop_map(|(name, value)| Stmt::Let { name, value, span: span() }),
+        expr(2).prop_map(Stmt::Expr),
+        prop::option::of(expr(2)).prop_map(|value| Stmt::Return { value, span: span() }),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    prop_oneof![
+        simple,
+        (expr(1), prop::collection::vec(stmt(depth - 1), 0..3), prop::collection::vec(stmt(depth - 1), 0..2))
+            .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span: span()
+            }),
+        (ident(), expr(1), prop::collection::vec(stmt(depth - 1), 0..3)).prop_map(
+            |(var, iterable, body)| Stmt::For { var, iterable, body, span: span() }
+        ),
+    ]
+    .boxed()
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        (ident(), prop::collection::vec(ident(), 0..3), prop::collection::vec(stmt(2), 0..5)),
+        1..3,
+    )
+    .prop_map(|fns| Program {
+        functions: fns
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, params, body))| {
+                let mut unique_params = params;
+                unique_params.dedup();
+                FnDecl {
+                    // Ensure unique function names.
+                    name: format!("{name}_{i}"),
+                    params: unique_params,
+                    body,
+                    span: span(),
+                }
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn pretty_parse_roundtrip(p in program()) {
+        let printed = pretty::program(&p);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        // Printing again must be a fixed point.
+        prop_assert_eq!(pretty::program(&reparsed), printed);
+    }
+
+    #[test]
+    fn interpreter_never_panics(p in program(), arg in -50i64..50) {
+        // Run every function with the right arity; errors are fine, panics are not.
+        for f in &p.functions {
+            let args: Vec<Value> = f.params.iter().map(|_| Value::Int(arg)).collect();
+            let mut interp = Interpreter::new(&p).with_fuel(20_000);
+            let _ = interp.call(&mut NoHost, &f.name, args);
+        }
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_input(src in "[ -~\n\t]{0,80}") {
+        let _ = parse(&src);
+    }
+}

@@ -1,0 +1,124 @@
+//! Anomaly detection over numeric columns — another of the introduction's
+//! "extra tasks", implemented as a built-in custom module: robust z-scores
+//! (median / MAD) flag outlying cells.
+
+use lingua_dataset::Table;
+
+/// One flagged cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    pub row: usize,
+    pub column: String,
+    pub value: f64,
+    /// Robust z-score magnitude.
+    pub score: f64,
+}
+
+/// Detect numeric outliers in `column` with |robust z| above `threshold`.
+pub fn detect_numeric(
+    table: &Table,
+    column: &str,
+    threshold: f64,
+) -> Result<Vec<Anomaly>, lingua_dataset::DataError> {
+    let values = table.column(column)?;
+    let numeric: Vec<(usize, f64)> = values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.as_f64().map(|x| (i, x)))
+        .collect();
+    if numeric.len() < 4 {
+        return Ok(vec![]);
+    }
+    let mut sorted: Vec<f64> = numeric.iter().map(|(_, x)| *x).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let mut deviations: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = deviations[deviations.len() / 2].max(1e-9);
+    // 1.4826 makes MAD comparable to a standard deviation under normality.
+    let scale = 1.4826 * mad;
+
+    Ok(numeric
+        .into_iter()
+        .filter_map(|(row, value)| {
+            let score = ((value - median) / scale).abs();
+            (score > threshold).then(|| Anomaly { row, column: column.to_string(), value, score })
+        })
+        .collect())
+}
+
+/// Scan every column that holds numbers; returns anomalies across columns.
+pub fn detect_all(table: &Table, threshold: f64) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    for name in table.schema().names() {
+        if let Ok(mut found) = detect_numeric(table, name, threshold) {
+            out.append(&mut found);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::csv;
+
+    fn table() -> Table {
+        csv::read_str(
+            "prices",
+            "name,price\na,10.0\nb,11.0\nc,9.5\nd,10.5\ne,9.9\nf,999.0\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flags_the_outlier() {
+        let anomalies = detect_numeric(&table(), "price", 5.0).unwrap();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].row, 5);
+        assert_eq!(anomalies[0].value, 999.0);
+        assert!(anomalies[0].score > 5.0);
+    }
+
+    #[test]
+    fn clean_data_has_no_anomalies() {
+        let t = csv::read_str("t", "x\n1.0\n1.1\n0.9\n1.05\n0.95\n").unwrap();
+        assert!(detect_numeric(&t, "x", 6.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn too_few_points_returns_empty() {
+        let t = csv::read_str("t", "x\n1\n2\n").unwrap();
+        assert!(detect_numeric(&t, "x", 3.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_numeric_columns_are_skipped_by_detect_all() {
+        let anomalies = detect_all(&table(), 5.0);
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].column, "price");
+    }
+
+    #[test]
+    fn constant_column_with_one_jump() {
+        let t = csv::read_str("t", "x\n5\n5\n5\n5\n5\n100\n").unwrap();
+        let anomalies = detect_numeric(&t, "x", 3.0).unwrap();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].value, 100.0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(detect_numeric(&table(), "nope", 3.0).is_err());
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let t = csv::read_str("t", "x\n1\n\n1.2\n0.8\n1.1\n50\n").unwrap();
+        let anomalies = detect_numeric(&t, "x", 3.0).unwrap();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].value, 50.0);
+        // Row indices refer to the original table, nulls included.
+        assert_eq!(anomalies[0].row, 5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Token blocking: the classic quadratic-blowup killer for full-table
+//! deduplication. Candidate pairs are generated only for records sharing a
+//! (non-stopword-ish) token in a chosen key column; everything else is
+//! pruned without any matcher call — which is what keeps the LLM bill sane
+//! when a pipeline runs over whole tables instead of pre-paired benchmarks.
+
+use lingua_dataset::Table;
+use lingua_ml::textsim::tokens;
+use std::collections::BTreeMap;
+
+/// Candidate pair generation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingStats {
+    pub total_pairs: usize,
+    pub candidate_pairs: usize,
+}
+
+impl BlockingStats {
+    /// Fraction of the full cross-product pruned away.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.total_pairs == 0 {
+            return 0.0;
+        }
+        1.0 - self.candidate_pairs as f64 / self.total_pairs as f64
+    }
+}
+
+/// Generate candidate row-index pairs for deduplicating `table`, blocking on
+/// shared tokens of `key_column`. Tokens occurring in more than
+/// `max_block_size` rows are considered stop-tokens and skipped.
+pub fn token_blocking(
+    table: &Table,
+    key_column: &str,
+    max_block_size: usize,
+) -> Result<(Vec<(usize, usize)>, BlockingStats), lingua_dataset::DataError> {
+    let column = table.column(key_column)?;
+    let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (row, value) in column.iter().enumerate() {
+        for token in tokens(&value.render()) {
+            blocks.entry(token).or_default().push(row);
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    let mut pairs = Vec::new();
+    for rows in blocks.values() {
+        if rows.len() > max_block_size {
+            continue; // stop-token block
+        }
+        for (i, &a) in rows.iter().enumerate() {
+            for &b in &rows[i + 1..] {
+                if seen.insert((a, b)) {
+                    pairs.push((a, b));
+                }
+            }
+        }
+    }
+    let n = table.len();
+    let stats =
+        BlockingStats { total_pairs: n * n.saturating_sub(1) / 2, candidate_pairs: pairs.len() };
+    Ok((pairs, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::csv;
+
+    fn table() -> Table {
+        csv::read_str(
+            "beers",
+            "beer_name,brewery\n\
+             Hoppy Badger,Stonegate\n\
+             Hoppy Badgr,Stonegate\n\
+             Golden Lantern,Riverbend\n\
+             Golden Lantern Ale,Riverbend\n\
+             Midnight Anvil,Halfmoon\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn blocking_keeps_shared_token_pairs() {
+        let (pairs, stats) = token_blocking(&table(), "beer_name", 10).unwrap();
+        // (0,1) share "hoppy"; (2,3) share "golden"/"lantern"; row 4 is alone.
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(2, 3)));
+        assert!(!pairs.iter().any(|&(a, b)| a == 4 || b == 4));
+        assert_eq!(stats.total_pairs, 10);
+        assert!(stats.candidate_pairs < stats.total_pairs);
+        assert!(stats.reduction_ratio() > 0.5);
+    }
+
+    #[test]
+    fn stop_tokens_are_skipped() {
+        let t = csv::read_str(
+            "t",
+            "name\nale house one\nale house two\nale house three\nale house four\n",
+        )
+        .unwrap();
+        // Every row shares "ale" and "house": with max_block_size 3 those
+        // blocks are skipped, leaving no candidates.
+        let (pairs, _) = token_blocking(&t, "name", 3).unwrap();
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn pairs_are_deduplicated_across_blocks() {
+        let (pairs, _) = token_blocking(&table(), "beer_name", 10).unwrap();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pairs.len());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(token_blocking(&table(), "nope", 10).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Simulated Magellan: the classic-ML entity matcher — a random forest over
+//! hand-crafted string-similarity features, trained on the labeled split.
+//! Plays the "Magellan" column of Table 1.
+
+use crate::er::{record_fields, PairMatcher};
+use lingua_core::ExecContext;
+use lingua_dataset::labels::PairSplit;
+use lingua_dataset::{Record, Schema};
+use lingua_ml::features::pair_features;
+use lingua_ml::forest::{ForestConfig, RandomForest};
+use lingua_ml::Example;
+
+/// A trained Magellan-style matcher.
+pub struct MagellanMatcher {
+    forest: RandomForest,
+}
+
+impl MagellanMatcher {
+    /// Train on the split's train+valid pairs.
+    pub fn train(split: &PairSplit, seed: u64) -> MagellanMatcher {
+        let examples: Vec<Example> = split
+            .train
+            .iter()
+            .chain(&split.valid)
+            .map(|pair| {
+                Example::new(
+                    pair_features(&record_fields(&pair.left), &record_fields(&pair.right)),
+                    usize::from(pair.label),
+                )
+            })
+            .collect();
+        assert!(!examples.is_empty(), "magellan needs labeled pairs");
+        let forest = RandomForest::train(
+            &examples,
+            &ForestConfig { n_trees: 30, seed, ..Default::default() },
+        );
+        MagellanMatcher { forest }
+    }
+}
+
+impl PairMatcher for MagellanMatcher {
+    fn name(&self) -> &str {
+        "magellan"
+    }
+
+    fn predict(
+        &mut self,
+        _schema: &Schema,
+        left: &Record,
+        right: &Record,
+        _ctx: &mut ExecContext,
+    ) -> bool {
+        let features = pair_features(&record_fields(left), &record_fields(right));
+        self.forest.predict_proba(&features) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::evaluate;
+    use lingua_dataset::generators::er::{generate, ErDataset};
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    #[test]
+    fn magellan_learns_fodors_zagats_well() {
+        let world = WorldSpec::generate(21);
+        let split = generate(&world, ErDataset::FodorsZagats, 7);
+        let mut matcher = MagellanMatcher::train(&split, 0);
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 21)));
+        let confusion = evaluate(&mut matcher, &split, &mut ctx);
+        assert!(confusion.f1() > 0.85, "f1 {}", confusion.f1());
+        // No LLM involvement at all.
+        assert_eq!(ctx.llm.usage().calls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labeled pairs")]
+    fn empty_split_panics() {
+        let split = PairSplit::from_fractions(Schema::of_names(["a"]), vec![], 0.6, 0.2);
+        MagellanMatcher::train(&split, 0);
+    }
+}

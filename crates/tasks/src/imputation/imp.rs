@@ -1,0 +1,75 @@
+//! Simulated IMP ("Capturing Semantics for Imputation with Pre-trained
+//! Language Models", ICDE'21): a supervised text classifier trained on
+//! *thousands* of labeled products. Played here by multinomial naive Bayes
+//! over product text — it reads inside the text (unlike HoloClean), so brand
+//! tokens and recurring product-line tokens both transfer to fresh rows.
+
+use crate::imputation::Imputer;
+use lingua_core::ExecContext;
+use lingua_ml::naive_bayes::NaiveBayes;
+
+/// The supervised imputer.
+pub struct ImpImputer {
+    model: NaiveBayes,
+    pub training_examples: usize,
+}
+
+impl ImpImputer {
+    /// Train on labeled `(name, description, manufacturer)` rows.
+    pub fn train(catalogue: &[(String, String, String)]) -> ImpImputer {
+        let texts: Vec<(String, &str)> = catalogue
+            .iter()
+            .map(|(name, description, manufacturer)| {
+                (format!("{name} {description}"), manufacturer.as_str())
+            })
+            .collect();
+        let model = NaiveBayes::train(texts.iter().map(|(text, m)| (text.as_str(), *m)));
+        ImpImputer { model, training_examples: catalogue.len() }
+    }
+}
+
+impl Imputer for ImpImputer {
+    fn name(&self) -> &str {
+        "imp"
+    }
+
+    fn impute(&mut self, name: &str, description: &str, _ctx: &mut ExecContext) -> String {
+        self.model.predict(&format!("{name} {description}")).0.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imputation::evaluate;
+    use lingua_dataset::generators::imputation::{generate, training_catalogue};
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    #[test]
+    fn imp_with_thousands_of_labels_is_strong() {
+        let world = WorldSpec::generate(33);
+        let benchmark = generate(&world, 1);
+        let catalogue = training_catalogue(&world, 4000);
+        let mut imputer = ImpImputer::train(&catalogue);
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 33)));
+        let outcome = evaluate(&mut imputer, &benchmark, &mut ctx);
+        assert!(outcome.accuracy() > 0.9, "imp accuracy {}", outcome.accuracy());
+        assert_eq!(outcome.llm_calls, 0);
+        assert_eq!(imputer.training_examples, 4000);
+    }
+
+    #[test]
+    fn imp_degrades_with_few_labels() {
+        let world = WorldSpec::generate(34);
+        let benchmark = generate(&world, 1);
+        let few = training_catalogue(&world, 4000);
+        let mut big = ImpImputer::train(&few);
+        let mut small = ImpImputer::train(&few[..50]);
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 34)));
+        let acc_big = evaluate(&mut big, &benchmark, &mut ctx).accuracy();
+        let acc_small = evaluate(&mut small, &benchmark, &mut ctx).accuracy();
+        assert!(acc_big > acc_small + 0.1, "big {acc_big} vs small {acc_small}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Multilingual name extraction (§4.2, Figure 3).
+//!
+//! The domain expert's pipeline: tokenize (LLMGC) → noun-phrase extraction
+//! (LLMGC) → tagging (LLM module). The monolingual build assumes English and
+//! degrades badly on multilingual passages; the fix — an LLM language-
+//! detection module plus multilingual tools for the generated extractor and a
+//! language hint for the tagger — restores accuracy. The tagger can further
+//! be wrapped in the Simulator to slash LLM calls.
+
+pub mod pipeline;
+
+pub use pipeline::{NameExtractionConfig, NameExtractionPipeline, NameExtractionScore};

@@ -1,0 +1,364 @@
+//! The three-operator name-extraction pipeline and its evaluation harness.
+
+use lingua_core::modules::{LlmModule, LlmgcModule, Module, PromptBuilder};
+use lingua_core::optimizer::{
+    Simulated, SimulatorConfig, StudentKind, TestCase, ValidationOutcome, Validator,
+};
+use lingua_core::tools::stopwords_tool_from_world;
+use lingua_core::validation::OutputValidator;
+use lingua_core::{CoreError, Data, ExecContext};
+use lingua_dataset::generators::names::Passage;
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::CodeGenSpec;
+
+/// Pipeline construction options.
+#[derive(Debug, Clone, Default)]
+pub struct NameExtractionConfig {
+    /// §4.2's fix: language detection + multilingual tools + tagger hints.
+    pub multilingual: bool,
+    /// Wrap the tagger in the Simulator for cost reduction.
+    pub simulate_tagger: bool,
+}
+
+/// Micro-averaged extraction scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NameExtractionScore {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub llm_calls: u64,
+}
+
+/// The assembled pipeline.
+pub struct NameExtractionPipeline {
+    tokenizer: LlmgcModule,
+    extractor: LlmgcModule,
+    tagger: Box<dyn Module>,
+    langdetect: Option<LlmModule>,
+    multilingual: bool,
+}
+
+impl NameExtractionPipeline {
+    /// Generate and validate the pipeline's modules. For the multilingual
+    /// build, the `stopwords` tool must be available — register it with
+    /// [`register_tools`] first.
+    pub fn build(
+        ctx: &mut ExecContext,
+        config: &NameExtractionConfig,
+    ) -> Result<NameExtractionPipeline, CoreError> {
+        // 1. Tokenizer (LLMGC + validator).
+        let tokenizer_spec = CodeGenSpec {
+            task: "tokenize the text into words".into(),
+            function_name: "process".into(),
+            hints: vec![],
+        };
+        let mut tokenizer = LlmgcModule::generate("tokenize", tokenizer_spec, ctx)?;
+        let validator = Validator::new(tokenizer_cases()).with_budgets(4, 2);
+        let report = validator.validate_and_fix(&mut tokenizer, ctx)?;
+        if report.outcome != ValidationOutcome::Passed {
+            return Err(CoreError::ValidationExhausted {
+                module: "tokenize".into(),
+                cycles: report.cycles,
+                regenerations: report.regenerations,
+            });
+        }
+
+        // 2. Noun-phrase extractor (LLMGC + validator; multilingual variant
+        //    pulls stopwords from the tool registry per language).
+        let extractor_spec = CodeGenSpec {
+            task: "extract noun phrases: group consecutive capitalized tokens".into(),
+            function_name: "process".into(),
+            hints: if config.multilingual {
+                vec!["multilingual".into(), "tool:stopwords".into()]
+            } else {
+                vec![]
+            },
+        };
+        let mut extractor = LlmgcModule::generate("extract_noun_phrases", extractor_spec, ctx)?;
+        let validator =
+            Validator::new(extractor_cases(config.multilingual)).with_budgets(4, 2);
+        let report = validator.validate_and_fix(&mut extractor, ctx)?;
+        if report.outcome != ValidationOutcome::Passed {
+            return Err(CoreError::ValidationExhausted {
+                module: "extract_noun_phrases".into(),
+                cycles: report.cycles,
+                regenerations: report.regenerations,
+            });
+        }
+
+        // 3. Tagger (LLM module; language-hinted when multilingual).
+        let template = if config.multilingual {
+            "Is the following phrase a person name?\nLanguage: {language}\nText: {phrase}"
+        } else {
+            "Is the following phrase a person name?\nText: {phrase}"
+        };
+        let tagger_module = LlmModule::new(
+            "tag_names",
+            PromptBuilder::Template { template: template.into() },
+            OutputValidator::YesNo,
+        );
+        let tagger: Box<dyn Module> = if config.simulate_tagger {
+            // Tagging judgments are cheap to get wrong individually, so the
+            // takeover policy is tuned for throughput: a slightly lower
+            // accuracy bar and confidence gate than the defaults.
+            Box::new(Simulated::new(
+                Box::new(tagger_module),
+                StudentKind::Binary,
+                SimulatorConfig {
+                    takeover_accuracy: 0.85,
+                    confidence_threshold: 0.45,
+                    ..Default::default()
+                },
+            ))
+        } else {
+            Box::new(tagger_module)
+        };
+
+        // 4. Language detection (multilingual only).
+        let langdetect = config.multilingual.then(|| {
+            LlmModule::new(
+                "detect_language",
+                PromptBuilder::TextTask {
+                    description: "What language is this text?".into(),
+                    payload_label: "Text".into(),
+                    extra_lines: vec![],
+                },
+                OutputValidator::LanguageCode,
+            )
+        });
+
+        Ok(NameExtractionPipeline {
+            tokenizer,
+            extractor,
+            tagger,
+            langdetect,
+            multilingual: config.multilingual,
+        })
+    }
+
+    /// Extract person names from one passage.
+    pub fn extract(
+        &mut self,
+        passage: &str,
+        ctx: &mut ExecContext,
+    ) -> Result<Vec<String>, CoreError> {
+        let language = match &mut self.langdetect {
+            Some(module) => match module.invoke(Data::Str(passage.to_string()), ctx)? {
+                Data::Str(code) => code,
+                _ => "en".to_string(),
+            },
+            None => "en".to_string(),
+        };
+
+        let tokens = self.tokenizer.invoke(Data::Str(passage.to_string()), ctx)?;
+        let phrases_input = if self.multilingual {
+            Data::map([
+                ("tokens".to_string(), tokens),
+                ("language".to_string(), Data::Str(language.clone())),
+            ])
+        } else {
+            tokens
+        };
+        let phrases = self.extractor.invoke(phrases_input, ctx)?;
+        let Data::List(phrases) = phrases else {
+            return Err(CoreError::DataShape {
+                expected: "list of phrases",
+                got: phrases.type_name().into(),
+            });
+        };
+
+        let mut names = Vec::new();
+        for phrase in phrases {
+            let Data::Str(phrase) = phrase else { continue };
+            let input = Data::map([
+                ("phrase".to_string(), Data::Str(phrase.clone())),
+                ("language".to_string(), Data::Str(language.clone())),
+            ]);
+            if let Data::Bool(true) = self.tagger.invoke(input, ctx)? {
+                names.push(phrase);
+            }
+        }
+        Ok(names)
+    }
+
+    /// Micro-averaged precision/recall/F1 over a corpus, with LLM metering.
+    pub fn evaluate(
+        &mut self,
+        corpus: &[Passage],
+        ctx: &mut ExecContext,
+    ) -> Result<NameExtractionScore, CoreError> {
+        let calls_before = ctx.llm.usage().calls;
+        let (mut tp, mut predicted_total, mut gold_total) = (0usize, 0usize, 0usize);
+        for passage in corpus {
+            let predicted = self.extract(&passage.text, ctx)?;
+            predicted_total += predicted.len();
+            gold_total += passage.person_names.len();
+            let mut gold_pool = passage.person_names.clone();
+            for name in predicted {
+                if let Some(pos) = gold_pool.iter().position(|g| *g == name) {
+                    gold_pool.remove(pos);
+                    tp += 1;
+                }
+            }
+        }
+        let precision = if predicted_total == 0 { 0.0 } else { tp as f64 / predicted_total as f64 };
+        let recall = if gold_total == 0 { 0.0 } else { tp as f64 / gold_total as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Ok(NameExtractionScore {
+            precision,
+            recall,
+            f1,
+            llm_calls: ctx.llm.usage().calls - calls_before,
+        })
+    }
+
+    /// The simulator statistics when built with `simulate_tagger`.
+    pub fn tagger_description(&self) -> String {
+        self.tagger.describe()
+    }
+}
+
+/// Register the multilingual tools the pipeline needs.
+pub fn register_tools(ctx: &mut ExecContext, world: &WorldSpec) {
+    ctx.tools.register("stopwords", stopwords_tool_from_world(world));
+}
+
+fn str_list(items: &[&str]) -> Data {
+    Data::List(items.iter().map(|s| Data::Str(s.to_string())).collect())
+}
+
+fn tokenizer_cases() -> Vec<TestCase> {
+    vec![
+        TestCase::new(
+            Data::Str("Hello, world!".into()),
+            str_list(&["Hello", "world"]),
+        ),
+        TestCase::new(
+            Data::Str("I saw a cat".into()),
+            str_list(&["I", "saw", "a", "cat"]),
+        ),
+        TestCase::new(Data::Null, Data::List(vec![])),
+    ]
+}
+
+fn extractor_cases(multilingual: bool) -> Vec<TestCase> {
+    let wrap = |tokens: &[&str]| -> Data {
+        if multilingual {
+            Data::map([
+                ("tokens".to_string(), str_list(tokens)),
+                ("language".to_string(), Data::Str("en".into())),
+            ])
+        } else {
+            str_list(tokens)
+        }
+    };
+    vec![
+        // Catches TruncatedStopwords ("Yesterday" must be filtered) and the
+        // general grouping logic.
+        TestCase::new(
+            wrap(&["Yesterday", "John", "Smith", "met", "the", "board"]),
+            str_list(&["John Smith"]),
+        ),
+        // Catches EagerReturn (two phrases required) and MissingLowercase
+        // ("The" must be filtered case-insensitively).
+        TestCase::new(
+            wrap(&["The", "board", "met", "Mary", "Brown", "and", "Lee", "Wong"]),
+            str_list(&["Mary Brown", "Lee Wong"]),
+        ),
+        TestCase::new(wrap(&[]), Data::List(vec![])),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::generators::names::{generate, NamesConfig};
+    use lingua_dataset::world::Language;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    fn setup(seed: u64) -> (WorldSpec, ExecContext) {
+        let world = WorldSpec::generate(seed);
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, seed)));
+        register_tools(&mut ctx, &world);
+        (world, ctx)
+    }
+
+    #[test]
+    fn monolingual_pipeline_works_on_english() {
+        let (world, mut ctx) = setup(40);
+        let config = NamesConfig {
+            passages: 20,
+            language_mix: vec![(Language::English, 1.0)],
+            sentences: (1, 2),
+        };
+        let corpus = generate(&world, &config, 5);
+        let mut pipeline =
+            NameExtractionPipeline::build(&mut ctx, &NameExtractionConfig::default()).unwrap();
+        let score = pipeline.evaluate(&corpus, &mut ctx).unwrap();
+        assert!(score.f1 > 0.75, "english f1 {score:?}");
+    }
+
+    #[test]
+    fn monolingual_pipeline_degrades_on_multilingual_data() {
+        let (world, mut ctx) = setup(41);
+        let corpus = generate(&world, &NamesConfig { passages: 40, ..Default::default() }, 5);
+        let mut mono =
+            NameExtractionPipeline::build(&mut ctx, &NameExtractionConfig::default()).unwrap();
+        let mono_score = mono.evaluate(&corpus, &mut ctx).unwrap();
+        let mut multi = NameExtractionPipeline::build(
+            &mut ctx,
+            &NameExtractionConfig { multilingual: true, simulate_tagger: false },
+        )
+        .unwrap();
+        let multi_score = multi.evaluate(&corpus, &mut ctx).unwrap();
+        assert!(
+            multi_score.f1 > mono_score.f1 + 0.15,
+            "multilingual {multi_score:?} should clearly beat monolingual {mono_score:?}"
+        );
+        assert!(multi_score.f1 > 0.75, "{multi_score:?}");
+    }
+
+    #[test]
+    fn simulated_tagger_cuts_llm_calls() {
+        let (world, mut ctx) = setup(42);
+        let corpus = generate(&world, &NamesConfig { passages: 120, ..Default::default() }, 5);
+        let mut plain = NameExtractionPipeline::build(
+            &mut ctx,
+            &NameExtractionConfig { multilingual: true, simulate_tagger: false },
+        )
+        .unwrap();
+        let plain_score = plain.evaluate(&corpus, &mut ctx).unwrap();
+        let mut simulated = NameExtractionPipeline::build(
+            &mut ctx,
+            &NameExtractionConfig { multilingual: true, simulate_tagger: true },
+        )
+        .unwrap();
+        let sim_score = simulated.evaluate(&corpus, &mut ctx).unwrap();
+        assert!(
+            sim_score.llm_calls < plain_score.llm_calls * 3 / 4,
+            "simulator should cut calls: {} vs {}",
+            sim_score.llm_calls,
+            plain_score.llm_calls
+        );
+        assert!(
+            sim_score.f1 > plain_score.f1 - 0.08,
+            "accuracy must hold: {sim_score:?} vs {plain_score:?}"
+        );
+    }
+
+    #[test]
+    fn extract_returns_names_in_passage_order() {
+        let (_world, mut ctx) = setup(43);
+        let mut pipeline =
+            NameExtractionPipeline::build(&mut ctx, &NameExtractionConfig::default()).unwrap();
+        let names = pipeline
+            .extract("Yesterday James Smith met with Mary Johnson about the budget.", &mut ctx)
+            .unwrap();
+        assert_eq!(names, vec!["James Smith".to_string(), "Mary Johnson".to_string()]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Data discovery via table search: rank catalog tables against a natural-
+//! language query using (metered) LLM embeddings — the "data discovery
+//! through table search" task of the paper's introduction.
+
+use lingua_core::ExecContext;
+use lingua_dataset::Table;
+use lingua_llm_sim::embeddings::rank_by_similarity;
+
+/// A searchable index over registered tables.
+pub struct TableIndex {
+    names: Vec<String>,
+    embeddings: Vec<Vec<f64>>,
+}
+
+/// Render the text that represents a table for indexing: name, column names,
+/// and a small sample of cell values (the head rows only — data minimization).
+pub fn table_signature(table: &Table, sample_rows: usize) -> String {
+    let mut text = format!("table {} columns {}", table.name(), table.schema().names().collect::<Vec<_>>().join(" "));
+    for row in table.rows().iter().take(sample_rows) {
+        text.push(' ');
+        text.push_str(&row.describe(table.schema()));
+    }
+    text
+}
+
+impl TableIndex {
+    /// Index tables (embeds one signature per table).
+    pub fn build(tables: &[&Table], ctx: &mut ExecContext) -> TableIndex {
+        let mut names = Vec::with_capacity(tables.len());
+        let mut embeddings = Vec::with_capacity(tables.len());
+        for table in tables {
+            names.push(table.name().to_string());
+            embeddings.push(ctx.llm.embed(&table_signature(table, 3)));
+        }
+        TableIndex { names, embeddings }
+    }
+
+    /// Rank tables for a query; returns `(table name, similarity)` pairs,
+    /// best first.
+    pub fn search(&self, query: &str, ctx: &mut ExecContext) -> Vec<(String, f64)> {
+        let query_embedding = ctx.llm.embed(query);
+        rank_by_similarity(&query_embedding, &self.embeddings)
+            .into_iter()
+            .map(|(i, score)| (self.names[i].clone(), score))
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::csv;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    fn tables() -> Vec<Table> {
+        vec![
+            csv::read_str(
+                "beers",
+                "beer_name,brewery,style,abv\nHoppy Badger,Stonegate Brewing,American IPA,5.2%\n",
+            )
+            .unwrap(),
+            csv::read_str(
+                "restaurants",
+                "name,addr,city,phone,cuisine\nCafe Luna,12 Main St.,boston,555-111-2222,italian\n",
+            )
+            .unwrap(),
+            csv::read_str(
+                "songs",
+                "song_name,artist_name,album_name,genre\nMidnight Hearts,Ivy Parade,Neon Rivers,Pop\n",
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn search_ranks_the_relevant_table_first() {
+        let world = WorldSpec::generate(45);
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 45)));
+        let tables = tables();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let index = TableIndex::build(&refs, &mut ctx);
+        assert_eq!(index.len(), 3);
+        let hits = index.search("find tables about beer styles and breweries", &mut ctx);
+        assert_eq!(hits[0].0, "beers", "{hits:?}");
+        let hits = index.search("restaurant cuisine and phone numbers by city", &mut ctx);
+        assert_eq!(hits[0].0, "restaurants", "{hits:?}");
+        let hits = index.search("songs by artist and album", &mut ctx);
+        assert_eq!(hits[0].0, "songs", "{hits:?}");
+    }
+
+    #[test]
+    fn signature_limits_data_exposure() {
+        let table = csv::read_str("t", "a\n1\n2\n3\n4\n5\n").unwrap();
+        let signature = table_signature(&table, 2);
+        assert!(signature.contains("a: 1"));
+        assert!(!signature.contains("a: 5"), "{signature}");
+    }
+
+    #[test]
+    fn embeddings_are_metered() {
+        use lingua_llm_sim::LlmService;
+        let world = WorldSpec::generate(46);
+        let ctx_llm = Arc::new(SimLlm::with_seed(&world, 46));
+        let mut ctx = ExecContext::new(ctx_llm.clone());
+        let tables = tables();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let _index = TableIndex::build(&refs, &mut ctx);
+        assert!(ctx_llm.usage().tokens_in > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Data imputation — the §4.3 story: an expert programmer optimizes a
+//! manufacturer-imputation solution "at all costs": LLM-generated rules with
+//! an LLM fallback, validated (functionally *and* against an LLM-call
+//! budget), then compared with the pure-LLM module on both accuracy and
+//! spend.
+//!
+//! ```text
+//! cargo run --release -p lingua-tasks --example data_imputation
+//! ```
+
+use lingua_core::ExecContext;
+use lingua_dataset::generators::imputation::generate;
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{LlmService, SimLlm};
+use lingua_tasks::imputation::evaluate;
+use lingua_tasks::imputation::lingua::{register_tools, LinguaImputer};
+use lingua_tasks::imputation::llm_only::LlmOnlyImputer;
+use std::sync::Arc;
+
+fn main() {
+    println!("=== Lingua Manga: expert data imputation (Figure 4) ===\n");
+
+    let world = WorldSpec::generate(13);
+    let benchmark = generate(&world, 13);
+    println!(
+        "> Buy-style catalogue: {} products, manufacturer column 100% missing, \
+         {} candidate manufacturers, {:.0}% of rows carry a recoverable brand mention\n",
+        benchmark.len(),
+        benchmark.vocabulary.len(),
+        benchmark.easy_fraction() * 100.0
+    );
+
+    // The expert registers the tools the generated code may call...
+    let llm = Arc::new(SimLlm::with_seed(&world, 13));
+    let mut ctx = ExecContext::new(llm.clone());
+    register_tools(&mut ctx, &benchmark.vocabulary);
+
+    // ...and asks for the module. Generation may produce a buggy first draft;
+    // the Validator's suggest-and-regenerate loop fixes it, including the
+    // "silently always call the LLM" failure the zero-call budget catches.
+    let mut expert = LinguaImputer::build(&mut ctx).expect("validated module");
+    println!("--- the validated LLMGC module ---\n{}", expert.source());
+    println!(
+        "validation: {} cycle(s), {} regeneration(s), failures per round {:?}\n",
+        expert.validation.cycles, expert.validation.regenerations, expert.validation.failure_history
+    );
+
+    // Head-to-head with the pure LLM module.
+    let usage_before = llm.usage();
+    let expert_outcome = evaluate(&mut expert, &benchmark, &mut ctx);
+    let expert_usage = llm.usage().since(&usage_before);
+
+    let usage_before = llm.usage();
+    let mut pure = LlmOnlyImputer::new(benchmark.vocabulary.clone());
+    let pure_outcome = evaluate(&mut pure, &benchmark, &mut ctx);
+    let pure_usage = llm.usage().since(&usage_before);
+
+    println!("--- results ---");
+    println!(
+        "LLMGC rules + LLM fallback: accuracy {:.2}%  {} LLM calls  ${:.4}",
+        expert_outcome.accuracy() * 100.0,
+        expert_outcome.llm_calls,
+        expert_usage.cost_usd(llm.pricing())
+    );
+    println!(
+        "pure LLM module:            accuracy {:.2}%  {} LLM calls  ${:.4}",
+        pure_outcome.accuracy() * 100.0,
+        pure_outcome.llm_calls,
+        pure_usage.cost_usd(llm.pricing())
+    );
+    println!(
+        "\n-> {:.1}x fewer LLM calls at equal-or-better accuracy — the paper's \
+         \"1/6 LLM calls\" observation (94.48% vs 93.92%).",
+        pure_outcome.llm_calls as f64 / expert_outcome.llm_calls.max(1) as f64
+    );
+}

@@ -1,0 +1,92 @@
+//! Name extraction — the §4.2 story: a low-code domain expert composes the
+//! three-operator pipeline (tokenize → noun phrases → tag), watches it
+//! degrade on multilingual data, then fixes it with a language-detection
+//! module + multilingual tools, and finally adds the Simulator to cut the
+//! LLM bill.
+//!
+//! ```text
+//! cargo run --release -p lingua-tasks --example name_extraction
+//! ```
+
+use lingua_core::ExecContext;
+use lingua_dataset::generators::names::{generate, NamesConfig};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::SimLlm;
+use lingua_tasks::names::pipeline::register_tools;
+use lingua_tasks::names::{NameExtractionConfig, NameExtractionPipeline};
+use std::sync::Arc;
+
+fn main() {
+    println!("=== Lingua Manga: multilingual name extraction (Figure 3) ===\n");
+
+    let world = WorldSpec::generate(11);
+    let corpus = generate(&world, &NamesConfig { passages: 120, ..Default::default() }, 11);
+    println!(
+        "> corpus: {} passages across 8 languages (sample: {:?})\n",
+        corpus.len(),
+        &corpus[0].text.chars().take(80).collect::<String>()
+    );
+
+    // -- First build: the English-only pipeline -------------------------------
+    let llm = Arc::new(SimLlm::with_seed(&world, 11));
+    let mut ctx = ExecContext::new(llm);
+    register_tools(&mut ctx, &world);
+    let mut mono = NameExtractionPipeline::build(&mut ctx, &NameExtractionConfig::default())
+        .expect("pipeline builds (validator repairs any generated bugs)");
+    let mono_score = mono.evaluate(&corpus, &mut ctx).expect("evaluation");
+    println!(
+        "monolingual pipeline:      P {:.1}%  R {:.1}%  F1 {:.1}%  ({} LLM calls)",
+        mono_score.precision * 100.0,
+        mono_score.recall * 100.0,
+        mono_score.f1 * 100.0,
+        mono_score.llm_calls
+    );
+    println!("  -> recall collapses on the non-English passages.\n");
+
+    // -- The fix: language detection + multilingual tools ---------------------
+    let mut multi = NameExtractionPipeline::build(
+        &mut ctx,
+        &NameExtractionConfig { multilingual: true, simulate_tagger: false },
+    )
+    .expect("pipeline builds");
+    let multi_score = multi.evaluate(&corpus, &mut ctx).expect("evaluation");
+    println!(
+        "+ langdetect + tools:      P {:.1}%  R {:.1}%  F1 {:.1}%  ({} LLM calls)",
+        multi_score.precision * 100.0,
+        multi_score.recall * 100.0,
+        multi_score.f1 * 100.0,
+        multi_score.llm_calls
+    );
+    println!(
+        "  -> +{:.1} F1 points: \"LINGUA MANGA quickly resolves this issue by \
+         incorporating an LLM language detection module\".\n",
+        (multi_score.f1 - mono_score.f1) * 100.0
+    );
+
+    // -- The economics: wrap the tagger in the Simulator ----------------------
+    let mut simulated = NameExtractionPipeline::build(
+        &mut ctx,
+        &NameExtractionConfig { multilingual: true, simulate_tagger: true },
+    )
+    .expect("pipeline builds");
+    let sim_score = simulated.evaluate(&corpus, &mut ctx).expect("evaluation");
+    println!(
+        "+ simulator on the tagger: P {:.1}%  R {:.1}%  F1 {:.1}%  ({} LLM calls)",
+        sim_score.precision * 100.0,
+        sim_score.recall * 100.0,
+        sim_score.f1 * 100.0,
+        sim_score.llm_calls
+    );
+    println!(
+        "  -> {:.0}% of the calls at {:.1} F1: the ML student tags the confident \
+         phrases; the LLM handles the rest.\n",
+        sim_score.llm_calls as f64 / multi_score.llm_calls.max(1) as f64 * 100.0,
+        sim_score.f1 * 100.0
+    );
+    println!("tagger state: {}", simulated.tagger_description());
+
+    // A concrete extraction, end-to-end.
+    let sample = corpus.iter().find(|p| p.person_names.len() >= 2).unwrap();
+    let names = multi.extract(&sample.text, &mut ctx).expect("extraction");
+    println!("\n> extract({:?})\n  = {:?}  (gold: {:?})", sample.text, names, sample.person_names);
+}

@@ -1,0 +1,66 @@
+//! Quickstart — the §4.1 story: a technical novice deduplicates a beer
+//! catalogue **without writing any code**.
+//!
+//! 1. Search the template registry for a starting point.
+//! 2. Describe the task in plain language (the suggested prompt template).
+//! 3. Run; Lingua Manga compiles the description into an LLM module with
+//!    output validation and judges the pairs.
+//!
+//! ```text
+//! cargo run --release -p lingua-tasks --example quickstart
+//! ```
+
+use lingua_core::templates::TemplateRegistry;
+use lingua_core::ExecContext;
+use lingua_dataset::generators::er::{generate, ErDataset};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{LlmService, SimLlm};
+use lingua_ml::metrics::Confusion;
+use lingua_tasks::er::evaluate;
+use lingua_tasks::er::lingua::{LinguaErConfig, LinguaMatcher};
+use std::sync::Arc;
+
+fn main() {
+    println!("=== Lingua Manga quickstart: entity resolution for a no-code user ===\n");
+
+    // 1. "users can easily search for existing templates within the system"
+    let registry = TemplateRegistry::with_builtins();
+    println!("> search: \"deduplicate matching records\"");
+    for template in registry.search("deduplicate matching records") {
+        println!("  found template `{}` — {}", template.name, template.description);
+    }
+    let template = registry.get("entity_resolution_basic").expect("built-in");
+    println!("\n> the template's pipeline (no code required):\n{}\n", template.pipeline.pretty());
+
+    // 2. Data: a pre-paired beer benchmark stands in for the user's messy
+    //    catalogue (same generator the Table-1 experiment uses).
+    let world = WorldSpec::generate(7);
+    let split = generate(&world, ErDataset::BeerAdvoRateBeer, 7);
+    println!(
+        "> loaded {} candidate pairs ({} for this demo's evaluation)\n",
+        split.total(),
+        split.test.len()
+    );
+
+    // 3. The user provides a task description and a handful of examples; the
+    //    system assembles the validated LLM module.
+    let llm = Arc::new(SimLlm::with_seed(&world, 7));
+    let mut ctx = ExecContext::new(llm.clone());
+    let mut matcher =
+        LinguaMatcher::build(&split.schema, &split.train, &LinguaErConfig::default());
+
+    let confusion: Confusion = evaluate(&mut matcher, &split, &mut ctx);
+    println!("> judged {} pairs with {} LLM call(s)", split.test.len(), llm.usage().calls);
+    println!(
+        "> precision {:.1}%  recall {:.1}%  F1 {:.1}%  (paper Table 1, Lingua Manga on \
+         BeerAdvo-RateBeer: 89.66)",
+        confusion.precision() * 100.0,
+        confusion.recall() * 100.0,
+        confusion.f1() * 100.0
+    );
+    println!(
+        "> spent ${:.4} (simulated) — and only {} labeled examples.",
+        llm.usage().cost_usd(llm.pricing()),
+        LinguaErConfig::default().examples
+    );
+}

@@ -1,0 +1,94 @@
+//! Shape assertions for the §4.3 imputation comparison: ordering and the
+//! 1/6-LLM-call economy.
+
+use lingua_core::ExecContext;
+use lingua_dataset::generators::imputation::{generate, training_catalogue};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::SimLlm;
+use lingua_tasks::imputation::holoclean::HoloCleanImputer;
+use lingua_tasks::imputation::imp::ImpImputer;
+use lingua_tasks::imputation::lingua::{register_tools, LinguaImputer};
+use lingua_tasks::imputation::llm_only::{FmsImputer, LlmOnlyImputer};
+use lingua_tasks::imputation::{evaluate, ImputationOutcome};
+use std::sync::Arc;
+
+struct Results {
+    holoclean: ImputationOutcome,
+    imp: ImputationOutcome,
+    fms: ImputationOutcome,
+    llm_only: ImputationOutcome,
+    lingua: ImputationOutcome,
+}
+
+fn run(seed: u64) -> Results {
+    let world = WorldSpec::generate(700 + seed);
+    let benchmark = generate(&world, seed);
+
+    let fresh_ctx = || ExecContext::new(Arc::new(SimLlm::with_seed(&world, 700 + seed)));
+
+    let mut ctx = fresh_ctx();
+    let catalogue = training_catalogue(&world, 500);
+    let mut holoclean = HoloCleanImputer::train(
+        catalogue.iter().map(|(n, d, m)| (n.as_str(), d.as_str(), m.as_str())),
+    );
+    let holoclean = evaluate(&mut holoclean, &benchmark, &mut ctx);
+
+    let mut ctx = fresh_ctx();
+    let catalogue = training_catalogue(&world, 4000);
+    let mut imp = ImpImputer::train(&catalogue);
+    let imp = evaluate(&mut imp, &benchmark, &mut ctx);
+
+    let mut ctx = fresh_ctx();
+    let fms = evaluate(&mut FmsImputer, &benchmark, &mut ctx);
+
+    let mut ctx = fresh_ctx();
+    let mut llm_only = LlmOnlyImputer::new(benchmark.vocabulary.clone());
+    let llm_only = evaluate(&mut llm_only, &benchmark, &mut ctx);
+
+    let mut ctx = fresh_ctx();
+    register_tools(&mut ctx, &benchmark.vocabulary);
+    let mut lingua = LinguaImputer::build(&mut ctx).expect("validation converges");
+    let lingua = evaluate(&mut lingua, &benchmark, &mut ctx);
+
+    Results { holoclean, imp, fms, llm_only, lingua }
+}
+
+#[test]
+fn method_ordering_matches_the_paper() {
+    let r = run(0);
+    // Paper ordering: HoloClean 16.2 << FMs 84.6 < LLM-only 93.92 <= LM 94.48 <= IMP 96.5-ish.
+    assert!(r.holoclean.accuracy() < 0.30, "holoclean {}", r.holoclean.accuracy());
+    assert!(
+        r.fms.accuracy() > r.holoclean.accuracy() + 0.4,
+        "fms {} vs holoclean {}",
+        r.fms.accuracy(),
+        r.holoclean.accuracy()
+    );
+    assert!(
+        r.llm_only.accuracy() > r.fms.accuracy() + 0.05,
+        "llm_only {} vs fms {}",
+        r.llm_only.accuracy(),
+        r.fms.accuracy()
+    );
+    assert!(
+        r.lingua.accuracy() >= r.llm_only.accuracy() - 0.01,
+        "lingua {} vs llm_only {}",
+        r.lingua.accuracy(),
+        r.llm_only.accuracy()
+    );
+    assert!(r.imp.accuracy() > 0.90, "imp {}", r.imp.accuracy());
+    assert!(r.lingua.accuracy() > 0.88, "lingua {}", r.lingua.accuracy());
+}
+
+#[test]
+fn llm_call_economy_is_about_one_sixth() {
+    let r = run(1);
+    assert_eq!(r.holoclean.llm_calls, 0);
+    assert_eq!(r.imp.llm_calls, 0);
+    assert!(r.llm_only.llm_calls as usize >= r.llm_only.total);
+    let ratio = r.lingua.llm_calls as f64 / r.llm_only.llm_calls as f64;
+    assert!(
+        (0.08..0.30).contains(&ratio),
+        "lingua/llm_only call ratio {ratio} (paper: ~1/6)"
+    );
+}

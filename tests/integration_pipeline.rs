@@ -1,0 +1,104 @@
+//! End-to-end integration: DSL text → compiled pipeline → execution over a
+//! real CSV on disk → saved output, crossing every crate in the workspace.
+
+use lingua_core::executor::Executor;
+use lingua_core::prelude::*;
+use lingua_core::templates::TemplateRegistry;
+use lingua_dataset::csv;
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::SimLlm;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lingua_it_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn dsl_pipeline_runs_end_to_end_over_csv() {
+    let dir = temp_dir("pipeline");
+    let input = dir.join("in.csv");
+    let output = dir.join("out.csv");
+    std::fs::write(
+        &input,
+        "name,price\nwidget,9.99\nwidget,9.99\ngadget,19.5\ndoohickey,4.25\n",
+    )
+    .unwrap();
+
+    let dsl = format!(
+        r#"pipeline cleanup {{
+            raw = load_csv() with {{ path: "{}" }};
+            deduped = dedup_exact(raw);
+            cheap = limit(deduped) with {{ n: "2" }};
+            save_csv(cheap) with {{ path: "{}" }};
+        }}"#,
+        input.display(),
+        output.display()
+    );
+    let pipeline = Pipeline::parse(&dsl).unwrap();
+    pipeline.check_dataflow(&[]).unwrap();
+
+    let world = WorldSpec::generate(90);
+    let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 90)));
+    let compiler = Compiler::with_builtins();
+    let mut physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+    let report = Executor::run(&mut physical, &mut ctx, BTreeMap::new()).unwrap();
+
+    // Dedup removed the duplicate widget; limit kept 2 rows.
+    let result = report.get("cheap").unwrap().as_table().unwrap();
+    assert_eq!(result.len(), 2);
+
+    // The file really landed on disk and parses back.
+    let saved = csv::read_path(&output).unwrap();
+    assert_eq!(saved.len(), 2);
+    assert_eq!(saved.schema().len(), 2);
+
+    // No LLM involvement for a fully-classical pipeline.
+    assert_eq!(report.llm_calls(), 0);
+}
+
+#[test]
+fn template_pipeline_compiles_with_llmgc_and_llm_bindings() {
+    let registry = TemplateRegistry::with_builtins();
+    let template = registry.get("name_extraction").unwrap();
+
+    let world = WorldSpec::generate(91);
+    let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 91)));
+    ctx.tools.register(
+        "stopwords",
+        lingua_core::tools::stopwords_tool_from_world(&world),
+    );
+    let compiler = Compiler::with_builtins();
+    let physical = compiler.compile(&template.pipeline, &mut ctx).unwrap();
+
+    let kinds: Vec<ModuleKind> = physical.ops.iter().map(|(_, m)| m.kind()).collect();
+    assert!(kinds.contains(&ModuleKind::Llmgc), "{kinds:?}");
+    assert!(kinds.contains(&ModuleKind::Llm), "{kinds:?}");
+    // Code generation consumed LLM budget at compile time.
+    assert!(ctx.llm.usage().calls >= 2);
+}
+
+#[test]
+fn dsl_errors_surface_with_line_numbers() {
+    let err = Pipeline::parse("pipeline broken {\n  x = load_csv(;\n}").unwrap_err();
+    match err {
+        CoreError::Dsl { line, .. } => assert_eq!(line, 2),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn executor_surfaces_module_failures_cleanly() {
+    let dsl = r#"pipeline failing {
+        raw = load_csv() with { path: "/definitely/not/a/file.csv" };
+    }"#;
+    let pipeline = Pipeline::parse(dsl).unwrap();
+    let world = WorldSpec::generate(92);
+    let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 92)));
+    let compiler = Compiler::with_builtins();
+    let mut physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+    let err = Executor::run(&mut physical, &mut ctx, BTreeMap::new()).unwrap_err();
+    assert!(matches!(err, CoreError::Data(_)), "{err}");
+}

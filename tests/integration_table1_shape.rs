@@ -1,0 +1,79 @@
+//! Shape assertions for Table 1: the method *ordering* the paper reports must
+//! reproduce — Ditto is the supervised ceiling, FMs trails everything, and
+//! Lingua Manga closes most of the gap with a handful of labels.
+//!
+//! Run with `--release` for speed (`cargo test --release`); in debug builds
+//! the LLM judging path is slow but still completes.
+
+use lingua_core::ExecContext;
+use lingua_dataset::generators::er::{generate, ErDataset};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::SimLlm;
+use lingua_tasks::er::ditto::DittoMatcher;
+use lingua_tasks::er::fms::FmsMatcher;
+use lingua_tasks::er::lingua::{LinguaErConfig, LinguaMatcher};
+use lingua_tasks::er::magellan::MagellanMatcher;
+use lingua_tasks::er::evaluate;
+use std::sync::Arc;
+
+/// Mean F1 per method over a couple of seeds (keeps single-split noise down
+/// while staying fast enough for CI).
+fn run(dataset: ErDataset) -> (f64, f64, f64, f64) {
+    let seeds = 2u64;
+    let (mut magellan, mut ditto, mut fms, mut lingua) = (0.0, 0.0, 0.0, 0.0);
+    for seed in 0..seeds {
+        let world = WorldSpec::generate(500 + seed);
+        let split = generate(&world, dataset, 31 + seed);
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 500 + seed)));
+        let mut m = MagellanMatcher::train(&split, seed);
+        magellan += evaluate(&mut m, &split, &mut ctx).f1();
+        let mut d = DittoMatcher::train(&split, seed);
+        ditto += evaluate(&mut d, &split, &mut ctx).f1();
+        fms += evaluate(&mut FmsMatcher, &split, &mut ctx).f1();
+        let mut l = LinguaMatcher::build(&split.schema, &split.train, &LinguaErConfig::default());
+        lingua += evaluate(&mut l, &split, &mut ctx).f1();
+    }
+    let n = seeds as f64;
+    (magellan / n, ditto / n, fms / n, lingua / n)
+}
+
+#[test]
+fn itunes_amazon_ordering_matches_the_paper() {
+    let (magellan, ditto, fms, lingua) = run(ErDataset::ItunesAmazon);
+    // Paper: Ditto 97.1 > LM 92.0 ≈ Magellan 91.2 >> FMs 65.9.
+    assert!(ditto > fms + 0.15, "ditto {ditto} vs fms {fms}");
+    assert!(lingua > fms + 0.10, "lingua {lingua} vs fms {fms}");
+    assert!(fms < 0.85, "fms should collapse on iTunes, got {fms}");
+    assert!(lingua > 0.80, "lingua {lingua}");
+    assert!(magellan > 0.85, "magellan {magellan}");
+}
+
+#[test]
+fn beer_ordering_matches_the_paper() {
+    let (_, ditto, fms, lingua) = run(ErDataset::BeerAdvoRateBeer);
+    // Paper: Ditto 94.4 > LM 89.7 >> Magellan 78.8 ≈ FMs 78.6.
+    assert!(ditto >= lingua - 0.05, "ditto {ditto} vs lingua {lingua}");
+    assert!(lingua > fms, "lingua {lingua} vs fms {fms}");
+    assert!(fms < 0.90, "fms {fms}");
+}
+
+#[test]
+fn fodors_zagats_is_easy_for_supervised_methods() {
+    let (magellan, ditto, fms, lingua) = run(ErDataset::FodorsZagats);
+    // Paper: Magellan = Ditto = 100, LM 95.7, FMs 87.2.
+    assert!(magellan > 0.97, "magellan {magellan}");
+    assert!(ditto > 0.95, "ditto {ditto}");
+    assert!(lingua > fms, "lingua {lingua} vs fms {fms}");
+    assert!(lingua > 0.90, "lingua {lingua}");
+}
+
+#[test]
+fn lingua_label_budget_is_tiny() {
+    // The whole point: Lingua Manga consumed 4 in-context examples, Ditto
+    // trained on hundreds of labeled pairs.
+    let config = LinguaErConfig::default();
+    assert!(config.examples <= 8);
+    let world = WorldSpec::generate(503);
+    let split = generate(&world, ErDataset::BeerAdvoRateBeer, 3);
+    assert!(split.train.len() > 200, "supervised label pool is large: {}", split.train.len());
+}
