@@ -44,12 +44,7 @@ fn bench_blocking(c: &mut Criterion) {
     let mut group = c.benchmark_group("candidate_scoring");
     group.throughput(Throughput::Elements(pairs.len() as u64));
     group.bench_function("sequential", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .map(|&(i, j)| pair_features(&fields[i], &fields[j])[0])
-                .sum::<f64>()
-        })
+        b.iter(|| pairs.iter().map(|&(i, j)| pair_features(&fields[i], &fields[j])[0]).sum::<f64>())
     });
     for threads in [2, 4] {
         group.bench_function(format!("parallel_{threads}_threads"), |b| {

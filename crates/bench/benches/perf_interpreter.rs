@@ -32,7 +32,8 @@ fn bench_interpreter(c: &mut Criterion) {
     let mut group = c.benchmark_group("interpreter");
 
     let program = parse(TOKENIZER).unwrap();
-    let text = "Yesterday John Smith met with the board of Acme Corp to discuss the annual budget, \
+    let text =
+        "Yesterday John Smith met with the board of Acme Corp to discuss the annual budget, \
                 and Mary Brown presented the new prototype.";
     group.throughput(Throughput::Bytes(text.len() as u64));
     group.bench_function("tokenizer_per_record", |b| {

@@ -42,9 +42,7 @@ fn bench_query(c: &mut Criterion) {
 
     group.bench_function("like_scan", |b| {
         b.iter(|| {
-            catalog
-                .execute(black_box("SELECT id FROM products WHERE name LIKE '%999%'"))
-                .unwrap()
+            catalog.execute(black_box("SELECT id FROM products WHERE name LIKE '%999%'")).unwrap()
         })
     });
 

@@ -33,12 +33,8 @@ fn bench_textsim(c: &mut Criterion) {
         "American IPA".into(),
         "5.2%".into(),
     ];
-    let right: Vec<String> = vec![
-        "Hopy Badgr - IPA".into(),
-        "Stonegate".into(),
-        "".into(),
-        "5.20".into(),
-    ];
+    let right: Vec<String> =
+        vec!["Hopy Badgr - IPA".into(), "Stonegate".into(), "".into(), "5.20".into()];
     let mut group = c.benchmark_group("features");
     group.bench_function("pair_features_4_fields", |bch| {
         bch.iter(|| pair_features(black_box(&left), black_box(&right)))

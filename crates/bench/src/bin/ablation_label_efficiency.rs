@@ -20,10 +20,7 @@ const LABEL_BUDGETS: [usize; 5] = [2, 4, 8, 32, 128];
 fn main() {
     let seeds = arg_usize("--seeds", 3);
     let dataset = ErDataset::ItunesAmazon;
-    println!(
-        "Ablation A1: label efficiency on {} (mean over {seeds} seed(s))\n",
-        dataset.name()
-    );
+    println!("Ablation A1: label efficiency on {} (mean over {seeds} seed(s))\n", dataset.name());
 
     let mut series = SeriesSet::default();
     for seed in 0..seeds as u64 {
@@ -52,10 +49,7 @@ fn main() {
                 &split.train[..budget.min(split.train.len())],
                 &LinguaErConfig { examples: budget.min(8), simulate: false },
             );
-            series.push(
-                &format!("lingua@{budget}"),
-                evaluate(&mut lingua, &split, &mut ctx).f1(),
-            );
+            series.push(&format!("lingua@{budget}"), evaluate(&mut lingua, &split, &mut ctx).f1());
         }
         // The full-label ceiling.
         let mut full = DittoMatcher::train(&split, seed);
@@ -98,11 +92,7 @@ fn limit_labels(split: &PairSplit, k: usize) -> PairSplit {
     let positives = split.train.iter().filter(|p| p.label);
     let negatives = split.train.iter().filter(|p| !p.label);
     let half = k / 2;
-    let train: Vec<_> = positives
-        .take(k - half)
-        .chain(negatives.take(half))
-        .cloned()
-        .collect();
+    let train: Vec<_> = positives.take(k - half).chain(negatives.take(half)).cloned().collect();
     PairSplit {
         schema: split.schema.clone(),
         train,

@@ -16,8 +16,9 @@ fn tagger() -> LlmModule {
     LlmModule::new(
         "tag_names",
         PromptBuilder::Template {
-            template: "Is the following phrase a person name?\nLanguage: {language}\nText: {phrase}"
-                .into(),
+            template:
+                "Is the following phrase a person name?\nLanguage: {language}\nText: {phrase}"
+                    .into(),
         },
         OutputValidator::YesNo,
     )

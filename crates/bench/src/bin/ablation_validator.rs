@@ -18,10 +18,7 @@ fn str_list(items: &[&str]) -> Data {
 fn tokenizer_cases() -> Vec<TestCase> {
     vec![
         TestCase::new(Data::Str("Hello, world!".into()), str_list(&["Hello", "world"])),
-        TestCase::new(
-            Data::Str("I saw a cat".into()),
-            str_list(&["I", "saw", "a", "cat"]),
-        ),
+        TestCase::new(Data::Str("I saw a cat".into()), str_list(&["I", "saw", "a", "cat"])),
         TestCase::new(Data::Null, Data::List(vec![])),
     ]
 }
@@ -84,13 +81,9 @@ fn main() {
                 },
             ));
             let mut ctx = ExecContext::new(llm);
-            let spec = CodeGenSpec {
-                task: task.into(),
-                function_name: "process".into(),
-                hints: vec![],
-            };
-            let mut module =
-                LlmgcModule::generate(label, spec, &ctx).expect("generation parses");
+            let spec =
+                CodeGenSpec { task: task.into(), function_name: "process".into(), hints: vec![] };
+            let mut module = LlmgcModule::generate(label, spec, &ctx).expect("generation parses");
             if module.generation.as_ref().and_then(|g| g.bug).is_some() {
                 buggy += 1;
             }

@@ -4,8 +4,8 @@
 //! shows they bind to the same module kinds and produce the same matches.
 
 use lingua_bench::write_json;
-use lingua_core::prelude::*;
 use lingua_core::executor::Executor;
+use lingua_core::prelude::*;
 use lingua_core::templates::TemplateRegistry;
 use lingua_dataset::generators::er::{generate, ErDataset};
 use lingua_dataset::world::WorldSpec;
@@ -49,7 +49,11 @@ fn main() {
     let registry = TemplateRegistry::with_builtins();
     let hits = registry.search("entity resolution");
     let template = hits.first().expect("template found");
-    println!("--- Figure 2b: built-in template `{}` ---\n{}\n", template.name, template.pipeline.pretty());
+    println!(
+        "--- Figure 2b: built-in template `{}` ---\n{}\n",
+        template.name,
+        template.pipeline.pretty()
+    );
 
     // Compile both and compare bindings.
     let mut compiler = Compiler::with_builtins();
@@ -74,7 +78,11 @@ fn main() {
         .column("is_match")
         .map(|col| col.iter().filter(|v| v.as_bool() == Some(true)).count())
         .unwrap_or(0);
-    println!("{match_count} of {} pairs judged matches; results in {}", matches.len(), output_path.display());
+    println!(
+        "{match_count} of {} pairs judged matches; results in {}",
+        matches.len(),
+        output_path.display()
+    );
 
     write_json(
         "fig2_er_workflows",
@@ -112,10 +120,7 @@ fn register_er_op(compiler: &mut Compiler) {
                     .iter()
                     .map(|row| {
                         let (a, b) = split_pair_row(table.schema(), row);
-                        judge.invoke(
-                            Data::map([("a".to_string(), a), ("b".to_string(), b)]),
-                            ctx,
-                        )
+                        judge.invoke(Data::map([("a".to_string(), a), ("b".to_string(), b)]), ctx)
                     })
                     .collect();
                 let judged = judged?;

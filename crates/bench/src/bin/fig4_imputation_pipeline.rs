@@ -28,7 +28,8 @@ fn main() {
     println!(
         "--- validation ---\ncycles: {}, regenerations: {}, failure history: {:?}, \
          construction cost: {build_calls} LLM call(s)\n",
-        imputer.validation.cycles, imputer.validation.regenerations,
+        imputer.validation.cycles,
+        imputer.validation.regenerations,
         imputer.validation.failure_history
     );
 
@@ -38,12 +39,8 @@ fn main() {
         ("brand in description", 0, 0, 0),
         ("knowledge only (hard)", 0, 0, 0),
     ];
-    for ((row, truth), mention) in benchmark
-        .table
-        .rows()
-        .iter()
-        .zip(&benchmark.truth)
-        .zip(&benchmark.mentions)
+    for ((row, truth), mention) in
+        benchmark.table.rows().iter().zip(&benchmark.truth).zip(&benchmark.mentions)
     {
         let before = ctx.llm.usage().calls;
         let answer = imputer.impute(&row[0].render(), &row[1].render(), &mut ctx);

@@ -34,10 +34,7 @@ fn main() {
     let world = WorldSpec::generate(5000);
     let llm = Arc::new(SimLlm::with_seed(&world, 5000));
     let mut ctx = ExecContext::new(llm);
-    ctx.tools.register(
-        "stopwords",
-        lingua_core::tools::stopwords_tool_from_world(&world),
-    );
+    ctx.tools.register("stopwords", lingua_core::tools::stopwords_tool_from_world(&world));
     let compiler = Compiler::with_builtins();
     let physical = compiler.compile(&template.pipeline, &mut ctx).expect("compiles");
     println!("> compile:\n{}", physical.describe());

@@ -1,0 +1,310 @@
+//! **Serving S1** — throughput of the `lingua-serve` worker pool: ER and
+//! imputation pipelines served at 1/2/4/8 workers (jobs/sec + scaling vs a
+//! single worker), plus the dedup arm: identical submissions coalesced
+//! in-flight and answered from the result cache, with the LLM-call savings.
+//!
+//! Each job is a *batch* of records so it carries real work; every LLM call
+//! also sleeps `--service-us` microseconds to model provider latency (the
+//! SimLlm itself only tracks virtual latency). Sleeping calls are exactly
+//! what a serving pool overlaps, so throughput scales with workers.
+
+use lingua_bench::{arg_usize, fmt_mean_std, mean, write_json, TextTable};
+use lingua_core::modules::{CustomModule, LlmModule, Module, PromptBuilder};
+use lingua_core::validation::OutputValidator;
+use lingua_core::{ContextFactory, CoreError, Data, LogicalOp, PhysicalPipeline};
+use lingua_dataset::generators::er::{self, ErDataset};
+use lingua_dataset::generators::imputation;
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{LlmService, SimLlm, SimLlmConfig};
+use lingua_serve::{PipelineServer, ServeConfig, SubmitRequest};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 9100;
+
+/// One-op pipeline: a stateless batch module that judges every item of the
+/// input list with a fresh `LlmModule`, sleeping `service_us` per call.
+fn batch_pipeline(
+    name: &str,
+    make_judge: impl Fn() -> LlmModule + Send + Sync + 'static,
+    service_us: u64,
+) -> PhysicalPipeline {
+    let module = CustomModule::stateless(name, move |input, ctx| {
+        let items = input
+            .as_list()
+            .ok_or(CoreError::DataShape { expected: "list of items", got: "other".into() })?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let mut judge = make_judge();
+            let verdict = judge.invoke(item.clone(), ctx)?;
+            if service_us > 0 {
+                std::thread::sleep(Duration::from_micros(service_us));
+            }
+            out.push(verdict);
+        }
+        Ok(Data::List(out))
+    });
+    PhysicalPipeline {
+        name: name.to_string(),
+        ops: vec![(
+            LogicalOp::new(name).output("labels").input("batch"),
+            Box::new(module) as Box<dyn Module>,
+        )],
+    }
+}
+
+fn er_pipeline(service_us: u64) -> PhysicalPipeline {
+    batch_pipeline(
+        "match_batch",
+        || {
+            LlmModule::new(
+                "er_judge",
+                PromptBuilder::PairJudgment {
+                    description:
+                        "Please determine if the following two records refer to the same entity."
+                            .into(),
+                    examples: vec![],
+                },
+                OutputValidator::YesNo,
+            )
+        },
+        service_us,
+    )
+}
+
+fn imputation_pipeline(vocabulary: Vec<String>, service_us: u64) -> PhysicalPipeline {
+    batch_pipeline(
+        "impute_batch",
+        move || {
+            LlmModule::new(
+                "imputer",
+                PromptBuilder::TextTask {
+                    description: "Fill in the missing manufacturer for this product.".into(),
+                    payload_label: "Product".into(),
+                    extra_lines: vec![format!("Candidates: {}", vocabulary.join(", "))],
+                },
+                OutputValidator::Category { vocabulary: vocabulary.clone() },
+            )
+        },
+        service_us,
+    )
+}
+
+/// Batch ER pairs into per-job inputs: `batch` ↦ list of `{a, b}` maps.
+fn er_jobs(world: &WorldSpec, jobs: usize, batch: usize) -> Vec<Data> {
+    let split = er::generate(world, ErDataset::BeerAdvoRateBeer, SEED);
+    let schema = split.schema.clone();
+    let pairs: Vec<Data> = split
+        .train
+        .iter()
+        .chain(&split.valid)
+        .chain(&split.test)
+        .map(|p| {
+            Data::map([
+                ("a".to_string(), Data::Str(p.left.describe(&schema))),
+                ("b".to_string(), Data::Str(p.right.describe(&schema))),
+            ])
+        })
+        .collect();
+    assert!(pairs.len() >= jobs * batch, "ER split too small for {jobs} jobs x {batch}");
+    pairs.chunks(batch).take(jobs).map(|chunk| Data::List(chunk.to_vec())).collect()
+}
+
+/// Batch imputation rows into per-job inputs: `batch` ↦ list of row texts.
+fn imputation_jobs(world: &WorldSpec, jobs: usize, batch: usize) -> (Vec<Data>, Vec<String>) {
+    let bench = imputation::generate(world, SEED);
+    let schema = bench.table.schema().clone();
+    let rows: Vec<Data> =
+        bench.table.rows().iter().map(|row| Data::Str(row.describe(&schema))).collect();
+    assert!(rows.len() >= jobs * batch, "imputation table too small for {jobs} jobs x {batch}");
+    let inputs = rows.chunks(batch).take(jobs).map(|chunk| Data::List(chunk.to_vec())).collect();
+    (inputs, bench.vocabulary)
+}
+
+struct ArmResult {
+    secs: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+/// Stand up a fresh server (fresh SimLlm, so no cross-run cache), serve every
+/// job, and time submit-all → wait-all.
+fn serve_once(
+    world: &WorldSpec,
+    pipeline: PhysicalPipeline,
+    inputs: &[Data],
+    workers: usize,
+) -> ArmResult {
+    let llm = Arc::new(SimLlm::new(world, SimLlmConfig { seed: SEED, ..Default::default() }));
+    let factory = ContextFactory::new(llm);
+    let config = ServeConfig { workers, queue_capacity: inputs.len() + 8, ..Default::default() };
+    let mut server = PipelineServer::start(factory, config);
+    let id = pipeline.name.clone();
+    server.register_pipeline(id.as_str(), pipeline).expect("pipeline replicates");
+    let start = Instant::now();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|input| {
+            server
+                .submit(SubmitRequest::new(id.as_str()).input("batch", input.clone()))
+                .expect("queue sized for the run")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("job completes");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let snapshot = server.metrics();
+    server.shutdown();
+    ArmResult { secs, p50_ms: snapshot.p50_latency_ms, p95_ms: snapshot.p95_latency_ms }
+}
+
+/// The dedup arm: `dups` copies of each distinct job, interleaved so the
+/// duplicates race, with in-flight dedup + result cache on vs off.
+fn dedup_arm(
+    world: &WorldSpec,
+    pipeline: PhysicalPipeline,
+    distinct: &[Data],
+    dups: usize,
+    enabled: bool,
+) -> (f64, u64, u64) {
+    let llm = Arc::new(SimLlm::new(world, SimLlmConfig { seed: SEED, ..Default::default() }));
+    let factory = ContextFactory::new(llm.clone());
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: distinct.len() * dups + 8,
+        dedup_inflight: enabled,
+        result_cache_capacity: if enabled { 1024 } else { 0 },
+        ..Default::default()
+    };
+    let mut server = PipelineServer::start(factory, config);
+    let id = pipeline.name.clone();
+    server.register_pipeline(id.as_str(), pipeline).expect("pipeline replicates");
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(distinct.len() * dups);
+    for _round in 0..dups {
+        for input in distinct {
+            handles.push(
+                server
+                    .submit(SubmitRequest::new(id.as_str()).input("batch", input.clone()))
+                    .expect("queue sized for the run"),
+            );
+        }
+    }
+    for handle in handles {
+        handle.wait().expect("job completes");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let deduped = server.metrics().deduped();
+    server.shutdown();
+    (secs, llm.usage().calls, deduped)
+}
+
+fn main() {
+    // 48 x 8 = 384 records per workload, within the 450-pair ER split.
+    let jobs = arg_usize("--jobs", 48);
+    let batch = arg_usize("--batch", 8);
+    let reps = arg_usize("--reps", 3);
+    let service_us = arg_usize("--service-us", 400) as u64;
+    let worker_counts = [1usize, 2, 4, 8];
+    println!(
+        "Serving S1: {jobs} jobs x {batch}-record batches per pipeline, \
+         {service_us}us simulated service time per LLM call, {reps} reps\n"
+    );
+
+    let world = WorldSpec::generate(SEED);
+    let (imp_inputs, vocabulary) = imputation_jobs(&world, jobs, batch);
+    let er_inputs = er_jobs(&world, jobs, batch);
+
+    type PipelineFn = Box<dyn Fn() -> PhysicalPipeline>;
+    let workloads: Vec<(&str, PipelineFn, &[Data])> = vec![
+        ("entity resolution", Box::new(move || er_pipeline(service_us)), &er_inputs[..]),
+        (
+            "imputation",
+            Box::new({
+                let vocabulary = vocabulary.clone();
+                move || imputation_pipeline(vocabulary.clone(), service_us)
+            }),
+            &imp_inputs[..],
+        ),
+    ];
+
+    let mut table = TextTable::new([
+        "Workload",
+        "Workers",
+        "Jobs/sec",
+        "Speedup vs 1",
+        "p50 latency (ms)",
+        "p95 latency (ms)",
+    ]);
+    let mut json_rows = Vec::new();
+    for (label, make_pipeline, inputs) in &workloads {
+        let mut baseline = 0.0f64;
+        for &workers in &worker_counts {
+            let mut rates = Vec::with_capacity(reps);
+            let mut last = None;
+            for _ in 0..reps {
+                let arm = serve_once(&world, make_pipeline(), inputs, workers);
+                rates.push(inputs.len() as f64 / arm.secs);
+                last = Some(arm);
+            }
+            let arm = last.expect("at least one rep");
+            let rate = mean(&rates);
+            if workers == 1 {
+                baseline = rate;
+            }
+            table.row([
+                label.to_string(),
+                workers.to_string(),
+                fmt_mean_std(&rates, 1.0),
+                format!("{:.2}x", rate / baseline),
+                format!("{:.1}", arm.p50_ms),
+                format!("{:.1}", arm.p95_ms),
+            ]);
+            json_rows.push(serde_json::json!({
+                "workload": label, "workers": workers, "jobs_per_sec": rate,
+                "speedup": rate / baseline, "p50_ms": arm.p50_ms, "p95_ms": arm.p95_ms,
+            }));
+        }
+    }
+    table.print();
+
+    // Dedup arm: 6 copies of 16 distinct ER jobs, racing on 4 workers.
+    let dups = 6;
+    let distinct: Vec<Data> = er_inputs.iter().take(16).cloned().collect();
+    let (secs_on, calls_on, deduped_on) =
+        dedup_arm(&world, er_pipeline(service_us), &distinct, dups, true);
+    let (secs_off, calls_off, deduped_off) =
+        dedup_arm(&world, er_pipeline(service_us), &distinct, dups, false);
+    println!(
+        "\nDedup arm ({} submissions, {} distinct, 4 workers):\n\
+         \x20 dedup on : {:>6.2}s  {:>5} LLM calls  {:>3} jobs deduped\n\
+         \x20 dedup off: {:>6.2}s  {:>5} LLM calls  {:>3} jobs deduped",
+        distinct.len() * dups,
+        distinct.len(),
+        secs_on,
+        calls_on,
+        deduped_on,
+        secs_off,
+        calls_off,
+        deduped_off,
+    );
+    println!(
+        "\nShape: jobs/sec rises with workers because per-call service time \
+         overlaps across the pool; dedup answers duplicate submissions from \
+         one execution, so LLM spend tracks distinct work, not request volume."
+    );
+
+    write_json(
+        "serve_throughput",
+        &serde_json::json!({
+            "jobs": jobs, "batch": batch, "reps": reps, "service_us": service_us,
+            "rows": json_rows,
+            "dedup": {
+                "submissions": distinct.len() * dups, "distinct": distinct.len(),
+                "on": { "secs": secs_on, "llm_calls": calls_on, "deduped": deduped_on },
+                "off": { "secs": secs_off, "llm_calls": calls_off, "deduped": deduped_off },
+            },
+        }),
+    );
+}

@@ -18,10 +18,10 @@ use lingua_dataset::generators::er::{generate, ErDataset};
 use lingua_dataset::world::WorldSpec;
 use lingua_llm_sim::SimLlm;
 use lingua_tasks::er::ditto::DittoMatcher;
+use lingua_tasks::er::evaluate;
 use lingua_tasks::er::fms::FmsMatcher;
 use lingua_tasks::er::lingua::{LinguaErConfig, LinguaMatcher};
 use lingua_tasks::er::magellan::MagellanMatcher;
-use lingua_tasks::er::evaluate;
 use std::sync::Arc;
 
 fn paper_reference(dataset: ErDataset) -> [f64; 4] {
@@ -92,5 +92,8 @@ fn main() {
          Lingua Manga sits between FMs and Ditto with only {} in-context labels.",
         LinguaErConfig::default().examples
     );
-    write_json("table1_entity_resolution", &serde_json::json!({ "seeds": seeds, "rows": json_rows }));
+    write_json(
+        "table1_entity_resolution",
+        &serde_json::json!({ "seeds": seeds, "rows": json_rows }),
+    );
 }

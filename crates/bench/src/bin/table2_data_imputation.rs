@@ -15,16 +15,18 @@ use lingua_core::ExecContext;
 use lingua_dataset::generators::imputation::{generate, training_catalogue};
 use lingua_dataset::world::WorldSpec;
 use lingua_llm_sim::SimLlm;
+use lingua_tasks::imputation::evaluate;
 use lingua_tasks::imputation::holoclean::HoloCleanImputer;
 use lingua_tasks::imputation::imp::ImpImputer;
 use lingua_tasks::imputation::lingua::{register_tools, LinguaImputer};
 use lingua_tasks::imputation::llm_only::{FmsImputer, LlmOnlyImputer};
-use lingua_tasks::imputation::evaluate;
 use std::sync::Arc;
 
 fn main() {
     let seeds = arg_usize("--seeds", 5);
-    println!("Table 2 (Section 4.3): Buy-style manufacturer imputation, mean over {seeds} seed(s)\n");
+    println!(
+        "Table 2 (Section 4.3): Buy-style manufacturer imputation, mean over {seeds} seed(s)\n"
+    );
 
     let mut series = SeriesSet::default();
     for seed in 0..seeds as u64 {
@@ -80,8 +82,7 @@ fn main() {
             let llm = Arc::new(SimLlm::with_seed(&world, 2000 + seed));
             let mut ctx = ExecContext::new(llm);
             register_tools(&mut ctx, &benchmark.vocabulary);
-            let mut imputer =
-                LinguaImputer::build(&mut ctx).expect("validation must converge");
+            let mut imputer = LinguaImputer::build(&mut ctx).expect("validation must converge");
             // Exclude construction/validation calls from the per-row figure.
             let outcome = evaluate(&mut imputer, &benchmark, &mut ctx);
             series.push("lingua_acc", outcome.accuracy());

@@ -50,6 +50,26 @@ impl PhysicalPipeline {
         }
         out
     }
+
+    /// Instantiate an independent copy of this compiled pipeline: every
+    /// module is replicated via [`Module::fresh_instance`], sharing no
+    /// mutable state with the original. This is how the serving layer
+    /// compiles a DSL program once (paying any code-generation LLM calls
+    /// once) and then hands each worker its own executable instance.
+    ///
+    /// Errors with [`CoreError::NotReplicable`] if any bound module is
+    /// inherently stateful (e.g. a `CustomModule` built from an `FnMut`
+    /// closure).
+    pub fn fresh_instance(&self) -> Result<PhysicalPipeline, CoreError> {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for (op, module) in &self.ops {
+            let fresh = module
+                .fresh_instance()
+                .ok_or_else(|| CoreError::NotReplicable { module: module.name().to_string() })?;
+            ops.push((op.clone(), fresh));
+        }
+        Ok(PhysicalPipeline { name: self.name.clone(), ops })
+    }
 }
 
 /// The compiler: a registry of custom-module factories plus the §3 binding
@@ -67,18 +87,20 @@ impl Compiler {
 
     /// A compiler with the built-in physical modules registered
     /// (`load_csv`, `save_csv`, `select_columns`, `limit`, `dedup_exact`).
+    /// All builtins are stateless, so compiled pipelines using them support
+    /// [`PhysicalPipeline::fresh_instance`].
     pub fn with_builtins() -> Compiler {
         let mut compiler = Compiler::new();
         compiler.register("load_csv", |op, _ctx| {
             let path = require_param(op, "path")?;
-            Ok(Box::new(CustomModule::new("load_csv", move |_input, _ctx| {
+            Ok(Box::new(CustomModule::stateless("load_csv", move |_input, _ctx| {
                 let table = csv::read_path(&path)?;
                 Ok(Data::Table(table))
             })) as Box<dyn Module>)
         });
         compiler.register("save_csv", |op, _ctx| {
             let path = require_param(op, "path")?;
-            Ok(Box::new(CustomModule::new("save_csv", move |input, _ctx| {
+            Ok(Box::new(CustomModule::stateless("save_csv", move |input, _ctx| {
                 let table = input.as_table()?;
                 csv::write_path(table, &path)?;
                 Ok(Data::Table(table.clone()))
@@ -86,7 +108,7 @@ impl Compiler {
         });
         compiler.register("select_columns", |op, _ctx| {
             let columns = require_param(op, "columns")?;
-            Ok(Box::new(CustomModule::new("select_columns", move |input, _ctx| {
+            Ok(Box::new(CustomModule::stateless("select_columns", move |input, _ctx| {
                 let table = input.as_table()?;
                 let cols: Vec<&str> = columns.split(',').map(|c| c.trim()).collect();
                 Ok(Data::Table(table.select_columns(&cols)?))
@@ -96,12 +118,12 @@ impl Compiler {
             let n: usize = require_param(op, "n")?
                 .parse()
                 .map_err(|_| CoreError::Compile("limit: `n` must be an integer".into()))?;
-            Ok(Box::new(CustomModule::new("limit", move |input, _ctx| {
+            Ok(Box::new(CustomModule::stateless("limit", move |input, _ctx| {
                 Ok(Data::Table(input.as_table()?.head(n)))
             })) as Box<dyn Module>)
         });
         compiler.register("dedup_exact", |_op, _ctx| {
-            Ok(Box::new(CustomModule::new("dedup_exact", |input, _ctx| {
+            Ok(Box::new(CustomModule::stateless("dedup_exact", |input, _ctx| {
                 let table = input.into_table()?;
                 let schema = table.schema().clone();
                 let name = table.name().to_string();
@@ -198,10 +220,8 @@ impl Compiler {
         op: &LogicalOp,
         ctx: &mut ExecContext,
     ) -> Result<LlmgcModule, CoreError> {
-        let task = op
-            .description()
-            .map(|s| s.to_string())
-            .unwrap_or_else(|| op.op_type.replace('_', " "));
+        let task =
+            op.description().map(|s| s.to_string()).unwrap_or_else(|| op.op_type.replace('_', " "));
         let spec = CodeGenSpec { task, function_name: "process".into(), hints: op_hints(op) };
         LlmgcModule::generate(op.op_type.clone(), spec, ctx)
     }
@@ -239,10 +259,9 @@ impl Compiler {
 }
 
 fn require_param(op: &LogicalOp, key: &str) -> Result<String, CoreError> {
-    op.params
-        .get(key)
-        .cloned()
-        .ok_or_else(|| CoreError::Compile(format!("op `{}` requires parameter `{key}`", op.op_type)))
+    op.params.get(key).cloned().ok_or_else(|| {
+        CoreError::Compile(format!("op `{}` requires parameter `{key}`", op.op_type))
+    })
 }
 
 fn op_hints(op: &LogicalOp) -> Vec<String> {
@@ -437,6 +456,61 @@ mod tests {
         let description = physical.describe();
         assert!(description.contains("load_csv"));
         assert!(description.contains("[llm]"));
+    }
+
+    #[test]
+    fn compiled_pipelines_replicate_without_recompiling() {
+        let compiler = Compiler::with_builtins();
+        let mut ctx = ctx();
+        let pipeline = Pipeline::parse(
+            r#"pipeline p {
+                t = load_csv() with { path: "x.csv" };
+                s = summarize_table(t) using llm with { desc: "summarize the table contents" };
+            }"#,
+        )
+        .unwrap();
+        let physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+        let usage_after_compile = ctx.llm.usage();
+        let copy = physical.fresh_instance().unwrap();
+        assert_eq!(copy.ops.len(), physical.ops.len());
+        assert_eq!(copy.describe(), physical.describe());
+        // Replication never talks to the LLM — compile once, instantiate N times.
+        assert_eq!(ctx.llm.usage(), usage_after_compile);
+    }
+
+    #[test]
+    fn llmgc_replication_skips_code_generation() {
+        let compiler = Compiler::with_builtins();
+        let mut ctx = ctx();
+        let op = LogicalOp::new("toks")
+            .output("t")
+            .input("text")
+            .using(ModuleKind::Llmgc)
+            .param("desc", "tokenize the text into words");
+        let pipeline = Pipeline::new("gc").op(op);
+        let physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+        let generated = ctx.llm.usage();
+        assert!(generated.calls >= 1, "compilation generates code");
+        let copy = physical.fresh_instance().unwrap();
+        assert_eq!(ctx.llm.usage(), generated, "replication re-used the generated program");
+        assert_eq!(copy.ops[0].1.kind(), ModuleKind::Llmgc);
+    }
+
+    #[test]
+    fn stateful_modules_block_replication() {
+        let mut compiler = Compiler::with_builtins();
+        let mut ctx = ctx();
+        compiler.register("counter", |_op, _ctx| {
+            let mut n = 0u64;
+            Ok(Box::new(CustomModule::new("counter", move |_, _| {
+                n += 1;
+                Ok(Data::Int(n as i64))
+            })) as Box<dyn Module>)
+        });
+        let pipeline = Pipeline::new("c").op(LogicalOp::new("counter").output("n"));
+        let physical = compiler.compile(&pipeline, &mut ctx).unwrap();
+        let err = physical.fresh_instance().unwrap_err();
+        assert!(matches!(err, CoreError::NotReplicable { module } if module == "counter"));
     }
 
     #[test]

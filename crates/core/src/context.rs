@@ -59,6 +59,53 @@ pub struct ExecContext {
     pub stats: ExecStats,
 }
 
+/// Builds fresh per-run [`ExecContext`]s over shared services.
+///
+/// The split matters for concurrent serving: the LLM service (with its
+/// interior-mutable usage meters) and the tool registry are shared across
+/// every worker, while each built context owns its *own* module registry and
+/// execution counters — per-run mutable state never crosses threads.
+#[derive(Clone)]
+pub struct ContextFactory {
+    llm: Arc<dyn LlmService>,
+    tools: ToolRegistry,
+}
+
+impl ContextFactory {
+    pub fn new(llm: Arc<dyn LlmService>) -> ContextFactory {
+        ContextFactory { llm, tools: ToolRegistry::new() }
+    }
+
+    /// Share a tool registry with every built context.
+    pub fn with_tools(mut self, tools: ToolRegistry) -> ContextFactory {
+        self.tools = tools;
+        self
+    }
+
+    /// The shared LLM service.
+    pub fn llm(&self) -> Arc<dyn LlmService> {
+        Arc::clone(&self.llm)
+    }
+
+    /// Build a fresh context: shared LLM + tools, private registry + stats.
+    pub fn build(&self) -> ExecContext {
+        self.build_with_llm(Arc::clone(&self.llm))
+    }
+
+    /// Build a fresh context over a *substitute* LLM service — typically a
+    /// metering or routing wrapper around [`ContextFactory::llm`] — while
+    /// keeping the shared tool registry.
+    pub fn build_with_llm(&self, llm: Arc<dyn LlmService>) -> ExecContext {
+        ExecContext::new(llm).with_tools(self.tools.clone())
+    }
+}
+
+impl std::fmt::Debug for ContextFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContextFactory").field("tools", &self.tools).finish()
+    }
+}
+
 impl ExecContext {
     pub fn new(llm: Arc<dyn LlmService>) -> ExecContext {
         let stats = ExecStats { usage_at_start: llm.usage(), ..Default::default() };
@@ -106,10 +153,7 @@ impl Host for HostBridge<'_> {
 
     fn call_module(&mut self, name: &str, input: ScriptValue) -> Result<ScriptValue, String> {
         let data = Data::from_script(&input);
-        self.ctx
-            .invoke_module(name, data)
-            .map(|out| out.to_script())
-            .map_err(|e| e.to_string())
+        self.ctx.invoke_module(name, data).map(|out| out.to_script()).map_err(|e| e.to_string())
     }
 
     fn call_tool(&mut self, name: &str, args: &[ScriptValue]) -> Result<ScriptValue, String> {
@@ -148,10 +192,7 @@ mod tests {
     fn host_bridge_reaches_llm_tools_and_modules() {
         let mut ctx = ctx();
         ctx.tools.register_list("vocab", vec!["Sony".into()]);
-        ctx.registry.insert(
-            "echo",
-            Box::new(CustomModule::new("echo", |input, _| Ok(input))),
-        );
+        ctx.registry.insert("echo", Box::new(CustomModule::new("echo", |input, _| Ok(input))));
         let mut bridge = HostBridge { ctx: &mut ctx };
         let response = bridge.call_llm("Summarize.\nText: a b c").unwrap();
         assert!(!response.is_empty());
@@ -161,6 +202,28 @@ mod tests {
         assert_eq!(echoed, ScriptValue::Int(7));
         assert!(bridge.call_module("missing", ScriptValue::Null).is_err());
         assert!(bridge.call_tool("missing", &[]).is_err());
+    }
+
+    #[test]
+    fn context_factory_shares_services_but_not_run_state() {
+        let world = WorldSpec::generate(2);
+        let factory = ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 2)));
+        let mut a = factory.build();
+        let mut b = factory.build();
+        // Shared LLM: usage metered in one context is visible in the other.
+        a.llm.complete(&lingua_llm_sim::CompletionRequest::new("Summarize.\nText: x y z"));
+        assert_eq!(b.llm.usage().calls, 1);
+        // Private per-run state: stats and module registries do not leak.
+        a.stats.record_invocation("only_in_a");
+        assert_eq!(b.stats.invocations_of("only_in_a"), 0);
+        a.registry.insert("m", Box::new(CustomModule::new("m", |input, _| Ok(input))));
+        assert!(b.registry.get("m").is_none());
+        assert!(b.invoke_module("m", Data::Null).is_err());
+        // Shared tools flow into every build.
+        let mut tools = ToolRegistry::new();
+        tools.register_list("vocab", vec!["Sony".into()]);
+        let factory = factory.with_tools(tools);
+        assert!(factory.build().tools.contains("vocab"));
     }
 
     #[test]
@@ -174,9 +237,7 @@ mod tests {
         );
         ctx.registry.insert(
             "outer",
-            Box::new(CustomModule::new("outer", |input, ctx| {
-                ctx.invoke_module("inner", input)
-            })),
+            Box::new(CustomModule::new("outer", |input, ctx| ctx.invoke_module("inner", input))),
         );
         let out = ctx.invoke_module("outer", Data::Str("x".into())).unwrap();
         assert_eq!(out, Data::Str("[x]".into()));

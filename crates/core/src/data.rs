@@ -24,7 +24,10 @@ pub enum Data {
     /// A whole table.
     Table(Table),
     /// One row paired with its schema (record-at-a-time processing).
-    Record { schema: Schema, record: Record },
+    Record {
+        schema: Schema,
+        record: Record,
+    },
 }
 
 impl Data {
@@ -102,11 +105,7 @@ impl Data {
             Data::Int(i) => i.to_string(),
             Data::Float(f) => f.to_string(),
             Data::Str(s) => s.clone(),
-            Data::List(items) => items
-                .iter()
-                .map(|d| d.render())
-                .collect::<Vec<_>>()
-                .join(", "),
+            Data::List(items) => items.iter().map(|d| d.render()).collect::<Vec<_>>().join(", "),
             Data::Map(map) => map
                 .iter()
                 .map(|(k, v)| format!("{k}: {}", v.render()))
@@ -127,15 +126,11 @@ impl Data {
             Data::Float(f) => ScriptValue::Float(*f),
             Data::Str(s) => ScriptValue::Str(s.clone()),
             Data::List(items) => ScriptValue::List(items.iter().map(Data::to_script).collect()),
-            Data::Map(map) => ScriptValue::Map(
-                map.iter().map(|(k, v)| (k.clone(), v.to_script())).collect(),
-            ),
+            Data::Map(map) => {
+                ScriptValue::Map(map.iter().map(|(k, v)| (k.clone(), v.to_script())).collect())
+            }
             Data::Table(table) => ScriptValue::List(
-                table
-                    .rows()
-                    .iter()
-                    .map(|row| record_to_script(table.schema(), row))
-                    .collect(),
+                table.rows().iter().map(|row| record_to_script(table.schema(), row)).collect(),
             ),
             Data::Record { schema, record } => record_to_script(schema, record),
         }
@@ -149,12 +144,10 @@ impl Data {
             ScriptValue::Int(i) => Data::Int(*i),
             ScriptValue::Float(f) => Data::Float(*f),
             ScriptValue::Str(s) => Data::Str(s.clone()),
-            ScriptValue::List(items) => {
-                Data::List(items.iter().map(Data::from_script).collect())
+            ScriptValue::List(items) => Data::List(items.iter().map(Data::from_script).collect()),
+            ScriptValue::Map(map) => {
+                Data::Map(map.iter().map(|(k, v)| (k.clone(), Data::from_script(v))).collect())
             }
-            ScriptValue::Map(map) => Data::Map(
-                map.iter().map(|(k, v)| (k.clone(), Data::from_script(v))).collect(),
-            ),
         }
     }
 
@@ -180,7 +173,9 @@ impl Data {
             }
             (Data::Map(a), Data::Map(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
             }
             _ => self == other,
         }

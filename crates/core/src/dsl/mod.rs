@@ -307,10 +307,8 @@ mod tests {
 
     #[test]
     fn multiple_inputs_and_bare_values() {
-        let p = parse(
-            "pipeline multi { joined = join(a, b) with { on: id; how: inner }; }",
-        )
-        .unwrap();
+        let p =
+            parse("pipeline multi { joined = join(a, b) with { on: id; how: inner }; }").unwrap();
         assert_eq!(p.ops[0].inputs, vec!["a", "b"]);
         assert_eq!(p.ops[0].params.get("on").unwrap(), "id");
         assert_eq!(p.ops[0].params.get("how").unwrap(), "inner");
@@ -318,10 +316,7 @@ mod tests {
 
     #[test]
     fn comments_and_commas_in_with_blocks() {
-        let p = parse(
-            "pipeline c { # comment\n x = op() with { a: \"1\", b: \"2\" }; }",
-        )
-        .unwrap();
+        let p = parse("pipeline c { # comment\n x = op() with { a: \"1\", b: \"2\" }; }").unwrap();
         assert_eq!(p.ops[0].params.len(), 2);
     }
 

@@ -23,6 +23,9 @@ pub enum CoreError {
     Script(String),
     /// Validation gave up after exhausting its budgets.
     ValidationExhausted { module: String, cycles: usize, regenerations: usize },
+    /// A module holds state that cannot be replicated for concurrent serving
+    /// (see `Module::fresh_instance`).
+    NotReplicable { module: String },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +48,12 @@ impl fmt::Display for CoreError {
             CoreError::ValidationExhausted { module, cycles, regenerations } => write!(
                 f,
                 "validation of `{module}` exhausted {cycles} cycle(s) and {regenerations} regeneration(s)"
+            ),
+            CoreError::NotReplicable { module } => write!(
+                f,
+                "module `{module}` holds state that cannot be replicated for concurrent \
+                 serving; build it with `CustomModule::stateless` (or another replicable \
+                 module class) to serve it from a worker pool"
             ),
         }
     }
@@ -72,11 +81,8 @@ mod tests {
     fn display_is_informative() {
         let err = CoreError::Module { module: "tagger".into(), message: "boom".into() };
         assert!(err.to_string().contains("tagger"));
-        let err = CoreError::ValidationExhausted {
-            module: "np".into(),
-            cycles: 3,
-            regenerations: 2,
-        };
+        let err =
+            CoreError::ValidationExhausted { module: "np".into(), cycles: 3, regenerations: 2 };
         assert!(err.to_string().contains('3'));
     }
 

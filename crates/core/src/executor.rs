@@ -156,10 +156,9 @@ mod tests {
         });
         compiler.register("concat", |_, _| {
             Ok(Box::new(CustomModule::new("concat", |input, _| {
-                let map = input.as_map().ok_or(CoreError::DataShape {
-                    expected: "map",
-                    got: "other".into(),
-                })?;
+                let map = input
+                    .as_map()
+                    .ok_or(CoreError::DataShape { expected: "map", got: "other".into() })?;
                 let joined: Vec<String> = map.values().map(|v| v.render()).collect();
                 Ok(Data::Str(joined.join("+")))
             })) as Box<dyn crate::modules::Module>)
@@ -232,5 +231,77 @@ mod tests {
         // Empty and tiny inputs are fine.
         assert!(parallel_map::<i64, i64, _>(&[], 4, |x| *x).is_empty());
         assert_eq!(parallel_map(&[5], 4, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let empty: Vec<String> = Vec::new();
+        let out = parallel_map(&empty, 8, |s: &String| s.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        assert_eq!(parallel_map(&["only"], 1, |s| s.to_uppercase()), vec!["ONLY"]);
+        assert_eq!(parallel_map(&["only"], 64, |s| s.to_uppercase()), vec!["ONLY"]);
+    }
+
+    #[test]
+    fn parallel_map_more_threads_than_items() {
+        let items = [10, 20, 30];
+        // Thread count clamps to the item count; results stay ordered.
+        assert_eq!(parallel_map(&items, 100, |x| x / 10), vec![1, 2, 3]);
+        assert_eq!(parallel_map(&items, 0, |x| x / 10), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_under_uneven_work() {
+        // Earlier items sleep longer, so later chunks finish first; the
+        // output must still line up slot-for-slot with the input.
+        let items: Vec<u64> = (0..16).collect();
+        let out = parallel_map(&items, 8, |&i| {
+            std::thread::sleep(std::time::Duration::from_millis((16 - i) / 4));
+            i * 10
+        });
+        let expected: Vec<u64> = items.iter().map(|i| i * 10).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn simllm_usage_counters_are_consistent_under_threads() {
+        use lingua_llm_sim::{CompletionRequest, LlmService};
+
+        let world = WorldSpec::generate(14);
+        let svc = SimLlm::with_seed(&world, 14);
+        // Distinct prompts from many threads: every call is billed once.
+        let prompts: Vec<String> =
+            (0..64).map(|i| format!("Summarize.\nText: document number {i}")).collect();
+        let responses = parallel_map(&prompts, 8, |p| svc.complete(&CompletionRequest::new(p)));
+        assert_eq!(responses.len(), prompts.len());
+        let usage = svc.usage();
+        assert_eq!(usage.calls, prompts.len() as u64);
+        assert_eq!(usage.cache_hits, 0);
+        assert!(usage.tokens_in > 0 && usage.tokens_out > 0);
+    }
+
+    #[test]
+    fn simllm_cache_keeps_the_billing_invariant_under_threads() {
+        use lingua_llm_sim::{CompletionRequest, LlmService, SimLlmConfig};
+
+        let world = WorldSpec::generate(14);
+        let svc = SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 14, cache_enabled: true, ..Default::default() },
+        );
+        // Many threads race on the SAME prompt: every request is either a
+        // billed call or a cache hit — none double-counted, none lost.
+        let requests: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&requests, 8, |_| {
+            svc.complete(&CompletionRequest::new("Summarize.\nText: the contended document"))
+        });
+        assert!(out.windows(2).all(|w| w[0] == w[1]), "all callers see one answer");
+        let usage = svc.usage();
+        assert_eq!(usage.calls + usage.cache_hits, requests.len() as u64);
+        assert!(usage.calls >= 1);
     }
 }

@@ -68,8 +68,8 @@ pub mod templates;
 pub mod tools;
 pub mod validation;
 
-pub use compiler::Compiler;
-pub use context::ExecContext;
+pub use compiler::{Compiler, PhysicalPipeline};
+pub use context::{ContextFactory, ExecContext};
 pub use data::Data;
 pub use error::CoreError;
 pub use executor::Executor;
@@ -78,8 +78,8 @@ pub use pipeline::{LogicalOp, Pipeline};
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::compiler::Compiler;
-    pub use crate::context::ExecContext;
+    pub use crate::compiler::{Compiler, PhysicalPipeline};
+    pub use crate::context::{ContextFactory, ExecContext};
     pub use crate::data::Data;
     pub use crate::error::CoreError;
     pub use crate::executor::Executor;

@@ -80,7 +80,27 @@ impl Module for DecoratedModule {
 
     fn describe(&self) -> String {
         let stages: Vec<String> = self.stages.iter().map(|s| s.describe()).collect();
-        format!("decorated module `{}` with {} stage(s):\n{}", self.name, stages.len(), stages.join("\n"))
+        format!(
+            "decorated module `{}` with {} stage(s):\n{}",
+            self.name,
+            stages.len(),
+            stages.join("\n")
+        )
+    }
+
+    fn fresh_instance(&self) -> Option<Box<dyn Module>> {
+        // Replicable iff every stage is; the invocation counter starts at 0
+        // in the copy (it is per-instance bookkeeping, not configuration).
+        let mut stages = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            stages.push(stage.fresh_instance()?);
+        }
+        Some(Box::new(DecoratedModule {
+            name: self.name.clone(),
+            stages,
+            output_validator: self.output_validator.clone(),
+            invocations: 0,
+        }))
     }
 }
 
@@ -129,10 +149,10 @@ mod tests {
     #[test]
     fn stage_errors_propagate() {
         let mut ctx = ctx();
-        let mut module = DecoratedModule::new("failing").stage(Box::new(CustomModule::new(
-            "boom",
-            |_, _| Err(CoreError::Module { module: "boom".into(), message: "bad".into() }),
-        )));
+        let mut module = DecoratedModule::new("failing")
+            .stage(Box::new(CustomModule::new("boom", |_, _| {
+                Err(CoreError::Module { module: "boom".into(), message: "bad".into() })
+            })));
         assert!(module.invoke(Data::Null, &mut ctx).is_err());
     }
 

@@ -137,8 +137,7 @@ impl Module for LlmModule {
             return Ok(data);
         }
         if self.retry_on_invalid {
-            let strict_prompt =
-                format!("{prompt}\n{}", self.validator.strict_instruction());
+            let strict_prompt = format!("{prompt}\n{}", self.validator.strict_instruction());
             let raw = ctx.llm.complete(&CompletionRequest::new(&strict_prompt));
             if let Some(data) = self.validator.validate(&raw) {
                 return Ok(data);
@@ -151,6 +150,18 @@ impl Module for LlmModule {
 
     fn describe(&self) -> String {
         format!("llm module `{}` ({:?})", self.name, self.builder)
+    }
+
+    fn fresh_instance(&self) -> Option<Box<dyn Module>> {
+        // Prompt builder and validator are immutable configuration; an LLM
+        // module carries no per-run state, so replication is a field clone.
+        Some(Box::new(LlmModule {
+            name: self.name.clone(),
+            builder: self.builder.clone(),
+            validator: self.validator.clone(),
+            pin_format: self.pin_format,
+            retry_on_invalid: self.retry_on_invalid,
+        }))
     }
 }
 
@@ -209,7 +220,10 @@ mod tests {
             },
         );
         let out = module
-            .invoke(Data::Str("name: Sony Vista 300 Webcam; description: compact webcam".into()), &mut ctx)
+            .invoke(
+                Data::Str("name: Sony Vista 300 Webcam; description: compact webcam".into()),
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(out, Data::Str("Sony".into()));
     }
@@ -231,9 +245,7 @@ mod tests {
         );
         let err = module.invoke(Data::Str("not a map".into()), &mut ctx).unwrap_err();
         assert!(matches!(err, CoreError::DataShape { .. }));
-        let err = module
-            .invoke(Data::map([("a".to_string(), Data::Null)]), &mut ctx)
-            .unwrap_err();
+        let err = module.invoke(Data::map([("a".to_string(), Data::Null)]), &mut ctx).unwrap_err();
         assert!(matches!(err, CoreError::DataShape { .. }));
     }
 
@@ -263,7 +275,9 @@ mod tests {
         );
         let out = module
             .invoke(
-                Data::Str("Hier, le conseil a discuté du budget avec les membres dans la réunion.".into()),
+                Data::Str(
+                    "Hier, le conseil a discuté du budget avec les membres dans la réunion.".into(),
+                ),
                 &mut ctx,
             )
             .unwrap();

@@ -42,8 +42,11 @@ impl LlmgcModule {
         generated: GeneratedCode,
     ) -> Result<LlmgcModule, CoreError> {
         let program = parse(&generated.source)?;
-        let entry =
-            if spec.function_name.is_empty() { "process".to_string() } else { spec.function_name.clone() };
+        let entry = if spec.function_name.is_empty() {
+            "process".to_string()
+        } else {
+            spec.function_name.clone()
+        };
         Ok(LlmgcModule {
             name: name.into(),
             source: generated.source.clone(),
@@ -64,9 +67,20 @@ impl LlmgcModule {
     ) -> Result<LlmgcModule, CoreError> {
         let source = source.into();
         let program = parse(&source)?;
-        let entry =
-            if spec.function_name.is_empty() { "process".to_string() } else { spec.function_name.clone() };
-        Ok(LlmgcModule { name: name.into(), source, program, entry, fuel: DEFAULT_FUEL, spec, generation: None })
+        let entry = if spec.function_name.is_empty() {
+            "process".to_string()
+        } else {
+            spec.function_name.clone()
+        };
+        Ok(LlmgcModule {
+            name: name.into(),
+            source,
+            program,
+            entry,
+            fuel: DEFAULT_FUEL,
+            spec,
+            generation: None,
+        })
     }
 
     pub fn with_fuel(mut self, fuel: u64) -> LlmgcModule {
@@ -110,15 +124,27 @@ impl Module for LlmgcModule {
         let mut bridge = HostBridge { ctx };
         let result = interpreter
             .call(&mut bridge, &self.entry, vec![script_input])
-            .map_err(|e| CoreError::Module {
-                module: self.name.clone(),
-                message: e.to_string(),
-            })?;
+            .map_err(|e| CoreError::Module { module: self.name.clone(), message: e.to_string() })?;
         Ok(Data::from_script(&result))
     }
 
     fn describe(&self) -> String {
         format!("llmgc module `{}`:\n{}", self.name, self.source)
+    }
+
+    fn fresh_instance(&self) -> Option<Box<dyn Module>> {
+        // The generated program is immutable between repair cycles and each
+        // invocation builds its own interpreter, so replication clones the
+        // program without re-running (or re-billing) code generation.
+        Some(Box::new(LlmgcModule {
+            name: self.name.clone(),
+            spec: self.spec.clone(),
+            source: self.source.clone(),
+            program: self.program.clone(),
+            entry: self.entry.clone(),
+            fuel: self.fuel,
+            generation: self.generation.clone(),
+        }))
     }
 }
 
@@ -147,9 +173,7 @@ mod tests {
             "fn process(xs) { let out = []; for x in xs { push(out, x * 2); } return out; }",
         )
         .unwrap();
-        let out = module
-            .invoke(Data::List(vec![Data::Int(1), Data::Int(2)]), &mut ctx)
-            .unwrap();
+        let out = module.invoke(Data::List(vec![Data::Int(1), Data::Int(2)]), &mut ctx).unwrap();
         assert_eq!(out, Data::List(vec![Data::Int(2), Data::Int(4)]));
         assert_eq!(module.kind(), ModuleKind::Llmgc);
         assert!(module.describe().contains("fn process"));
@@ -216,12 +240,9 @@ mod tests {
     #[test]
     fn replace_program_swaps_behaviour() {
         let mut ctx = ctx();
-        let mut module = LlmgcModule::from_source(
-            "swappable",
-            spec("id"),
-            "fn process(x) { return 1; }",
-        )
-        .unwrap();
+        let mut module =
+            LlmgcModule::from_source("swappable", spec("id"), "fn process(x) { return 1; }")
+                .unwrap();
         assert_eq!(module.invoke(Data::Null, &mut ctx).unwrap(), Data::Int(1));
         module
             .replace_program(GeneratedCode {

@@ -57,6 +57,16 @@ pub trait Module: Send {
     fn describe(&self) -> String {
         format!("{} module `{}`", self.kind().name(), self.name())
     }
+    /// Create a fresh, independent instance of this module, sharing none of
+    /// its mutable state. The serving layer uses this to instantiate a
+    /// compiled pipeline once per worker without re-running code generation.
+    ///
+    /// Returns `None` when the module is inherently stateful and cannot be
+    /// replicated (e.g. a [`CustomModule`] built from an arbitrary `FnMut`
+    /// closure); such modules can only run single-threaded.
+    fn fresh_instance(&self) -> Option<Box<dyn Module>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -196,7 +196,8 @@ mod tests {
     #[test]
     fn text_connector_chunks_at_sentences() {
         let connector = TextConnector::new(50, 2);
-        let doc = "First sentence here. Second sentence follows. Third one now. Fourth sentence ends.";
+        let doc =
+            "First sentence here. Second sentence follows. Third one now. Fourth sentence ends.";
         let chunks = connector.chunk(doc);
         assert!(chunks.len() >= 2, "{chunks:?}");
         let rejoined: String = chunks.concat();

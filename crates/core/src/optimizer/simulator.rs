@@ -230,8 +230,7 @@ fn binary_features(vectorizer: &HashingVectorizer, text: &str) -> Vec<f64> {
         .filter(|t| t.chars().next().map(|c| c.is_uppercase()).unwrap_or(false))
         .count() as f64;
     let has_digit = text.chars().any(|c| c.is_ascii_digit());
-    let avg_len =
-        tokens.iter().map(|t| t.chars().count()).sum::<usize>() as f64 / n;
+    let avg_len = tokens.iter().map(|t| t.chars().count()).sum::<usize>() as f64 / n;
     features.push((tokens.len() as f64 / 5.0).min(2.0));
     features.push(capitalized / n);
     features.push(f64::from(has_digit));
@@ -397,8 +396,7 @@ mod tests {
     fn unlearnable_outputs_pass_through_without_takeover() {
         let mut ctx = ctx();
         let teacher = Box::new(CustomModule::new("lister", |_, _| Ok(Data::List(vec![]))));
-        let mut sim =
-            Simulated::new(teacher, StudentKind::Binary, SimulatorConfig::default());
+        let mut sim = Simulated::new(teacher, StudentKind::Binary, SimulatorConfig::default());
         for i in 0..100 {
             let out = sim.invoke(Data::Str(format!("item {i}")), &mut ctx).unwrap();
             assert_eq!(out, Data::List(vec![]));

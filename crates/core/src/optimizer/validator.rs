@@ -152,10 +152,8 @@ impl Validator {
                 }
                 cycles += 1;
                 let suggestion = ctx.llm.suggest_fix(module.source(), &failures);
-                let previous = module
-                    .generation
-                    .clone()
-                    .unwrap_or_else(|| lingua_llm_sim::GeneratedCode {
+                let previous =
+                    module.generation.clone().unwrap_or_else(|| lingua_llm_sim::GeneratedCode {
                         source: module.source().to_string(),
                         template: lingua_llm_sim::TemplateKind::Identity,
                         bug: None,
@@ -265,12 +263,9 @@ mod tests {
     #[test]
     fn evaluation_reports_real_failures() {
         let mut ctx = ctx();
-        let mut module = LlmgcModule::from_source(
-            "bad",
-            spec(),
-            "fn process(text) { return [\"wrong\"]; }",
-        )
-        .unwrap();
+        let mut module =
+            LlmgcModule::from_source("bad", spec(), "fn process(text) { return [\"wrong\"]; }")
+                .unwrap();
         let validator = Validator::new(tokenizer_cases());
         let failures = validator.evaluate(&mut module, &mut ctx);
         assert_eq!(failures.len(), 3);
@@ -287,10 +282,9 @@ mod tests {
             hints: vec![],
         };
         let generated = ctx.llm.generate_code(&hopeless_spec);
-        let mut module =
-            LlmgcModule::from_generated("hopeless", hopeless_spec, generated).unwrap();
-        let validator = Validator::new(vec![TestCase::new(Data::Int(1), Data::Int(2))])
-            .with_budgets(2, 1);
+        let mut module = LlmgcModule::from_generated("hopeless", hopeless_spec, generated).unwrap();
+        let validator =
+            Validator::new(vec![TestCase::new(Data::Int(1), Data::Int(2))]).with_budgets(2, 1);
         let report = validator.validate_and_fix(&mut module, &mut ctx).unwrap();
         assert_eq!(report.outcome, ValidationOutcome::Exhausted);
         assert!(!report.final_failures.is_empty());

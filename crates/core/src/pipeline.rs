@@ -166,13 +166,11 @@ mod tests {
 
     #[test]
     fn pretty_renders_all_parts() {
-        let p = Pipeline::new("demo").op(
-            LogicalOp::new("resolve")
-                .output("m")
-                .input("r")
-                .using(ModuleKind::Llmgc)
-                .param("desc", "d"),
-        );
+        let p = Pipeline::new("demo").op(LogicalOp::new("resolve")
+            .output("m")
+            .input("r")
+            .using(ModuleKind::Llmgc)
+            .param("desc", "d"));
         let text = p.pretty();
         assert!(text.contains("m = resolve(r) using llmgc"));
         assert!(text.contains("desc: \"d\""));

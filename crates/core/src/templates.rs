@@ -106,7 +106,12 @@ pub fn data_imputation_template() -> Template {
         description: "Fill a missing categorical attribute: cheap generated rules resolve the \
                       easy rows, the LLM is consulted only for the hard ones."
             .into(),
-        keywords: vec!["imputation".into(), "missing".into(), "manufacturer".into(), "cleaning".into()],
+        keywords: vec![
+            "imputation".into(),
+            "missing".into(),
+            "manufacturer".into(),
+            "cleaning".into(),
+        ],
         pipeline: Pipeline::new("data_imputation_buy")
             .op(LogicalOp::new("load_csv").output("products").param("path", "products.csv"))
             .op(LogicalOp::new("impute_manufacturer")
@@ -129,7 +134,13 @@ pub fn name_extraction_template() -> Template {
         description: "Find person names in text passages: generated tokenizer and noun-phrase \
                       extractor feed an LLM tagger with an example-based validator."
             .into(),
-        keywords: vec!["name".into(), "extraction".into(), "ner".into(), "person".into(), "text".into()],
+        keywords: vec![
+            "name".into(),
+            "extraction".into(),
+            "ner".into(),
+            "person".into(),
+            "text".into(),
+        ],
         pipeline: Pipeline::new("name_extraction")
             .op(LogicalOp::new("tokenize")
                 .output("tokens")

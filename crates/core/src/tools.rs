@@ -75,11 +75,7 @@ pub fn stopwords_tool_from_world(
             .first()
             .and_then(|v| v.as_str())
             .ok_or_else(|| "stopwords expects a language code".to_string())?;
-        let words = by_lang
-            .get(code)
-            .or_else(|| by_lang.get("en"))
-            .cloned()
-            .unwrap_or_default();
+        let words = by_lang.get(code).or_else(|| by_lang.get("en")).cloned().unwrap_or_default();
         Ok(ScriptValue::List(words.into_iter().map(ScriptValue::Str).collect()))
     }
 }
@@ -92,10 +88,7 @@ mod tests {
     fn register_and_call() {
         let mut registry = ToolRegistry::new();
         registry.register("double", |args| {
-            let n = args
-                .first()
-                .and_then(|v| v.as_int())
-                .ok_or("double expects an int")?;
+            let n = args.first().and_then(|v| v.as_int()).ok_or("double expects an int")?;
             Ok(ScriptValue::Int(n * 2))
         });
         assert!(registry.contains("double"));
@@ -111,7 +104,10 @@ mod tests {
         let result = registry.call("vocabulary", &[]).unwrap();
         assert_eq!(
             result,
-            ScriptValue::List(vec![ScriptValue::Str("Sony".into()), ScriptValue::Str("Canon".into())])
+            ScriptValue::List(vec![
+                ScriptValue::Str("Sony".into()),
+                ScriptValue::Str("Canon".into())
+            ])
         );
     }
 

@@ -48,10 +48,8 @@ impl OutputValidator {
                 parse_language_code(raw).map(|code| Data::Str(code.to_string()))
             }
             OutputValidator::NumericRange { min, max } => {
-                let cleaned: String = raw
-                    .chars()
-                    .filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-                    .collect();
+                let cleaned: String =
+                    raw.chars().filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
                 let value: f64 = cleaned.parse().ok()?;
                 (*min <= value && value <= *max).then_some(Data::Float(value))
             }
@@ -63,12 +61,8 @@ impl OutputValidator {
         match self {
             OutputValidator::Passthrough => "Respond concisely.",
             OutputValidator::YesNo => "Respond with exactly `yes` or `no`, nothing else.",
-            OutputValidator::Category { .. } => {
-                "Answer with only the exact name, no extra words."
-            }
-            OutputValidator::LanguageCode => {
-                "Respond with exactly the two-letter language code."
-            }
+            OutputValidator::Category { .. } => "Answer with only the exact name, no extra words.",
+            OutputValidator::LanguageCode => "Respond with exactly the two-letter language code.",
             OutputValidator::NumericRange { .. } => "Respond with only the number.",
         }
     }
@@ -88,9 +82,7 @@ mod tests {
 
     #[test]
     fn category_normalizes_to_vocabulary() {
-        let v = OutputValidator::Category {
-            vocabulary: vec!["Sony".into(), "Microsoft".into()],
-        };
+        let v = OutputValidator::Category { vocabulary: vec!["Sony".into(), "Microsoft".into()] };
         assert_eq!(v.validate("The manufacturer is Sony."), Some(Data::Str("Sony".into())));
         assert_eq!(v.validate("  Microsoft "), Some(Data::Str("Microsoft".into())));
         // Out-of-vocabulary passes through.

@@ -26,9 +26,8 @@ fn data(depth: u32) -> impl Strategy<Value = Data> {
 }
 
 fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_filter("not a DSL keyword", |s| {
-        !matches!(s.as_str(), "pipeline" | "using" | "with")
-    })
+    "[a-z][a-z0-9_]{0,8}"
+        .prop_filter("not a DSL keyword", |s| !matches!(s.as_str(), "pipeline" | "using" | "with"))
 }
 
 fn logical_op() -> impl Strategy<Value = LogicalOp> {

@@ -24,11 +24,7 @@ pub fn read_str(name: &str, text: &str) -> Result<Table, DataError> {
         if cells.len() != table.schema().len() {
             return Err(DataError::Csv {
                 line,
-                message: format!(
-                    "expected {} fields, found {}",
-                    table.schema().len(),
-                    cells.len()
-                ),
+                message: format!("expected {} fields, found {}", table.schema().len(), cells.len()),
             });
         }
         let record = Record::new(cells.iter().map(|c| Value::infer(c)).collect());

@@ -119,11 +119,7 @@ fn corrupt_beer(rng: &mut StdRng, b: &BeerFact, intensity: f64) -> Record {
         corruption::corrupt(rng, &b.brewery, intensity * 0.6)
     };
     let style = if rng.gen_bool(0.45) { String::new() } else { b.style.clone() };
-    let abv = if rng.gen_bool(0.3) {
-        format!("{:.2}", b.abv)
-    } else {
-        format!("{:.1}%", b.abv)
-    };
+    let abv = if rng.gen_bool(0.3) { format!("{:.2}", b.abv) } else { format!("{:.1}%", b.abv) };
     Record::new(vec![
         Value::Str(name),
         Value::Str(brewery),
@@ -456,14 +452,9 @@ mod tests {
     fn positives_are_perturbed_not_identical() {
         let w = world();
         let split = generate(&w, ErDataset::BeerAdvoRateBeer, 5);
-        let changed = split
-            .train
-            .iter()
-            .chain(&split.test)
-            .filter(|p| p.label && p.left != p.right)
-            .count();
-        let total: usize =
-            split.train.iter().chain(&split.test).filter(|p| p.label).count();
+        let changed =
+            split.train.iter().chain(&split.test).filter(|p| p.label && p.left != p.right).count();
+        let total: usize = split.train.iter().chain(&split.test).filter(|p| p.label).count();
         assert!(changed as f64 / total as f64 > 0.8, "{changed}/{total} perturbed");
     }
 

@@ -41,8 +41,7 @@ impl ImputationBenchmark {
 
     /// Fraction of rows whose manufacturer is recoverable from the row text.
     pub fn easy_fraction(&self) -> f64 {
-        let easy =
-            self.mentions.iter().filter(|m| **m != BrandMention::KnowledgeOnly).count();
+        let easy = self.mentions.iter().filter(|m| **m != BrandMention::KnowledgeOnly).count();
         easy as f64 / self.mentions.len().max(1) as f64
     }
 }

@@ -157,10 +157,7 @@ mod tests {
         assert!((frac - 0.40).abs() < 0.12, "english fraction {frac}");
         // Every language in the default mix shows up.
         for lang in Language::ALL {
-            assert!(
-                c.iter().any(|p| p.language == lang),
-                "no passages in {lang:?}"
-            );
+            assert!(c.iter().any(|p| p.language == lang), "no passages in {lang:?}");
         }
     }
 

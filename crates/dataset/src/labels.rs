@@ -52,12 +52,7 @@ impl PairSplit {
 
     /// Count of positive labels across all splits.
     pub fn positives(&self) -> usize {
-        self.train
-            .iter()
-            .chain(&self.valid)
-            .chain(&self.test)
-            .filter(|p| p.label)
-            .count()
+        self.train.iter().chain(&self.valid).chain(&self.test).filter(|p| p.label).count()
     }
 }
 
@@ -79,8 +74,7 @@ mod tests {
     #[test]
     fn split_fractions() {
         let pairs: Vec<_> = (0..100).map(|i| pair(i, i % 5 == 0)).collect();
-        let split =
-            PairSplit::from_fractions(Schema::of_names(["id"]), pairs, 0.6, 0.2);
+        let split = PairSplit::from_fractions(Schema::of_names(["id"]), pairs, 0.6, 0.2);
         assert_eq!(split.train.len(), 60);
         assert_eq!(split.valid.len(), 20);
         assert_eq!(split.test.len(), 20);

@@ -391,7 +391,9 @@ impl<'a> Parser<'a> {
             self.bump()?;
             match self.bump()? {
                 Tok::Int(n) if n >= 0 => Some(n as usize),
-                other => return Err(self.error(format!("LIMIT expects an integer, found {other:?}"))),
+                other => {
+                    return Err(self.error(format!("LIMIT expects an integer, found {other:?}")))
+                }
             }
         } else {
             None
@@ -422,8 +424,9 @@ impl<'a> Parser<'a> {
                             Tok::Star => None,
                             Tok::Ident(col) => Some(col),
                             other => {
-                                return Err(self
-                                    .error(format!("aggregate expects column or *, found {other:?}")))
+                                return Err(self.error(format!(
+                                    "aggregate expects column or *, found {other:?}"
+                                )))
                             }
                         };
                         if self.bump()? != Tok::RParen {
@@ -499,7 +502,9 @@ impl<'a> Parser<'a> {
         }
         let op = match self.bump()? {
             Tok::Op(op) => op,
-            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison operator, found {other:?}")))
+            }
         };
         let literal = match self.bump()? {
             Tok::Str(s) => Value::Str(s),
@@ -539,8 +544,7 @@ impl Query {
             }
         }
 
-        let has_agg =
-            self.projections.iter().any(|p| matches!(p, Projection::Agg(..)));
+        let has_agg = self.projections.iter().any(|p| matches!(p, Projection::Agg(..)));
 
         let mut result = if has_agg || !self.group_by.is_empty() {
             self.run_aggregate(schema, &rows)?
@@ -612,17 +616,17 @@ impl Query {
                 }
             }
             if matches!(proj, Projection::Star) {
-                return Err(DataError::QueryExec(
-                    "`*` cannot be combined with aggregates".into(),
-                ));
+                return Err(DataError::QueryExec("`*` cannot be combined with aggregates".into()));
             }
         }
 
         // Group rows. Key = rendered group values (stable + hashable).
         let mut groups: BTreeMap<Vec<String>, Vec<&Record>> = BTreeMap::new();
         for row in rows {
-            let key: Vec<String> =
-                group_indices.iter().map(|&i| format!("{}|{}", row[i].type_name(), row[i])).collect();
+            let key: Vec<String> = group_indices
+                .iter()
+                .map(|&i| format!("{}|{}", row[i].type_name(), row[i]))
+                .collect();
             groups.entry(key).or_default().push(row);
         }
         if groups.is_empty() && group_indices.is_empty() {
@@ -680,10 +684,7 @@ fn eval_aggregate(
         None => None,
     };
     let non_null = || -> Vec<&Value> {
-        rows.iter()
-            .filter_map(|r| idx.map(|i| &r[i]))
-            .filter(|v| !v.is_null())
-            .collect()
+        rows.iter().filter_map(|r| idx.map(|i| &r[i])).filter(|v| !v.is_null()).collect()
     };
     Ok(match agg {
         Aggregate::Count => match idx {
@@ -707,16 +708,12 @@ fn eval_aggregate(
                 Value::Float(vals.iter().sum::<f64>() / vals.len() as f64)
             }
         }
-        Aggregate::Min => non_null()
-            .into_iter()
-            .min_by(|a, b| a.total_cmp(b))
-            .cloned()
-            .unwrap_or(Value::Null),
-        Aggregate::Max => non_null()
-            .into_iter()
-            .max_by(|a, b| a.total_cmp(b))
-            .cloned()
-            .unwrap_or(Value::Null),
+        Aggregate::Min => {
+            non_null().into_iter().min_by(|a, b| a.total_cmp(b)).cloned().unwrap_or(Value::Null)
+        }
+        Aggregate::Max => {
+            non_null().into_iter().max_by(|a, b| a.total_cmp(b)).cloned().unwrap_or(Value::Null)
+        }
     })
 }
 
@@ -756,9 +753,7 @@ fn eval_predicate(pred: &Predicate, schema: &Schema, row: &Record) -> Result<boo
             let idx = schema.require(column)?;
             row[idx].is_null() != *negated
         }
-        Predicate::And(a, b) => {
-            eval_predicate(a, schema, row)? && eval_predicate(b, schema, row)?
-        }
+        Predicate::And(a, b) => eval_predicate(a, schema, row)? && eval_predicate(b, schema, row)?,
         Predicate::Or(a, b) => eval_predicate(a, schema, row)? || eval_predicate(b, schema, row)?,
         Predicate::Not(inner) => !eval_predicate(inner, schema, row)?,
     })
@@ -815,9 +810,8 @@ mod tests {
 
     #[test]
     fn projection_and_where() {
-        let result = fixture()
-            .execute("SELECT name FROM products WHERE manufacturer = 'Sony'")
-            .unwrap();
+        let result =
+            fixture().execute("SELECT name FROM products WHERE manufacturer = 'Sony'").unwrap();
         assert_eq!(result.len(), 2);
         assert_eq!(result.schema().len(), 1);
         assert_eq!(result.cell(0, "name").unwrap(), &Value::from("PlayStation 2 Memory Card"));
@@ -840,8 +834,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.len(), 2); // Switch Dock + DualShock 4
-        // Two-valued logic: the NULL manufacturer fails the comparison, so NOT
-        // includes it (Microsoft, Nintendo, and the NULL row).
+                                // Two-valued logic: the NULL manufacturer fails the comparison, so NOT
+                                // includes it (Microsoft, Nintendo, and the NULL row).
         let r = c.execute("SELECT id FROM products WHERE NOT manufacturer = 'Sony'").unwrap();
         assert_eq!(r.len(), 3);
     }
@@ -880,7 +874,9 @@ mod tests {
     #[test]
     fn aggregates_global() {
         let c = fixture();
-        let r = c.execute("SELECT count(*), avg(price), min(price), max(price), sum(id) FROM products").unwrap();
+        let r = c
+            .execute("SELECT count(*), avg(price), min(price), max(price), sum(id) FROM products")
+            .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.cell(0, "count(*)").unwrap(), &Value::Int(5));
         assert_eq!(r.cell(0, "min(price)").unwrap(), &Value::Float(3.5));
@@ -917,10 +913,7 @@ mod tests {
     #[test]
     fn parse_errors_are_reported() {
         let c = fixture();
-        assert!(matches!(
-            c.execute("SELEKT * FROM products"),
-            Err(DataError::QueryParse { .. })
-        ));
+        assert!(matches!(c.execute("SELEKT * FROM products"), Err(DataError::QueryParse { .. })));
         assert!(c.execute("SELECT * FROM nope").is_err());
         assert!(c.execute("SELECT * FROM products WHERE").is_err());
         assert!(c.execute("SELECT * FROM products LIMIT x").is_err());

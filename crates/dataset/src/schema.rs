@@ -54,9 +54,7 @@ pub struct Schema {
 impl Schema {
     /// Build a schema where every column has type `Any`.
     pub fn of_names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
-        Schema {
-            columns: names.into_iter().map(|n| (n.into(), ColumnType::Any)).collect(),
-        }
+        Schema { columns: names.into_iter().map(|n| (n.into(), ColumnType::Any)).collect() }
     }
 
     /// Build a schema from explicit `(name, type)` pairs.
@@ -103,9 +101,7 @@ impl Schema {
 
     /// A new schema containing only the columns at `indices`, in order.
     pub fn project(&self, indices: &[usize]) -> Schema {
-        Schema {
-            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
-        }
+        Schema { columns: indices.iter().map(|&i| self.columns[i].clone()).collect() }
     }
 
     /// Append a column, returning its index.

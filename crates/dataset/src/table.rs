@@ -164,8 +164,7 @@ impl Table {
     /// Pretty-print the first `limit` rows as an aligned text table
     /// (the rendering used by the demo binaries).
     pub fn preview(&self, limit: usize) -> String {
-        let mut widths: Vec<usize> =
-            self.schema.names().map(|n| n.chars().count()).collect();
+        let mut widths: Vec<usize> = self.schema.names().map(|n| n.chars().count()).collect();
         let shown: Vec<&Record> = self.rows.iter().take(limit).collect();
         for row in &shown {
             for (i, v) in row.iter().enumerate() {
@@ -190,7 +189,9 @@ impl Table {
             out.push_str(&fmt_cell(name, widths[i]));
         }
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in shown {
             for (i, v) in row.iter().enumerate() {

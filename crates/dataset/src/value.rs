@@ -257,12 +257,7 @@ mod tests {
 
     #[test]
     fn ordering_ranks_types() {
-        let mut vals = vec![
-            Value::Str("a".into()),
-            Value::Int(0),
-            Value::Null,
-            Value::Bool(true),
-        ];
+        let mut vals = vec![Value::Str("a".into()), Value::Int(0), Value::Null, Value::Bool(true)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(
             vals,

@@ -213,110 +213,303 @@ impl WorldSpec {
 // ---------------------------------------------------------------------------
 
 pub(crate) const MANUFACTURERS: &[&str] = &[
-    "Sony", "Microsoft", "Nintendo", "Samsung", "Logitech", "Belkin", "Canon", "Epson",
-    "Garmin", "Netgear", "Linksys", "Panasonic", "Toshiba", "Philips", "Kensington",
-    "Targus", "SanDisk", "Kingston", "Seagate", "Plantronics", "Griffin", "Jabra",
-    "ViewSonic", "Brother", "Lexmark", "Olympus", "Casio", "Pioneer", "Kenwood", "Yamaha",
+    "Sony",
+    "Microsoft",
+    "Nintendo",
+    "Samsung",
+    "Logitech",
+    "Belkin",
+    "Canon",
+    "Epson",
+    "Garmin",
+    "Netgear",
+    "Linksys",
+    "Panasonic",
+    "Toshiba",
+    "Philips",
+    "Kensington",
+    "Targus",
+    "SanDisk",
+    "Kingston",
+    "Seagate",
+    "Plantronics",
+    "Griffin",
+    "Jabra",
+    "ViewSonic",
+    "Brother",
+    "Lexmark",
+    "Olympus",
+    "Casio",
+    "Pioneer",
+    "Kenwood",
+    "Yamaha",
 ];
 
 const PRODUCT_LINE_WORDS: &[&str] = &[
-    "Vista", "Quantum", "Aero", "Pulse", "Nova", "Helix", "Orion", "Vertex", "Zephyr",
-    "Titan", "Lumen", "Echo", "Strata", "Vortex", "Cinder", "Raven", "Falcon", "Comet",
-    "Atlas", "Prism", "Drift", "Ember", "Onyx", "Summit", "Nimbus", "Radian", "Krait",
-    "Sable", "Fathom", "Spire",
+    "Vista", "Quantum", "Aero", "Pulse", "Nova", "Helix", "Orion", "Vertex", "Zephyr", "Titan",
+    "Lumen", "Echo", "Strata", "Vortex", "Cinder", "Raven", "Falcon", "Comet", "Atlas", "Prism",
+    "Drift", "Ember", "Onyx", "Summit", "Nimbus", "Radian", "Krait", "Sable", "Fathom", "Spire",
 ];
 
 const PRODUCT_TYPES: &[&str] = &[
-    "Memory Card", "Wireless Mouse", "Keyboard", "USB Hub", "Webcam", "Headset",
-    "Router", "Ink Cartridge", "Laser Printer", "GPS Navigator", "External Drive",
-    "Flash Drive", "Monitor Stand", "Docking Station", "Speaker System", "Microphone",
-    "Game Controller", "Carrying Case", "Battery Pack", "HDMI Cable", "Surge Protector",
-    "Label Maker", "Scanner", "Projector", "Media Player",
+    "Memory Card",
+    "Wireless Mouse",
+    "Keyboard",
+    "USB Hub",
+    "Webcam",
+    "Headset",
+    "Router",
+    "Ink Cartridge",
+    "Laser Printer",
+    "GPS Navigator",
+    "External Drive",
+    "Flash Drive",
+    "Monitor Stand",
+    "Docking Station",
+    "Speaker System",
+    "Microphone",
+    "Game Controller",
+    "Carrying Case",
+    "Battery Pack",
+    "HDMI Cable",
+    "Surge Protector",
+    "Label Maker",
+    "Scanner",
+    "Projector",
+    "Media Player",
 ];
 
 const PRODUCT_ADJECTIVES: &[&str] = &[
-    "compact", "professional", "ergonomic", "portable", "high-speed", "rechargeable",
-    "ultra-slim", "durable", "wireless", "premium", "entry-level", "rugged",
+    "compact",
+    "professional",
+    "ergonomic",
+    "portable",
+    "high-speed",
+    "rechargeable",
+    "ultra-slim",
+    "durable",
+    "wireless",
+    "premium",
+    "entry-level",
+    "rugged",
 ];
 
 const BEER_ADJ: &[&str] = &[
-    "Hoppy", "Golden", "Midnight", "Rusty", "Wandering", "Crooked", "Velvet", "Smoky",
-    "Frostbite", "Harvest", "Burnt", "Wild", "Old", "Double", "Imperial", "Lazy",
-    "Howling", "Iron", "Copper", "Drifting",
+    "Hoppy",
+    "Golden",
+    "Midnight",
+    "Rusty",
+    "Wandering",
+    "Crooked",
+    "Velvet",
+    "Smoky",
+    "Frostbite",
+    "Harvest",
+    "Burnt",
+    "Wild",
+    "Old",
+    "Double",
+    "Imperial",
+    "Lazy",
+    "Howling",
+    "Iron",
+    "Copper",
+    "Drifting",
 ];
 
 const BEER_NOUN: &[&str] = &[
-    "Badger", "Anvil", "Lantern", "Harbor", "Saddle", "Compass", "Orchard", "Pines",
-    "Raven", "Kettle", "Mill", "Quarry", "Meadow", "Tundra", "Canyon", "Summit",
-    "Bramble", "Foundry", "Gable", "Sparrow",
+    "Badger", "Anvil", "Lantern", "Harbor", "Saddle", "Compass", "Orchard", "Pines", "Raven",
+    "Kettle", "Mill", "Quarry", "Meadow", "Tundra", "Canyon", "Summit", "Bramble", "Foundry",
+    "Gable", "Sparrow",
 ];
 
 const BEER_STYLES: &[&str] = &[
-    "American IPA", "Imperial Stout", "Pale Ale", "Porter", "Hefeweizen", "Saison",
-    "Pilsner", "Amber Ale", "Brown Ale", "Witbier", "Barleywine", "ESB", "Kolsch",
-    "Dubbel", "Tripel",
+    "American IPA",
+    "Imperial Stout",
+    "Pale Ale",
+    "Porter",
+    "Hefeweizen",
+    "Saison",
+    "Pilsner",
+    "Amber Ale",
+    "Brown Ale",
+    "Witbier",
+    "Barleywine",
+    "ESB",
+    "Kolsch",
+    "Dubbel",
+    "Tripel",
 ];
 
 const BREWERY_WORDS: &[&str] = &[
-    "Stonegate", "Riverbend", "Halfmoon", "Timberline", "Ironworks", "Bluestem",
-    "Cedar Hollow", "Northgate", "Saltbox", "Longtable", "Redhook Valley", "Gaslight",
-    "Millrace", "Foxglove", "Tidewater", "Granite Peak", "Wolfpine", "Elderflower",
-    "Kingfisher", "Slate Creek",
+    "Stonegate",
+    "Riverbend",
+    "Halfmoon",
+    "Timberline",
+    "Ironworks",
+    "Bluestem",
+    "Cedar Hollow",
+    "Northgate",
+    "Saltbox",
+    "Longtable",
+    "Redhook Valley",
+    "Gaslight",
+    "Millrace",
+    "Foxglove",
+    "Tidewater",
+    "Granite Peak",
+    "Wolfpine",
+    "Elderflower",
+    "Kingfisher",
+    "Slate Creek",
 ];
 
 const RESTAURANT_FIRST: &[&str] = &[
-    "Cafe", "Chez", "Trattoria", "Bistro", "The", "La", "El", "Little", "Golden",
-    "Blue", "Royal", "Old Town",
+    "Cafe",
+    "Chez",
+    "Trattoria",
+    "Bistro",
+    "The",
+    "La",
+    "El",
+    "Little",
+    "Golden",
+    "Blue",
+    "Royal",
+    "Old Town",
 ];
 
 const RESTAURANT_SECOND: &[&str] = &[
-    "Luna", "Veranda", "Marquis", "Cypress", "Magnolia", "Pavilion", "Terrace",
-    "Lantern", "Garden", "Harvest", "Olive", "Saffron", "Juniper", "Windmill",
-    "Cellar", "Arbor", "Meridian", "Tavern", "Grove", "Dragon", "Pearl", "Vine",
-    "Fig", "Sparrow", "Canal",
+    "Luna", "Veranda", "Marquis", "Cypress", "Magnolia", "Pavilion", "Terrace", "Lantern",
+    "Garden", "Harvest", "Olive", "Saffron", "Juniper", "Windmill", "Cellar", "Arbor", "Meridian",
+    "Tavern", "Grove", "Dragon", "Pearl", "Vine", "Fig", "Sparrow", "Canal",
 ];
 
 const CITIES: &[&str] = &[
-    "new york", "los angeles", "san francisco", "chicago", "atlanta", "boston",
-    "seattle", "denver", "austin", "portland", "miami", "new orleans",
+    "new york",
+    "los angeles",
+    "san francisco",
+    "chicago",
+    "atlanta",
+    "boston",
+    "seattle",
+    "denver",
+    "austin",
+    "portland",
+    "miami",
+    "new orleans",
 ];
 
 const STREETS: &[&str] = &[
-    "Main St.", "Oak Ave.", "Sunset Blvd.", "5th Ave.", "Melrose Ave.", "Broadway",
-    "Market St.", "Pine St.", "Lincoln Rd.", "Canal St.", "Peachtree St.", "Union Sq.",
+    "Main St.",
+    "Oak Ave.",
+    "Sunset Blvd.",
+    "5th Ave.",
+    "Melrose Ave.",
+    "Broadway",
+    "Market St.",
+    "Pine St.",
+    "Lincoln Rd.",
+    "Canal St.",
+    "Peachtree St.",
+    "Union Sq.",
 ];
 
 const CUISINES: &[&str] = &[
-    "italian", "french", "american", "chinese", "japanese", "mexican", "thai",
-    "mediterranean", "steakhouses", "seafood", "indian", "bbq",
+    "italian",
+    "french",
+    "american",
+    "chinese",
+    "japanese",
+    "mexican",
+    "thai",
+    "mediterranean",
+    "steakhouses",
+    "seafood",
+    "indian",
+    "bbq",
 ];
 
 const SONG_WORD_A: &[&str] = &[
-    "Midnight", "Broken", "Electric", "Golden", "Silent", "Neon", "Paper", "Hollow",
-    "Crimson", "Fading", "Wildest", "Lonely", "Burning", "Frozen", "Gravity",
-    "Shattered", "Velvet", "Distant", "Restless", "Phantom",
+    "Midnight",
+    "Broken",
+    "Electric",
+    "Golden",
+    "Silent",
+    "Neon",
+    "Paper",
+    "Hollow",
+    "Crimson",
+    "Fading",
+    "Wildest",
+    "Lonely",
+    "Burning",
+    "Frozen",
+    "Gravity",
+    "Shattered",
+    "Velvet",
+    "Distant",
+    "Restless",
+    "Phantom",
 ];
 
 const SONG_WORD_B: &[&str] = &[
-    "Hearts", "Avenue", "Skyline", "Rivers", "Echoes", "Horizon", "Dreams", "Shadows",
-    "Fires", "Letters", "Motels", "Daylight", "Static", "Harbors", "Mirrors",
-    "Sirens", "Gardens", "Thunder", "Satellites", "Reverie",
+    "Hearts",
+    "Avenue",
+    "Skyline",
+    "Rivers",
+    "Echoes",
+    "Horizon",
+    "Dreams",
+    "Shadows",
+    "Fires",
+    "Letters",
+    "Motels",
+    "Daylight",
+    "Static",
+    "Harbors",
+    "Mirrors",
+    "Sirens",
+    "Gardens",
+    "Thunder",
+    "Satellites",
+    "Reverie",
 ];
 
 const ARTIST_FIRST: &[&str] = &[
-    "Ivy", "Marlowe", "Juno", "Calder", "Sable", "Wren", "Indigo", "Harlan", "Vesper",
-    "Lux", "Rhodes", "Arden", "Onyx", "Piper", "Soren",
+    "Ivy", "Marlowe", "Juno", "Calder", "Sable", "Wren", "Indigo", "Harlan", "Vesper", "Lux",
+    "Rhodes", "Arden", "Onyx", "Piper", "Soren",
 ];
 
 const ARTIST_SECOND: &[&str] = &[
-    "& the Night Owls", "Parade", "Collective", "Brothers", "Quartet", "City",
-    "Machine", "Republic", "Avenue", "Syndicate", "Foxes", "Archives", "Motel",
-    "Cartel", "Union",
+    "& the Night Owls",
+    "Parade",
+    "Collective",
+    "Brothers",
+    "Quartet",
+    "City",
+    "Machine",
+    "Republic",
+    "Avenue",
+    "Syndicate",
+    "Foxes",
+    "Archives",
+    "Motel",
+    "Cartel",
+    "Union",
 ];
 
 const GENRES: &[&str] = &[
-    "Pop", "Rock", "Indie Rock", "Hip-Hop/Rap", "Electronic", "Country", "R&B/Soul",
-    "Alternative", "Dance", "Folk",
+    "Pop",
+    "Rock",
+    "Indie Rock",
+    "Hip-Hop/Rap",
+    "Electronic",
+    "Country",
+    "R&B/Soul",
+    "Alternative",
+    "Dance",
+    "Folk",
 ];
 
 // ---------------------------------------------------------------------------
@@ -506,25 +699,72 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::English,
         Lexicon {
             given_names: strs![
-                "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
-                "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
-                "Joseph", "Jessica", "Thomas", "Sarah", "Henry", "Karen", "Daniel",
-                "Nancy", "Matthew", "Lisa", "Anthony", "Betty", "Mark", "Margaret",
-                "Steven", "Sandra"
+                "James",
+                "Mary",
+                "Robert",
+                "Patricia",
+                "John",
+                "Jennifer",
+                "Michael",
+                "Linda",
+                "David",
+                "Elizabeth",
+                "William",
+                "Barbara",
+                "Richard",
+                "Susan",
+                "Joseph",
+                "Jessica",
+                "Thomas",
+                "Sarah",
+                "Henry",
+                "Karen",
+                "Daniel",
+                "Nancy",
+                "Matthew",
+                "Lisa",
+                "Anthony",
+                "Betty",
+                "Mark",
+                "Margaret",
+                "Steven",
+                "Sandra"
             ],
             surnames: strs![
-                "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
-                "Davis", "Wilson", "Anderson", "Taylor", "Thomas", "Moore", "Jackson",
-                "Martin", "Lee", "Thompson", "White", "Harris", "Clark", "Lewis",
-                "Walker", "Hall", "Young", "King"
+                "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+                "Wilson", "Anderson", "Taylor", "Thomas", "Moore", "Jackson", "Martin", "Lee",
+                "Thompson", "White", "Harris", "Clark", "Lewis", "Walker", "Hall", "Young", "King"
             ],
             function_words: strs![
-                "the", "and", "of", "to", "in", "that", "with", "for", "was", "on",
-                "at", "by", "from", "this", "yesterday", "meeting", "said"
+                "the",
+                "and",
+                "of",
+                "to",
+                "in",
+                "that",
+                "with",
+                "for",
+                "was",
+                "on",
+                "at",
+                "by",
+                "from",
+                "this",
+                "yesterday",
+                "meeting",
+                "said"
             ],
             distractors: strs![
-                "London", "Chicago", "Amazon", "Harvard", "Congress", "October",
-                "Broadway", "Microsoft", "Thames", "Oxford"
+                "London",
+                "Chicago",
+                "Amazon",
+                "Harvard",
+                "Congress",
+                "October",
+                "Broadway",
+                "Microsoft",
+                "Thames",
+                "Oxford"
             ],
             templates: strs![
                 "Yesterday {name} met with the board of {place} to discuss the {noun}.",
@@ -535,8 +775,16 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "During the interview, {name} said the {noun} exceeded expectations."
             ],
             nouns: strs![
-                "budget", "merger", "festival", "report", "contract", "project",
-                "campaign", "audit", "conference", "prototype"
+                "budget",
+                "merger",
+                "festival",
+                "report",
+                "contract",
+                "project",
+                "campaign",
+                "audit",
+                "conference",
+                "prototype"
             ],
         },
     );
@@ -544,22 +792,27 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::French,
         Lexicon {
             given_names: strs![
-                "Jean", "Marie", "Pierre", "Camille", "Luc", "Sophie", "Antoine",
-                "Claire", "Julien", "Amélie", "Nicolas", "Élodie", "Mathieu", "Chloé",
-                "Olivier", "Margaux", "Thierry", "Juliette", "Pascal", "Inès"
+                "Jean", "Marie", "Pierre", "Camille", "Luc", "Sophie", "Antoine", "Claire",
+                "Julien", "Amélie", "Nicolas", "Élodie", "Mathieu", "Chloé", "Olivier", "Margaux",
+                "Thierry", "Juliette", "Pascal", "Inès"
             ],
             surnames: strs![
-                "Martin", "Bernard", "Dubois", "Moreau", "Laurent", "Lefebvre",
-                "Leroy", "Roux", "Fournier", "Girard", "Bonnet", "Dupont", "Lambert",
-                "Rousseau", "Blanc"
+                "Martin", "Bernard", "Dubois", "Moreau", "Laurent", "Lefebvre", "Leroy", "Roux",
+                "Fournier", "Girard", "Bonnet", "Dupont", "Lambert", "Rousseau", "Blanc"
             ],
             function_words: strs![
-                "le", "la", "les", "de", "des", "et", "dans", "avec", "pour", "sur",
-                "hier", "selon", "réunion", "était", "sera", "une"
+                "le", "la", "les", "de", "des", "et", "dans", "avec", "pour", "sur", "hier",
+                "selon", "réunion", "était", "sera", "une"
             ],
             distractors: strs![
-                "Paris", "Lyon", "Marseille", "Sorbonne", "Provence", "Louvre",
-                "Bordeaux", "Normandie"
+                "Paris",
+                "Lyon",
+                "Marseille",
+                "Sorbonne",
+                "Provence",
+                "Louvre",
+                "Bordeaux",
+                "Normandie"
             ],
             templates: strs![
                 "Hier, {name} a rencontré le conseil de {place} pour discuter du {noun}.",
@@ -569,8 +822,15 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "Un rapport de {name} a critiqué le {noun} annoncé à {place}."
             ],
             nouns: strs![
-                "budget", "projet", "festival", "rapport", "contrat", "programme",
-                "audit", "congrès", "prototype"
+                "budget",
+                "projet",
+                "festival",
+                "rapport",
+                "contrat",
+                "programme",
+                "audit",
+                "congrès",
+                "prototype"
             ],
         },
     );
@@ -578,22 +838,57 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::German,
         Lexicon {
             given_names: strs![
-                "Hans", "Anna", "Karl", "Greta", "Friedrich", "Lena", "Stefan",
-                "Ingrid", "Jürgen", "Sabine", "Wolfgang", "Heike", "Matthias",
-                "Ursula", "Dieter", "Katrin", "Rainer", "Monika", "Lukas", "Franziska"
+                "Hans",
+                "Anna",
+                "Karl",
+                "Greta",
+                "Friedrich",
+                "Lena",
+                "Stefan",
+                "Ingrid",
+                "Jürgen",
+                "Sabine",
+                "Wolfgang",
+                "Heike",
+                "Matthias",
+                "Ursula",
+                "Dieter",
+                "Katrin",
+                "Rainer",
+                "Monika",
+                "Lukas",
+                "Franziska"
             ],
             surnames: strs![
-                "Müller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer",
-                "Wagner", "Becker", "Schulz", "Hoffmann", "Koch", "Bauer", "Richter",
-                "Klein", "Wolf"
+                "Müller",
+                "Schmidt",
+                "Schneider",
+                "Fischer",
+                "Weber",
+                "Meyer",
+                "Wagner",
+                "Becker",
+                "Schulz",
+                "Hoffmann",
+                "Koch",
+                "Bauer",
+                "Richter",
+                "Klein",
+                "Wolf"
             ],
             function_words: strs![
-                "der", "die", "das", "und", "mit", "für", "auf", "von", "gestern",
-                "wird", "wurde", "eine", "dem", "den", "sich", "nicht"
+                "der", "die", "das", "und", "mit", "für", "auf", "von", "gestern", "wird", "wurde",
+                "eine", "dem", "den", "sich", "nicht"
             ],
             distractors: strs![
-                "Berlin", "München", "Hamburg", "Bundestag", "Bayern", "Rhein",
-                "Frankfurt", "Siemens"
+                "Berlin",
+                "München",
+                "Hamburg",
+                "Bundestag",
+                "Bayern",
+                "Rhein",
+                "Frankfurt",
+                "Siemens"
             ],
             templates: strs![
                 "Gestern traf {name} den Vorstand in {place}, um das {noun} zu besprechen.",
@@ -603,8 +898,15 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "Ein Bericht von {name} kritisierte das in {place} angekündigte {noun}."
             ],
             nouns: strs![
-                "Budget", "Projekt", "Festival", "Gutachten", "Abkommen", "Programm",
-                "Audit", "Treffen", "Modell"
+                "Budget",
+                "Projekt",
+                "Festival",
+                "Gutachten",
+                "Abkommen",
+                "Programm",
+                "Audit",
+                "Treffen",
+                "Modell"
             ],
         },
     );
@@ -612,22 +914,57 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::Spanish,
         Lexicon {
             given_names: strs![
-                "José", "María", "Antonio", "Carmen", "Manuel", "Lucía", "Francisco",
-                "Isabel", "Javier", "Pilar", "Miguel", "Teresa", "Alejandro", "Rosa",
-                "Fernando", "Elena", "Diego", "Marta", "Pablo", "Sofía"
+                "José",
+                "María",
+                "Antonio",
+                "Carmen",
+                "Manuel",
+                "Lucía",
+                "Francisco",
+                "Isabel",
+                "Javier",
+                "Pilar",
+                "Miguel",
+                "Teresa",
+                "Alejandro",
+                "Rosa",
+                "Fernando",
+                "Elena",
+                "Diego",
+                "Marta",
+                "Pablo",
+                "Sofía"
             ],
             surnames: strs![
-                "García", "Rodríguez", "González", "Fernández", "López", "Martínez",
-                "Sánchez", "Pérez", "Gómez", "Martín", "Jiménez", "Ruiz", "Hernández",
-                "Díaz", "Moreno"
+                "García",
+                "Rodríguez",
+                "González",
+                "Fernández",
+                "López",
+                "Martínez",
+                "Sánchez",
+                "Pérez",
+                "Gómez",
+                "Martín",
+                "Jiménez",
+                "Ruiz",
+                "Hernández",
+                "Díaz",
+                "Moreno"
             ],
             function_words: strs![
-                "el", "la", "los", "de", "del", "y", "con", "para", "sobre", "ayer",
-                "según", "será", "una", "que", "por", "reunión"
+                "el", "la", "los", "de", "del", "y", "con", "para", "sobre", "ayer", "según",
+                "será", "una", "que", "por", "reunión"
             ],
             distractors: strs![
-                "Madrid", "Barcelona", "Sevilla", "Andalucía", "Catalunya", "Prado",
-                "Valencia", "Bilbao"
+                "Madrid",
+                "Barcelona",
+                "Sevilla",
+                "Andalucía",
+                "Catalunya",
+                "Prado",
+                "Valencia",
+                "Bilbao"
             ],
             templates: strs![
                 "Ayer {name} se reunió con el consejo de {place} para discutir el {noun}.",
@@ -637,8 +974,14 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "Un informe de {name} criticó el {noun} anunciado en {place}."
             ],
             nouns: strs![
-                "presupuesto", "proyecto", "festival", "informe", "contrato",
-                "programa", "congreso", "prototipo"
+                "presupuesto",
+                "proyecto",
+                "festival",
+                "informe",
+                "contrato",
+                "programa",
+                "congreso",
+                "prototipo"
             ],
         },
     );
@@ -646,22 +989,35 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::Italian,
         Lexicon {
             given_names: strs![
-                "Giulia", "Marco", "Francesca", "Luca", "Alessandro", "Chiara",
-                "Matteo", "Valentina", "Davide", "Sara", "Simone", "Martina",
-                "Andrea", "Elisa", "Lorenzo", "Silvia", "Riccardo", "Federica"
+                "Giulia",
+                "Marco",
+                "Francesca",
+                "Luca",
+                "Alessandro",
+                "Chiara",
+                "Matteo",
+                "Valentina",
+                "Davide",
+                "Sara",
+                "Simone",
+                "Martina",
+                "Andrea",
+                "Elisa",
+                "Lorenzo",
+                "Silvia",
+                "Riccardo",
+                "Federica"
             ],
             surnames: strs![
-                "Rossi", "Russo", "Ferrari", "Esposito", "Bianchi", "Romano",
-                "Colombo", "Ricci", "Marino", "Greco", "Bruno", "Gallo", "Conti",
-                "De Luca", "Costa"
+                "Rossi", "Russo", "Ferrari", "Esposito", "Bianchi", "Romano", "Colombo", "Ricci",
+                "Marino", "Greco", "Bruno", "Gallo", "Conti", "De Luca", "Costa"
             ],
             function_words: strs![
-                "il", "la", "gli", "di", "del", "e", "con", "per", "su", "ieri",
-                "secondo", "sarà", "una", "che", "riunione", "nuovo"
+                "il", "la", "gli", "di", "del", "e", "con", "per", "su", "ieri", "secondo", "sarà",
+                "una", "che", "riunione", "nuovo"
             ],
             distractors: strs![
-                "Roma", "Milano", "Napoli", "Toscana", "Venezia", "Vaticano",
-                "Torino", "Firenze"
+                "Roma", "Milano", "Napoli", "Toscana", "Venezia", "Vaticano", "Torino", "Firenze"
             ],
             templates: strs![
                 "Ieri {name} ha incontrato il consiglio di {place} per discutere il {noun}.",
@@ -671,8 +1027,14 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "Un rapporto di {name} ha criticato il {noun} annunciato a {place}."
             ],
             nouns: strs![
-                "bilancio", "progetto", "festival", "rapporto", "contratto",
-                "programma", "congresso", "prototipo"
+                "bilancio",
+                "progetto",
+                "festival",
+                "rapporto",
+                "contratto",
+                "programma",
+                "congresso",
+                "prototipo"
             ],
         },
     );
@@ -680,22 +1042,53 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::Turkish,
         Lexicon {
             given_names: strs![
-                "Mehmet", "Ayşe", "Mustafa", "Fatma", "Ahmet", "Emine", "Ali",
-                "Hatice", "Hüseyin", "Zeynep", "Hasan", "Elif", "İbrahim", "Meryem",
-                "Osman", "Şerife", "Yusuf", "Zehra"
+                "Mehmet", "Ayşe", "Mustafa", "Fatma", "Ahmet", "Emine", "Ali", "Hatice", "Hüseyin",
+                "Zeynep", "Hasan", "Elif", "İbrahim", "Meryem", "Osman", "Şerife", "Yusuf",
+                "Zehra"
             ],
             surnames: strs![
-                "Yılmaz", "Kaya", "Demir", "Çelik", "Şahin", "Yıldız", "Yıldırım",
-                "Öztürk", "Aydın", "Özdemir", "Arslan", "Doğan", "Kılıç", "Aslan",
+                "Yılmaz",
+                "Kaya",
+                "Demir",
+                "Çelik",
+                "Şahin",
+                "Yıldız",
+                "Yıldırım",
+                "Öztürk",
+                "Aydın",
+                "Özdemir",
+                "Arslan",
+                "Doğan",
+                "Kılıç",
+                "Aslan",
                 "Çetin"
             ],
             function_words: strs![
-                "ve", "bir", "bu", "için", "ile", "dün", "göre", "olarak", "daha",
-                "çok", "toplantı", "yeni", "olan", "gibi", "kadar"
+                "ve",
+                "bir",
+                "bu",
+                "için",
+                "ile",
+                "dün",
+                "göre",
+                "olarak",
+                "daha",
+                "çok",
+                "toplantı",
+                "yeni",
+                "olan",
+                "gibi",
+                "kadar"
             ],
             distractors: strs![
-                "İstanbul", "Ankara", "İzmir", "Boğaziçi", "Anadolu", "Kapadokya",
-                "Bursa", "Antalya"
+                "İstanbul",
+                "Ankara",
+                "İzmir",
+                "Boğaziçi",
+                "Anadolu",
+                "Kapadokya",
+                "Bursa",
+                "Antalya"
             ],
             templates: strs![
                 "Dün {name}, {noun} konusunu görüşmek için {place} kurulu ile buluştu.",
@@ -705,8 +1098,14 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "{name} tarafından hazırlanan rapor, {place} açıklanan {noun} eleştirdi."
             ],
             nouns: strs![
-                "bütçe", "proje", "festival", "rapor", "sözleşme", "program",
-                "kongre", "prototip"
+                "bütçe",
+                "proje",
+                "festival",
+                "rapor",
+                "sözleşme",
+                "program",
+                "kongre",
+                "prototip"
             ],
         },
     );
@@ -714,20 +1113,26 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::Chinese,
         Lexicon {
             given_names: strs![
-                "Wei", "Fang", "Jun", "Min", "Lei", "Yan", "Qiang", "Xiu", "Hao",
-                "Ling", "Peng", "Hui", "Bo", "Jing", "Tao", "Na", "Gang", "Mei"
+                "Wei", "Fang", "Jun", "Min", "Lei", "Yan", "Qiang", "Xiu", "Hao", "Ling", "Peng",
+                "Hui", "Bo", "Jing", "Tao", "Na", "Gang", "Mei"
             ],
             surnames: strs![
-                "Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao", "Wu",
-                "Zhou", "Xu", "Sun", "Ma", "Zhu", "Hu"
+                "Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao", "Wu", "Zhou", "Xu",
+                "Sun", "Ma", "Zhu", "Hu"
             ],
             function_words: strs![
-                "de", "shi", "zai", "he", "yu", "zuotian", "genju", "jiang", "yige",
-                "huiyi", "xin", "gongsi", "biaoshi", "jinxing", "guanyu"
+                "de", "shi", "zai", "he", "yu", "zuotian", "genju", "jiang", "yige", "huiyi",
+                "xin", "gongsi", "biaoshi", "jinxing", "guanyu"
             ],
             distractors: strs![
-                "Beijing", "Shanghai", "Shenzhen", "Tsinghua", "Guangzhou",
-                "Hangzhou", "Chengdu", "Nanjing"
+                "Beijing",
+                "Shanghai",
+                "Shenzhen",
+                "Tsinghua",
+                "Guangzhou",
+                "Hangzhou",
+                "Chengdu",
+                "Nanjing"
             ],
             templates: strs![
                 "Zuotian {name} zai {place} yu dongshihui taolun le {noun}.",
@@ -737,8 +1142,7 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "{name} de baogao piping le zai {place} xuanbu de {noun}."
             ],
             nouns: strs![
-                "yusuan", "xiangmu", "jiehui", "baogao", "hetong", "jihua",
-                "dahui", "yangji"
+                "yusuan", "xiangmu", "jiehui", "baogao", "hetong", "jihua", "dahui", "yangji"
             ],
         },
     );
@@ -746,21 +1150,45 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
         Language::Japanese,
         Lexicon {
             given_names: strs![
-                "Haruto", "Yui", "Sota", "Aoi", "Ren", "Hina", "Yuto", "Sakura",
-                "Daiki", "Mio", "Kaito", "Rin", "Takumi", "Yuna", "Riku", "Koharu"
+                "Haruto", "Yui", "Sota", "Aoi", "Ren", "Hina", "Yuto", "Sakura", "Daiki", "Mio",
+                "Kaito", "Rin", "Takumi", "Yuna", "Riku", "Koharu"
             ],
             surnames: strs![
-                "Sato", "Suzuki", "Takahashi", "Tanaka", "Watanabe", "Ito",
-                "Yamamoto", "Nakamura", "Kobayashi", "Kato", "Yoshida", "Yamada",
-                "Sasaki", "Matsumoto", "Inoue"
+                "Sato",
+                "Suzuki",
+                "Takahashi",
+                "Tanaka",
+                "Watanabe",
+                "Ito",
+                "Yamamoto",
+                "Nakamura",
+                "Kobayashi",
+                "Kato",
+                "Yoshida",
+                "Yamada",
+                "Sasaki",
+                "Matsumoto",
+                "Inoue"
             ],
             function_words: strs![
-                "no", "wa", "ni", "wo", "ga", "to", "kinou", "niyoruto", "atarashii",
-                "kaigi", "de", "shita", "sareru", "made", "kara"
+                "no",
+                "wa",
+                "ni",
+                "wo",
+                "ga",
+                "to",
+                "kinou",
+                "niyoruto",
+                "atarashii",
+                "kaigi",
+                "de",
+                "shita",
+                "sareru",
+                "made",
+                "kara"
             ],
             distractors: strs![
-                "Tokyo", "Osaka", "Kyoto", "Hokkaido", "Shibuya", "Nagoya",
-                "Fukuoka", "Yokohama"
+                "Tokyo", "Osaka", "Kyoto", "Hokkaido", "Shibuya", "Nagoya", "Fukuoka", "Yokohama"
             ],
             templates: strs![
                 "Kinou {name} wa {place} de torishimariyaku to {noun} ni tsuite hanashita.",
@@ -770,8 +1198,14 @@ fn build_lexicons() -> BTreeMap<Language, Lexicon> {
                 "{name} no houkokusho wa {place} de happyou sareta {noun} wo hihan shita."
             ],
             nouns: strs![
-                "yosan", "purojekuto", "matsuri", "houkoku", "keiyaku", "keikaku",
-                "taikai", "shisaku"
+                "yosan",
+                "purojekuto",
+                "matsuri",
+                "houkoku",
+                "keiyaku",
+                "keikaku",
+                "taikai",
+                "shisaku"
             ],
         },
     );
@@ -801,7 +1235,13 @@ mod tests {
 
     #[test]
     fn sizes_match_config() {
-        let config = WorldConfig { products: 50, beers: 20, restaurants: 30, songs: 10, ..Default::default() };
+        let config = WorldConfig {
+            products: 50,
+            beers: 20,
+            restaurants: 30,
+            songs: 10,
+            ..Default::default()
+        };
         let w = WorldSpec::generate_with(3, &config);
         assert_eq!(w.products.len(), 50);
         assert_eq!(w.beers.len(), 20);
@@ -812,11 +1252,7 @@ mod tests {
     #[test]
     fn easy_fraction_is_respected() {
         let w = WorldSpec::generate(11);
-        let easy = w
-            .products
-            .iter()
-            .filter(|p| p.mention != BrandMention::KnowledgeOnly)
-            .count();
+        let easy = w.products.iter().filter(|p| p.mention != BrandMention::KnowledgeOnly).count();
         let frac = easy as f64 / w.products.len() as f64;
         assert!((frac - 5.0 / 6.0).abs() < 0.06, "easy fraction {frac}");
     }

@@ -36,11 +36,7 @@ pub fn detect_domain(fields: &BTreeMap<String, String>) -> Option<EntityDomain> 
 }
 
 fn field<'a>(fields: &'a BTreeMap<String, String>, names: &[&str]) -> &'a str {
-    names
-        .iter()
-        .find_map(|n| fields.get(*n))
-        .map(|s| s.as_str())
-        .unwrap_or("")
+    names.iter().find_map(|n| fields.get(*n)).map(|s| s.as_str()).unwrap_or("")
 }
 
 /// (primary, secondary) key text for knowledge-base resolution.
@@ -95,7 +91,7 @@ pub fn pair_score(
         let sim = if calibrated {
             // Robust: overlap coefficient shrugs off decorations
             // ("(Remastered)"), numeric-aware comparison for times/prices.
-            
+
             textsim::overlap_tokens(&va, &vb)
                 .max(textsim::jaro_winkler(&va, &vb))
                 .max(textsim::numeric_sim(&va, &vb) * 0.9)
@@ -217,8 +213,7 @@ pub fn respond(
     } else {
         calibration.match_threshold_naive
     };
-    let mut verdict =
-        similarity_verdict(&parsed.record_a, &parsed.record_b, calibrated, threshold);
+    let mut verdict = similarity_verdict(&parsed.record_a, &parsed.record_b, calibrated, threshold);
     if rng.gen_bool(calibration.hallucination_rate) {
         verdict = !verdict;
     }
@@ -284,11 +279,7 @@ mod tests {
     fn disjoint_records_do_not_match() {
         let (world, kb, cal) = setup();
         let a = &world.beers[0];
-        let b = world
-            .beers
-            .iter()
-            .find(|x| x.brewery != a.brewery && x.name != a.name)
-            .unwrap();
+        let b = world.beers.iter().find(|x| x.brewery != a.brewery && x.name != a.name).unwrap();
         let text = format!(
             "Same entity?\n{}\n{}\nAnswer yes or no.",
             record_line("A", &[("beer_name", &a.name), ("brewery", &a.brewery)]),

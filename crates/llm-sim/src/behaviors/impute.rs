@@ -102,7 +102,8 @@ mod tests {
         let vocab: Vec<String> = kb.manufacturers().to_vec();
         let mut correct = 0;
         let mut total = 0;
-        for p in world.products.iter().filter(|p| p.mention != BrandMention::KnowledgeOnly).take(150)
+        for p in
+            world.products.iter().filter(|p| p.mention != BrandMention::KnowledgeOnly).take(150)
         {
             let answer = ask(&kb, &cal, &p.name, &p.description, p.id);
             if noise::normalize_category(&answer, &vocab) == p.manufacturer {

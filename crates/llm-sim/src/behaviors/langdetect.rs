@@ -84,11 +84,8 @@ mod tests {
         let cal = Calibration::default();
         let kb = KnowledgeBase::from_world(&world, &cal, 5);
         for lang in Language::ALL {
-            let config = NamesConfig {
-                passages: 4,
-                language_mix: vec![(lang, 1.0)],
-                sentences: (2, 3),
-            };
+            let config =
+                NamesConfig { passages: 4, language_mix: vec![(lang, 1.0)], sentences: (2, 3) };
             let corpus = generate(&world, &config, 9);
             let mut correct = 0;
             for (i, passage) in corpus.iter().enumerate() {
@@ -106,7 +103,10 @@ mod tests {
 
     #[test]
     fn verbose_answers_still_parse() {
-        assert_eq!(parse_language_code("The text appears to be written in French (fr)."), Some("fr"));
+        assert_eq!(
+            parse_language_code("The text appears to be written in French (fr)."),
+            Some("fr")
+        );
         assert_eq!(parse_language_code("de"), Some("de"));
         assert_eq!(parse_language_code("no idea"), None);
     }

@@ -38,8 +38,8 @@ fn synonym_group(column: &str) -> Option<usize> {
 /// Similarity between two column names: synonym-group identity dominates,
 /// string similarity breaks ties.
 pub fn column_similarity(a: &str, b: &str) -> f64 {
-    let string_sim = textsim::jaro_winkler(&a.to_lowercase(), &b.to_lowercase())
-        .max(textsim::overlap_tokens(
+    let string_sim =
+        textsim::jaro_winkler(&a.to_lowercase(), &b.to_lowercase()).max(textsim::overlap_tokens(
             &a.to_lowercase().replace('_', " "),
             &b.to_lowercase().replace('_', " "),
         ));
@@ -84,9 +84,11 @@ pub fn respond(raw_prompt: &str) -> String {
         let t = line.trim();
         let lower = t.to_lowercase();
         if let Some(rest) = lower.strip_prefix("columns a:") {
-            cols_a = rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+            cols_a =
+                rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
         } else if let Some(rest) = lower.strip_prefix("columns b:") {
-            cols_b = rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+            cols_b =
+                rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
         }
     }
     if cols_a.is_empty() || cols_b.is_empty() {
@@ -96,11 +98,7 @@ pub fn respond(raw_prompt: &str) -> String {
     if pairs.is_empty() {
         return "No confident column correspondences found.".to_string();
     }
-    pairs
-        .iter()
-        .map(|(a, b)| format!("{a} -> {b}"))
-        .collect::<Vec<_>>()
-        .join("; ")
+    pairs.iter().map(|(a, b)| format!("{a} -> {b}")).collect::<Vec<_>>().join("; ")
 }
 
 #[cfg(test)]
@@ -132,11 +130,8 @@ mod tests {
 
     #[test]
     fn matching_is_one_to_one() {
-        let pairs = match_columns(
-            &["name".to_string(), "title".to_string()],
-            &["name".to_string()],
-            0.5,
-        );
+        let pairs =
+            match_columns(&["name".to_string(), "title".to_string()], &["name".to_string()], 0.5);
         assert_eq!(pairs.len(), 1);
     }
 

@@ -12,12 +12,8 @@ pub fn respond(parsed: &ParsedPrompt) -> String {
     if text.is_empty() {
         return "Please provide text to summarize.".to_string();
     }
-    let lead: String = text
-        .split_inclusive(['.', '!', '?'])
-        .next()
-        .unwrap_or(text)
-        .trim()
-        .to_string();
+    let lead: String =
+        text.split_inclusive(['.', '!', '?']).next().unwrap_or(text).trim().to_string();
 
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for token in textsim::tokens(text) {
@@ -27,8 +23,7 @@ pub fn respond(parsed: &ParsedPrompt) -> String {
     }
     let mut ranked: Vec<(&String, &usize)> = counts.iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-    let keywords: Vec<&str> =
-        ranked.iter().take(5).map(|(word, _)| word.as_str()).collect();
+    let keywords: Vec<&str> = ranked.iter().take(5).map(|(word, _)| word.as_str()).collect();
 
     if keywords.is_empty() {
         lead

@@ -49,9 +49,8 @@ pub fn judge_phrase(kb: &KnowledgeBase, language: Language, phrase: &str) -> (bo
         (true, true)
     } else if given_known || surname_known {
         // Partial knowledge: lean yes for two-token capitalized phrases.
-        let capitalized = tokens
-            .iter()
-            .all(|t| t.chars().next().map(|c| c.is_uppercase()).unwrap_or(false));
+        let capitalized =
+            tokens.iter().all(|t| t.chars().next().map(|c| c.is_uppercase()).unwrap_or(false));
         (capitalized && tokens.len() >= 2, true)
     } else {
         (false, false)
@@ -74,11 +73,8 @@ pub fn respond(
     if phrase.is_empty() {
         return "Please provide a phrase to judge.".to_string();
     }
-    let language = parsed
-        .language_hint
-        .as_deref()
-        .and_then(Language::from_code)
-        .unwrap_or(Language::English);
+    let language =
+        parsed.language_hint.as_deref().and_then(Language::from_code).unwrap_or(Language::English);
 
     let (verdict, covered) = judge_phrase(kb, language, phrase);
     let mut verdict = verdict;
@@ -134,7 +130,14 @@ mod tests {
     #[test]
     fn foreign_names_need_the_language_hint() {
         let (_, kb, cal) = setup();
-        let names = ["Hans Müller", "Greta Fischer", "Jürgen Weber", "Sabine Wagner", "Wolfgang Becker", "Ingrid Schulz"];
+        let names = [
+            "Hans Müller",
+            "Greta Fischer",
+            "Jürgen Weber",
+            "Sabine Wagner",
+            "Wolfgang Becker",
+            "Ingrid Schulz",
+        ];
         let mut without_hint = 0;
         let mut with_hint = 0;
         for name in names {

@@ -45,8 +45,10 @@ impl TemplateKind {
             || lower.contains("multiple languages");
         if lower.contains("tokeniz") || lower.contains("split the text into words") {
             TemplateKind::Tokenizer
-        } else if lower.contains("noun phrase") || lower.contains("noun-phrase")
-            || lower.contains("candidate phrases") || lower.contains("capitalized")
+        } else if lower.contains("noun phrase")
+            || lower.contains("noun-phrase")
+            || lower.contains("candidate phrases")
+            || lower.contains("capitalized")
         {
             if multilingual {
                 TemplateKind::MultilingualNounPhraseExtractor
@@ -55,8 +57,10 @@ impl TemplateKind {
             }
         } else if lower.contains("manufacturer") || lower.contains("impute") {
             TemplateKind::ManufacturerRules
-        } else if lower.contains("same entity") || lower.contains("match") && lower.contains("record")
-            || lower.contains("entity resolution") || lower.contains("duplicate")
+        } else if lower.contains("same entity")
+            || lower.contains("match") && lower.contains("record")
+            || lower.contains("entity resolution")
+            || lower.contains("duplicate")
         {
             TemplateKind::ThresholdMatcher
         } else if lower.contains("clean") || lower.contains("normalize") || lower.contains("trim") {
@@ -96,9 +100,7 @@ impl BugKind {
             TemplateKind::NounPhraseExtractor => {
                 &[MissingLowercase, TruncatedStopwords, EagerReturn]
             }
-            TemplateKind::MultilingualNounPhraseExtractor => {
-                &[MissingLowercase, EagerReturn]
-            }
+            TemplateKind::MultilingualNounPhraseExtractor => &[MissingLowercase, EagerReturn],
             TemplateKind::ManufacturerRules => &[MissingLowercase, MissingNullCheck],
             TemplateKind::ThresholdMatcher => &[LaxThreshold, MissingLowercase],
             TemplateKind::FieldCleaner => &[MissingNullCheck],
@@ -152,8 +154,9 @@ pub fn suggest_fix(source: &str, failures: &[String]) -> String {
         );
     }
     if source.contains("contains(text, brand)") {
-        suggestions
-            .push("The brand is matched case-sensitively against lowercased text; lowercase the brand.");
+        suggestions.push(
+            "The brand is matched case-sensitively against lowercased text; lowercase the brand.",
+        );
     }
     if source.contains("range(start, end - 1)") || source.contains("range(0, len(cs) - 1)") {
         suggestions.push("The index range excludes the final element; the bound is off by one.");
@@ -244,7 +247,8 @@ fn tokenizer(entry: &str, bug: Option<BugKind>) -> String {
         "    if is_null(text) { return []; }\n"
     };
     let min_len = if bug == Some(BugKind::WrongComparison) { 1 } else { 0 };
-    let trim_end = if bug == Some(BugKind::OffByOne) { "range(start, end - 1)" } else { "range(start, end)" };
+    let trim_end =
+        if bug == Some(BugKind::OffByOne) { "range(start, end - 1)" } else { "range(start, end)" };
     format!(
         r#"fn {entry}(text) {{
 {null_guard}    let out = [];
@@ -290,21 +294,15 @@ fn noun_phrases(entry: &str, bug: Option<BugKind>, multilingual: bool) -> String
     } else {
         "contains(stop, lower(t))"
     };
-    let eager_return = if bug == Some(BugKind::EagerReturn) {
-        "\n            return out;"
-    } else {
-        ""
-    };
+    let eager_return =
+        if bug == Some(BugKind::EagerReturn) { "\n            return out;" } else { "" };
     let (signature, stop_init) = if multilingual {
         (
             format!("fn {entry}(input) {{\n    let tokens = input[\"tokens\"];\n    let language = get_or(input, \"language\", \"en\");\n    let stop = call_tool(\"stopwords\", language);"),
             String::new(),
         )
     } else {
-        (
-            format!("fn {entry}(tokens) {{\n    let stop = {stoplist};"),
-            String::new(),
-        )
+        (format!("fn {entry}(tokens) {{\n    let stop = {stoplist};"), String::new())
     };
     format!(
         r#"{signature}{stop_init}
@@ -463,7 +461,9 @@ mod tests {
             TemplateKind::FieldCleaner,
             TemplateKind::Identity,
         ] {
-            for bug in std::iter::once(None).chain(BugKind::applicable(template).iter().map(|b| Some(*b))) {
+            for bug in
+                std::iter::once(None).chain(BugKind::applicable(template).iter().map(|b| Some(*b)))
+            {
                 let source = render(template, &s, bug);
                 parse(&source).unwrap_or_else(|e| {
                     panic!("template {template:?} bug {bug:?} failed to parse: {e}\n{source}")
@@ -480,12 +480,8 @@ mod tests {
         let result = interp
             .call(&mut NoHost, "process", vec![Value::Str("Hello, world! A fine day.".into())])
             .unwrap();
-        let tokens: Vec<String> = result
-            .as_list()
-            .unwrap()
-            .iter()
-            .map(|v| v.as_str().unwrap().to_string())
-            .collect();
+        let tokens: Vec<String> =
+            result.as_list().unwrap().iter().map(|v| v.as_str().unwrap().to_string()).collect();
         assert_eq!(tokens, vec!["Hello", "world", "A", "fine", "day"]);
         // Null guard works.
         let result = interp.call(&mut NoHost, "process", vec![Value::Null]).unwrap();
@@ -495,12 +491,14 @@ mod tests {
     #[test]
     fn buggy_tokenizer_variants_fail_observably() {
         // MissingNullCheck: crashes on null input.
-        let code = render(TemplateKind::Tokenizer, &spec("tokenize"), Some(BugKind::MissingNullCheck));
+        let code =
+            render(TemplateKind::Tokenizer, &spec("tokenize"), Some(BugKind::MissingNullCheck));
         let program = parse(&code).unwrap();
         let err = Interpreter::new(&program).call(&mut NoHost, "process", vec![Value::Null]);
         assert!(err.is_err());
         // WrongComparison: drops single-character tokens.
-        let code = render(TemplateKind::Tokenizer, &spec("tokenize"), Some(BugKind::WrongComparison));
+        let code =
+            render(TemplateKind::Tokenizer, &spec("tokenize"), Some(BugKind::WrongComparison));
         let program = parse(&code).unwrap();
         let result = Interpreter::new(&program)
             .call(&mut NoHost, "process", vec![Value::Str("I saw a cat".into())])
@@ -520,10 +518,11 @@ mod tests {
     fn clean_noun_phrase_extractor_groups_capitalized_runs() {
         let code = render(TemplateKind::NounPhraseExtractor, &spec("noun phrases"), None);
         let program = parse(&code).unwrap();
-        let tokens: Vec<Value> = ["Yesterday", "John", "Smith", "met", "the", "board", "of", "Acme", "Corp"]
-            .iter()
-            .map(|s| Value::Str(s.to_string()))
-            .collect();
+        let tokens: Vec<Value> =
+            ["Yesterday", "John", "Smith", "met", "the", "board", "of", "Acme", "Corp"]
+                .iter()
+                .map(|s| Value::Str(s.to_string()))
+                .collect();
         let result = Interpreter::new(&program)
             .call(&mut NoHost, "process", vec![Value::List(tokens)])
             .unwrap();

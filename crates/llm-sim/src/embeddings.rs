@@ -31,11 +31,7 @@ pub fn stem(token: &str) -> String {
 /// Normalize text before embedding: split identifier underscores and stem
 /// each token.
 pub fn normalize_for_embedding(text: &str) -> String {
-    text.replace('_', " ")
-        .split_whitespace()
-        .map(stem)
-        .collect::<Vec<_>>()
-        .join(" ")
+    text.replace('_', " ").split_whitespace().map(stem).collect::<Vec<_>>().join(" ")
 }
 
 /// Cosine similarity between two embedding vectors.
@@ -53,11 +49,8 @@ pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
 /// Rank `candidates` by embedding similarity to `query`, descending.
 /// Returns `(index, similarity)` pairs.
 pub fn rank_by_similarity(query: &[f64], candidates: &[Vec<f64>]) -> Vec<(usize, f64)> {
-    let mut scored: Vec<(usize, f64)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (i, cosine(query, c)))
-        .collect();
+    let mut scored: Vec<(usize, f64)> =
+        candidates.iter().enumerate().map(|(i, c)| (i, cosine(query, c))).collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     scored
 }

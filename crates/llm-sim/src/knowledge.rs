@@ -149,8 +149,7 @@ impl KnowledgeBase {
                     .collect(),
             };
             names.insert(*lang, knowledge);
-            function_words
-                .insert(*lang, lexicon.function_words.iter().cloned().collect());
+            function_words.insert(*lang, lexicon.function_words.iter().cloned().collect());
             distractors.extend(lexicon.distractors.iter().cloned());
         }
 
@@ -184,12 +183,7 @@ impl KnowledgeBase {
     /// Scores every known entity by a weighted fuzzy similarity over the
     /// primary and secondary keys; resolves only with a confident, unambiguous
     /// top match. Returns the ground-truth entity id.
-    pub fn resolve(
-        &self,
-        domain: EntityDomain,
-        primary: &str,
-        secondary: &str,
-    ) -> Option<u64> {
+    pub fn resolve(&self, domain: EntityDomain, primary: &str, secondary: &str) -> Option<u64> {
         let primary = normalize(primary);
         let secondary = normalize(secondary);
         if primary.is_empty() {
@@ -295,18 +289,12 @@ impl KnowledgeBase {
 
     /// Does the model recognize `token` as a given name in `language`?
     pub fn knows_given_name(&self, language: Language, token: &str) -> bool {
-        self.names
-            .get(&language)
-            .map(|n| n.given.contains(token))
-            .unwrap_or(false)
+        self.names.get(&language).map(|n| n.given.contains(token)).unwrap_or(false)
     }
 
     /// Does the model recognize `token` as a surname in `language`?
     pub fn knows_surname(&self, language: Language, token: &str) -> bool {
-        self.names
-            .get(&language)
-            .map(|n| n.surnames.contains(token))
-            .unwrap_or(false)
+        self.names.get(&language).map(|n| n.surnames.contains(token)).unwrap_or(false)
     }
 
     /// Is this capitalized token a known non-person proper noun?
@@ -344,8 +332,8 @@ fn contains_word(haystack: &str, needle: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = haystack[start..].find(needle) {
         let abs = start + pos;
-        let before_ok = abs == 0
-            || !haystack[..abs].chars().next_back().is_some_and(|c| c.is_alphanumeric());
+        let before_ok =
+            abs == 0 || !haystack[..abs].chars().next_back().is_some_and(|c| c.is_alphanumeric());
         let after = abs + needle.len();
         let after_ok = after >= haystack.len()
             || !haystack[after..].chars().next().is_some_and(|c| c.is_alphanumeric());
@@ -376,12 +364,8 @@ mod tests {
         let cal = Calibration::default();
         let frac = kb.known_count(EntityDomain::Beer) as f64 / world.beers.len() as f64;
         assert!((frac - cal.beer_entity_coverage).abs() < 0.08, "beer coverage {frac}");
-        let frac =
-            kb.known_count(EntityDomain::Restaurant) as f64 / world.restaurants.len() as f64;
-        assert!(
-            (frac - cal.restaurant_entity_coverage).abs() < 0.08,
-            "restaurant coverage {frac}"
-        );
+        let frac = kb.known_count(EntityDomain::Restaurant) as f64 / world.restaurants.len() as f64;
+        assert!((frac - cal.restaurant_entity_coverage).abs() < 0.08, "restaurant coverage {frac}");
     }
 
     #[test]
@@ -428,10 +412,7 @@ mod tests {
         // Roughly the coverage fraction resolves correctly.
         let coverage = Calibration::default().beer_entity_coverage;
         let rate = hits as f64 / attempts as f64;
-        assert!(
-            (rate - coverage).abs() < 0.12,
-            "resolve rate {rate} vs coverage {coverage}"
-        );
+        assert!((rate - coverage).abs() < 0.12, "resolve rate {rate} vs coverage {coverage}");
         assert!(
             (misresolved as f64) < 0.08 * attempts as f64,
             "too many misresolutions: {misresolved}/{attempts}"
@@ -479,16 +460,10 @@ mod tests {
         let (world, kb) = kb();
         use lingua_dataset::generators::names::{generate, NamesConfig};
         for lang in Language::ALL {
-            let config = NamesConfig {
-                passages: 6,
-                language_mix: vec![(lang, 1.0)],
-                sentences: (2, 3),
-            };
+            let config =
+                NamesConfig { passages: 6, language_mix: vec![(lang, 1.0)], sentences: (2, 3) };
             let corpus = generate(&world, &config, 3);
-            let correct = corpus
-                .iter()
-                .filter(|p| kb.detect_language(&p.text).0 == lang)
-                .count();
+            let correct = corpus.iter().filter(|p| kb.detect_language(&p.text).0 == lang).count();
             assert!(correct >= 5, "{lang:?}: {correct}/6 detected");
         }
     }

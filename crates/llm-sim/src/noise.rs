@@ -62,7 +62,8 @@ pub fn render_category(rng: &mut StdRng, value: &str, verbose_rate: f64) -> Stri
 pub fn parse_bool_robust(text: &str) -> Option<bool> {
     let lower = text.to_lowercase();
     let has = |needle: &str| lower.contains(needle);
-    let yes = has("yes") || has("same entity") || has("match") && !has("don't") && !has("not match");
+    let yes =
+        has("yes") || has("same entity") || has("match") && !has("don't") && !has("not match");
     let no = has("no,")
         || lower.trim() == "no"
         || lower.starts_with("no.")
@@ -82,9 +83,7 @@ pub fn parse_bool_robust(text: &str) -> Option<bool> {
 
 /// Naive parse: what the FMs baseline does — look only at the first word.
 pub fn parse_bool_naive(text: &str) -> bool {
-    text.trim()
-        .to_lowercase()
-        .starts_with("yes")
+    text.trim().to_lowercase().starts_with("yes")
 }
 
 /// Strict categorical normalization against a closed vocabulary: the output

@@ -82,11 +82,8 @@ pub fn parse(prompt: &str) -> ParsedPrompt {
         } else if let Some(rest) = strip_prefix_ci(trimmed, "language:") {
             language_hint = Some(rest.trim().to_lowercase());
         } else if let Some(rest) = strip_prefix_ci(trimmed, "candidates:") {
-            candidates = rest
-                .split(',')
-                .map(|c| c.trim().to_string())
-                .filter(|c| !c.is_empty())
-                .collect();
+            candidates =
+                rest.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
         } else if lower_line.starts_with("continue:") {
             // Multi-line payload continuation.
             if !payload.is_empty() {
@@ -115,25 +112,33 @@ pub fn parse(prompt: &str) -> ParsedPrompt {
 
 fn detect_intent(lower: &str) -> TaskIntent {
     // Order matters: more specific cues first.
-    if lower.contains("person name") || lower.contains("names of people") || lower.contains("extract all names")
+    if lower.contains("person name")
+        || lower.contains("names of people")
+        || lower.contains("extract all names")
     {
         TaskIntent::TagNames
-    } else if lower.contains("what language") || lower.contains("identify the language")
+    } else if lower.contains("what language")
+        || lower.contains("identify the language")
         || lower.contains("detect the language")
     {
         TaskIntent::DetectLanguage
-    } else if lower.contains("schema matching") || lower.contains("match the columns")
+    } else if lower.contains("schema matching")
+        || lower.contains("match the columns")
         || lower.contains("corresponding column")
     {
         // Checked before imputation: column *names* often contain words like
         // "manufacturer" that would otherwise hijack the routing.
         TaskIntent::SchemaMatch
-    } else if lower.contains("manufacturer") || lower.contains("impute")
-        || lower.contains("fill in the missing") || lower.contains("missing value")
+    } else if lower.contains("manufacturer")
+        || lower.contains("impute")
+        || lower.contains("fill in the missing")
+        || lower.contains("missing value")
     {
         TaskIntent::Impute
-    } else if lower.contains("same entity") || lower.contains("entities are equivalent")
-        || lower.contains("refer to the same") || lower.contains("entity resolution")
+    } else if lower.contains("same entity")
+        || lower.contains("entities are equivalent")
+        || lower.contains("refer to the same")
+        || lower.contains("entity resolution")
         || lower.contains("duplicates")
     {
         TaskIntent::EntityMatch

@@ -16,7 +16,7 @@ use lingua_ml::features::{fxhash, HashingVectorizer};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// A completion request. Kept minimal: the simulated service is temperature-0
 /// (responses are a pure function of the prompt and the service seed).
@@ -63,6 +63,10 @@ pub struct SimLlmConfig {
     pub pricing: TokenPricing,
     /// Response cache (identical prompt → cached answer, no tokens billed).
     pub cache_enabled: bool,
+    /// Maximum cached responses; the oldest entries are evicted FIFO beyond
+    /// this. Long-running serving workloads would otherwise grow the cache
+    /// without bound.
+    pub cache_capacity: usize,
     /// Simulated per-call latency, accumulated in a counter (never slept).
     pub latency_ms_per_call: u64,
 }
@@ -74,6 +78,7 @@ impl Default for SimLlmConfig {
             calibration: Calibration::default(),
             pricing: TokenPricing::default(),
             cache_enabled: false,
+            cache_capacity: 4096,
             latency_ms_per_call: 350,
         }
     }
@@ -83,6 +88,8 @@ impl Default for SimLlmConfig {
 struct State {
     usage: Usage,
     cache: HashMap<u64, String>,
+    /// Insertion order of cache keys, for FIFO eviction at capacity.
+    cache_order: VecDeque<u64>,
     latency_ms: u64,
     /// Monotonic nonce so repeated code-generation attempts differ.
     codegen_counter: u64,
@@ -125,6 +132,11 @@ impl SimLlm {
         &self.config.pricing
     }
 
+    /// Number of responses currently held in the cache.
+    pub fn cache_len(&self) -> usize {
+        self.state.lock().cache.len()
+    }
+
     /// Zero the usage counters (between experiment arms).
     pub fn reset_usage(&self) {
         let mut state = self.state.lock();
@@ -136,8 +148,7 @@ impl SimLlm {
         let parsed = prompt::parse(prompt_text);
         // Per-call RNG: pure function of (service seed, prompt) — temperature-0
         // semantics; identical prompts always answer identically.
-        let mut rng =
-            StdRng::seed_from_u64(self.config.seed ^ fxhash(prompt_text.as_bytes()));
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ fxhash(prompt_text.as_bytes()));
         match parsed.intent {
             TaskIntent::EntityMatch => behaviors::entity_match::respond(
                 &self.knowledge,
@@ -214,9 +225,7 @@ impl SimLlm {
             state.codegen_counter
         };
         let mut rng = StdRng::seed_from_u64(
-            self.config.seed
-                ^ fxhash(previous.source.as_bytes())
-                ^ nonce.wrapping_mul(0x517c_c1b7),
+            self.config.seed ^ fxhash(previous.source.as_bytes()) ^ nonce.wrapping_mul(0x517c_c1b7),
         );
         let code = codegen::repair(spec, &self.config.calibration, previous, suggestion, &mut rng);
         let request = format!("{}\n{suggestion}", previous.source);
@@ -238,8 +247,17 @@ impl LlmService for SimLlm {
         }
         let response = self.respond(&request.prompt);
         self.meter(&request.prompt, &response);
-        if self.config.cache_enabled {
-            self.state.lock().cache.insert(key, response.clone());
+        if self.config.cache_enabled && self.config.cache_capacity > 0 {
+            let mut state = self.state.lock();
+            if state.cache.insert(key, response.clone()).is_none() {
+                state.cache_order.push_back(key);
+                while state.cache.len() > self.config.cache_capacity {
+                    match state.cache_order.pop_front() {
+                        Some(oldest) => state.cache.remove(&oldest),
+                        None => break,
+                    };
+                }
+            }
         }
         response
     }
@@ -249,8 +267,7 @@ impl LlmService for SimLlm {
         state.usage.record(count_tokens(text), 0);
         state.latency_ms += self.config.latency_ms_per_call / 4;
         drop(state);
-        self.vectorizer
-            .transform(&crate::embeddings::normalize_for_embedding(text))
+        self.vectorizer.transform(&crate::embeddings::normalize_for_embedding(text))
     }
 
     fn usage(&self) -> Usage {
@@ -327,6 +344,50 @@ mod tests {
         let usage = svc.usage();
         assert_eq!(usage.calls, 1);
         assert_eq!(usage.cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_capacity_evicts_oldest_first() {
+        let world = WorldSpec::generate(5);
+        let svc = SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 5, cache_enabled: true, cache_capacity: 2, ..Default::default() },
+        );
+        let prompts = [
+            "Summarize. Text: the first document",
+            "Summarize. Text: the second document",
+            "Summarize. Text: the third document",
+        ];
+        for prompt in &prompts {
+            svc.complete(&CompletionRequest::new(*prompt));
+        }
+        assert_eq!(svc.cache_len(), 2, "capacity bounds the cache");
+        // The newest entries still hit; the oldest was evicted and re-bills.
+        svc.complete(&CompletionRequest::new(prompts[2]));
+        assert_eq!(svc.usage().cache_hits, 1);
+        let calls_before = svc.usage().calls;
+        svc.complete(&CompletionRequest::new(prompts[0]));
+        assert_eq!(svc.usage().calls, calls_before + 1, "evicted entry is a miss");
+        assert_eq!(svc.cache_len(), 2);
+        // Re-completing an already-cached prompt never duplicates the
+        // eviction-order entry.
+        svc.complete(&CompletionRequest::new(prompts[0]));
+        assert_eq!(svc.usage().cache_hits, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let world = WorldSpec::generate(5);
+        let svc = SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 5, cache_enabled: true, cache_capacity: 0, ..Default::default() },
+        );
+        let req = CompletionRequest::new("Summarize. Text: anything at all");
+        svc.complete(&req);
+        svc.complete(&req);
+        assert_eq!(svc.cache_len(), 0);
+        assert_eq!(svc.usage().calls, 2);
+        assert_eq!(svc.usage().cache_hits, 0);
     }
 
     #[test]

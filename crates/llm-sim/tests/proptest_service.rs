@@ -1,8 +1,8 @@
 //! Property tests for the simulated LLM: total robustness to arbitrary
 //! prompts, determinism, and monotone metering.
 
-use lingua_llm_sim::{CompletionRequest, LlmService, SimLlm};
 use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{CompletionRequest, LlmService, SimLlm};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 

@@ -180,11 +180,7 @@ impl Standardizer {
         if self.means.is_empty() {
             return row.to_vec();
         }
-        row.iter()
-            .zip(&self.means)
-            .zip(&self.stds)
-            .map(|((x, m), s)| (x - m) / s)
-            .collect()
+        row.iter().zip(&self.means).zip(&self.stds).map(|((x, m), s)| (x - m) / s).collect()
     }
 }
 
@@ -206,7 +202,10 @@ mod tests {
 
     #[test]
     fn identical_records_score_high() {
-        let f = pair_features(&fields(&["Hoppy Badger", "Stonegate Brewing"]), &fields(&["Hoppy Badger", "Stonegate Brewing"]));
+        let f = pair_features(
+            &fields(&["Hoppy Badger", "Stonegate Brewing"]),
+            &fields(&["Hoppy Badger", "Stonegate Brewing"]),
+        );
         // Every similarity should be 1.
         assert!(f.iter().all(|&x| x > 0.99), "{f:?}");
     }

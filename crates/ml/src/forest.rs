@@ -97,8 +97,7 @@ mod tests {
             .map(|i| {
                 let label = i % 2;
                 let center = if label == 1 { 1.0 } else { -1.0 };
-                let features =
-                    (0..4).map(|_| center + rng.gen_range(-1.6..1.6)).collect();
+                let features = (0..4).map(|_| center + rng.gen_range(-1.6..1.6)).collect();
                 Example::new(features, label)
             })
             .collect()
@@ -109,10 +108,7 @@ mod tests {
         let train = noisy_blobs(300, 1);
         let test = noisy_blobs(150, 2);
         let forest = RandomForest::train(&train, &ForestConfig::default());
-        let correct = test
-            .iter()
-            .filter(|ex| forest.predict(&ex.features) == ex.label)
-            .count();
+        let correct = test.iter().filter(|ex| forest.predict(&ex.features) == ex.label).count();
         assert!(correct as f64 / 150.0 > 0.8, "accuracy {}", correct as f64 / 150.0);
     }
 

@@ -26,12 +26,9 @@ impl Knn {
 
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         match self.metric {
-            Metric::Euclidean => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt(),
+            Metric::Euclidean => {
+                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            }
             Metric::Cosine => {
                 let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
                 let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -96,10 +93,7 @@ mod tests {
 
     #[test]
     fn cosine_metric_ignores_magnitude() {
-        let examples = vec![
-            Example::new(vec![1.0, 0.0], 0),
-            Example::new(vec![0.0, 1.0], 1),
-        ];
+        let examples = vec![Example::new(vec![1.0, 0.0], 0), Example::new(vec![0.0, 1.0], 1)];
         let knn = Knn::new(1, Metric::Cosine, examples);
         // Large-magnitude vector in the x direction is still class 0.
         assert_eq!(knn.predict(&[100.0, 1.0]).0, 0);

@@ -146,10 +146,8 @@ mod tests {
         let train = blobs(200, 1);
         let test = blobs(100, 2);
         let model = LogReg::train(&train, &LogRegConfig::default());
-        let correct = test
-            .iter()
-            .filter(|ex| model.predict(&ex.features) == (ex.label == 1))
-            .count();
+        let correct =
+            test.iter().filter(|ex| model.predict(&ex.features) == (ex.label == 1)).count();
         assert!(correct >= 97, "accuracy {correct}/100");
     }
 

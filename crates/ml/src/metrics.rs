@@ -158,7 +158,8 @@ mod tests {
 
     #[test]
     fn extraction_prf_multiset_semantics() {
-        let predicted = vec!["John Smith".to_string(), "John Smith".to_string(), "Mary Brown".to_string()];
+        let predicted =
+            vec!["John Smith".to_string(), "John Smith".to_string(), "Mary Brown".to_string()];
         let gold = vec!["John Smith".to_string(), "Mary Brown".to_string(), "Lee Wong".to_string()];
         let (p, r, f1) = extraction_prf(&predicted, &gold);
         assert!((p - 2.0 / 3.0).abs() < 1e-9);

@@ -47,10 +47,8 @@ impl NaiveBayes {
         for (name, &idx) in &class_index {
             classes[idx] = name.clone();
         }
-        let log_prior: Vec<f64> = class_docs
-            .iter()
-            .map(|&d| (d as f64 / total_docs as f64).ln())
-            .collect();
+        let log_prior: Vec<f64> =
+            class_docs.iter().map(|&d| (d as f64 / total_docs as f64).ln()).collect();
         let mut log_likelihood = Vec::with_capacity(classes.len());
         let mut log_unseen = Vec::with_capacity(classes.len());
         for counts in &class_tokens {
@@ -156,12 +154,7 @@ mod tests {
 
     #[test]
     fn prior_matters_for_empty_text() {
-        let m = NaiveBayes::train([
-            ("a", "Major"),
-            ("b", "Major"),
-            ("c", "Major"),
-            ("d", "Minor"),
-        ]);
+        let m = NaiveBayes::train([("a", "Major"), ("b", "Major"), ("c", "Major"), ("d", "Minor")]);
         assert_eq!(m.predict("").0, "Major");
     }
 

@@ -92,22 +92,14 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// 4-character common prefix.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let base = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     base + prefix * 0.1 * (1.0 - base)
 }
 
 /// Whitespace tokenization, lowercased, punctuation-trimmed.
 pub fn tokens(text: &str) -> Vec<String> {
     text.split(|c: char| c.is_whitespace() || c == ',' || c == ';' || c == '/')
-        .map(|t| {
-            t.trim_matches(|c: char| !c.is_alphanumeric())
-                .to_lowercase()
-        })
+        .map(|t| t.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
         .filter(|t| !t.is_empty())
         .collect()
 }
@@ -141,8 +133,7 @@ pub fn overlap_tokens(a: &str, b: &str) -> f64 {
 
 /// Character trigrams of the lowercased string, space-padded.
 fn trigrams(text: &str) -> Vec<String> {
-    let padded: Vec<char> =
-        format!("  {}  ", text.to_lowercase()).chars().collect();
+    let padded: Vec<char> = format!("  {}  ", text.to_lowercase()).chars().collect();
     padded.windows(3).map(|w| w.iter().collect()).collect()
 }
 
@@ -177,14 +168,8 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
     if tb.is_empty() {
         return 0.0;
     }
-    let total: f64 = ta
-        .iter()
-        .map(|x| {
-            tb.iter()
-                .map(|y| jaro_winkler(x, y))
-                .fold(0.0f64, f64::max)
-        })
-        .sum();
+    let total: f64 =
+        ta.iter().map(|x| tb.iter().map(|y| jaro_winkler(x, y)).fold(0.0f64, f64::max)).sum();
     total / ta.len() as f64
 }
 
@@ -337,7 +322,15 @@ mod tests {
             ("x", "a much longer string entirely"),
         ];
         for (a, b) in pairs {
-            for f in [levenshtein_sim, jaro, jaro_winkler, jaccard_tokens, trigram_cosine, monge_elkan, overlap_tokens] {
+            for f in [
+                levenshtein_sim,
+                jaro,
+                jaro_winkler,
+                jaccard_tokens,
+                trigram_cosine,
+                monge_elkan,
+                overlap_tokens,
+            ] {
                 let s = f(a, b);
                 assert!((0.0..=1.0 + 1e-9).contains(&s), "{a:?} {b:?} -> {s}");
             }

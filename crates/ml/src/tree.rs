@@ -127,10 +127,7 @@ fn grow(
 ) -> Node {
     let dist = class_dist(examples, indices, n_classes);
     let impurity = gini(&dist);
-    if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
-        || impurity < 1e-9
-    {
+    if depth >= config.max_depth || indices.len() < config.min_samples_split || impurity < 1e-9 {
         return Node::Leaf { dist };
     }
 
@@ -160,16 +157,15 @@ fn grow(
         }
         for w in values.windows(2) {
             let threshold = (w[0] + w[1]) / 2.0;
-            let (left, right): (Vec<usize>, Vec<usize>) = indices
-                .iter()
-                .partition(|&&i| examples[i].features[feat] <= threshold);
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| examples[i].features[feat] <= threshold);
             if left.is_empty() || right.is_empty() {
                 continue;
             }
             let gl = gini(&class_dist(examples, &left, n_classes));
             let gr = gini(&class_dist(examples, &right, n_classes));
-            let weighted = (left.len() as f64 * gl + right.len() as f64 * gr)
-                / indices.len() as f64;
+            let weighted =
+                (left.len() as f64 * gl + right.len() as f64 * gr) / indices.len() as f64;
             if best.map(|(b, _, _)| weighted < b - 1e-12).unwrap_or(true) {
                 best = Some((weighted, feat, threshold));
             }
@@ -182,9 +178,8 @@ fn grow(
     // non-empty and depth/min-samples bounds apply.
     match best {
         Some((weighted, feature, threshold)) if weighted <= impurity + 1e-12 => {
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                .iter()
-                .partition(|&&i| examples[i].features[feature] <= threshold);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| examples[i].features[feature] <= threshold);
             let left = grow(examples, &left_idx, n_classes, config, depth + 1, rng_state);
             let right = grow(examples, &right_idx, n_classes, config, depth + 1, rng_state);
             Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
@@ -232,10 +227,8 @@ mod tests {
 
     #[test]
     fn depth_limit_is_respected() {
-        let tree = DecisionTree::train(
-            &xor_data(),
-            &TreeConfig { max_depth: 0, ..Default::default() },
-        );
+        let tree =
+            DecisionTree::train(&xor_data(), &TreeConfig { max_depth: 0, ..Default::default() });
         assert_eq!(tree.node_count(), 1);
     }
 

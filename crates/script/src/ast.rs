@@ -115,19 +115,44 @@ pub enum LValue {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `let name = expr;`
-    Let { name: String, value: Expr, span: Span },
+    Let {
+        name: String,
+        value: Expr,
+        span: Span,
+    },
     /// `target = expr;`
-    Assign { target: LValue, value: Expr, span: Span },
+    Assign {
+        target: LValue,
+        value: Expr,
+        span: Span,
+    },
     /// Bare expression (usually a call) followed by `;`.
     Expr(Expr),
     /// `if cond { ... } else { ... }` — `else_branch` may itself contain a
     /// single `If` statement to model `else if` chains.
-    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>, span: Span },
-    While { cond: Expr, body: Vec<Stmt>, span: Span },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+        span: Span,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
     /// `for name in iterable { ... }` — iterates lists, maps (keys), and
     /// strings (chars).
-    For { var: String, iterable: Expr, body: Vec<Stmt>, span: Span },
-    Return { value: Option<Expr>, span: Span },
+    For {
+        var: String,
+        iterable: Expr,
+        body: Vec<Stmt>,
+        span: Span,
+    },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
     Break(Span),
     Continue(Span),
 }

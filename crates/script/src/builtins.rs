@@ -11,7 +11,12 @@ fn err(span: Span, message: impl Into<String>) -> ScriptError {
     ScriptError::runtime(span, message)
 }
 
-fn want_str<'a>(name: &str, args: &'a [Value], i: usize, span: Span) -> Result<&'a str, ScriptError> {
+fn want_str<'a>(
+    name: &str,
+    args: &'a [Value],
+    i: usize,
+    span: Span,
+) -> Result<&'a str, ScriptError> {
     args.get(i)
         .and_then(|v| v.as_str())
         .ok_or_else(|| err(span, format!("{name}: argument {} must be a string", i + 1)))
@@ -47,7 +52,9 @@ pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, ScriptError
                 Value::Str(s) => s.chars().count(),
                 Value::List(items) => items.len(),
                 Value::Map(m) => m.len(),
-                other => return Err(err(span, format!("len: cannot measure a {}", other.type_name()))),
+                other => {
+                    return Err(err(span, format!("len: cannot measure a {}", other.type_name())))
+                }
             };
             Ok(Value::Int(n as i64))
         }
@@ -106,7 +113,9 @@ pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, ScriptError
         "contains" => {
             arity(name, args, 2, span)?;
             match (&args[0], &args[1]) {
-                (Value::Str(hay), Value::Str(needle)) => Ok(Value::Bool(hay.contains(needle.as_str()))),
+                (Value::Str(hay), Value::Str(needle)) => {
+                    Ok(Value::Bool(hay.contains(needle.as_str())))
+                }
                 (Value::List(items), needle) => {
                     Ok(Value::Bool(items.iter().any(|v| v.loose_eq(needle))))
                 }
@@ -172,18 +181,14 @@ pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, ScriptError
         "is_upper" => {
             arity(name, args, 1, span)?;
             let s = want_str(name, args, 0, span)?;
-            Ok(Value::Bool(
-                s.chars().next().map(|c| c.is_uppercase()).unwrap_or(false),
-            ))
+            Ok(Value::Bool(s.chars().next().map(|c| c.is_uppercase()).unwrap_or(false)))
         }
 
         // -- text analysis (shared with lingua-ml) -----------------------------
         "tokenize" => {
             arity(name, args, 1, span)?;
             let s = want_str(name, args, 0, span)?;
-            Ok(Value::List(
-                textsim::tokens(s).into_iter().map(Value::Str).collect(),
-            ))
+            Ok(Value::List(textsim::tokens(s).into_iter().map(Value::Str).collect()))
         }
         "levenshtein" => {
             arity(name, args, 2, span)?;
@@ -321,19 +326,14 @@ pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, ScriptError
                 .to_vec();
             items.sort_by(|a, b| match (a, b) {
                 (Value::Str(x), Value::Str(y)) => x.cmp(y),
-                _ => a
-                    .as_f64()
-                    .partial_cmp(&b.as_f64())
-                    .unwrap_or(std::cmp::Ordering::Equal),
+                _ => a.as_f64().partial_cmp(&b.as_f64()).unwrap_or(std::cmp::Ordering::Equal),
             });
             Ok(Value::List(items))
         }
         "reverse" => {
             arity(name, args, 1, span)?;
             match &args[0] {
-                Value::List(items) => {
-                    Ok(Value::List(items.iter().rev().cloned().collect()))
-                }
+                Value::List(items) => Ok(Value::List(items.iter().rev().cloned().collect())),
                 Value::Str(s) => Ok(Value::Str(s.chars().rev().collect())),
                 other => Err(err(span, format!("reverse: cannot reverse a {}", other.type_name()))),
             }
@@ -350,21 +350,18 @@ pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, ScriptError
         }
         "concat" => {
             arity(name, args, 2, span)?;
-            let a = args[0]
-                .as_list()
-                .ok_or_else(|| err(span, "concat: arguments must be lists"))?;
-            let b = args[1]
-                .as_list()
-                .ok_or_else(|| err(span, "concat: arguments must be lists"))?;
+            let a =
+                args[0].as_list().ok_or_else(|| err(span, "concat: arguments must be lists"))?;
+            let b =
+                args[1].as_list().ok_or_else(|| err(span, "concat: arguments must be lists"))?;
             let mut out = a.to_vec();
             out.extend(b.iter().cloned());
             Ok(Value::List(out))
         }
         "unique" => {
             arity(name, args, 1, span)?;
-            let items = args[0]
-                .as_list()
-                .ok_or_else(|| err(span, "unique: argument must be a list"))?;
+            let items =
+                args[0].as_list().ok_or_else(|| err(span, "unique: argument must be a list"))?;
             let mut out: Vec<Value> = Vec::new();
             for item in items {
                 if !out.iter().any(|v| v.loose_eq(item)) {
@@ -375,9 +372,8 @@ pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, ScriptError
         }
         "sum" => {
             arity(name, args, 1, span)?;
-            let items = args[0]
-                .as_list()
-                .ok_or_else(|| err(span, "sum: argument must be a list"))?;
+            let items =
+                args[0].as_list().ok_or_else(|| err(span, "sum: argument must be a list"))?;
             let mut acc = 0.0;
             let mut all_int = true;
             for item in items {
@@ -398,16 +394,13 @@ pub fn call(name: &str, args: &[Value], span: Span) -> Result<Value, ScriptError
         // -- maps --------------------------------------------------------------
         "keys" => {
             arity(name, args, 1, span)?;
-            let map = args[0]
-                .as_map()
-                .ok_or_else(|| err(span, "keys: argument must be a map"))?;
+            let map = args[0].as_map().ok_or_else(|| err(span, "keys: argument must be a map"))?;
             Ok(Value::List(map.keys().cloned().map(Value::Str).collect()))
         }
         "values" => {
             arity(name, args, 1, span)?;
-            let map = args[0]
-                .as_map()
-                .ok_or_else(|| err(span, "values: argument must be a map"))?;
+            let map =
+                args[0].as_map().ok_or_else(|| err(span, "values: argument must be a map"))?;
             Ok(Value::List(map.values().cloned().collect()))
         }
         "has_key" => {
@@ -473,10 +466,7 @@ mod tests {
 
     #[test]
     fn split_and_join() {
-        assert_eq!(
-            eval(r#"join(split("a,b,c", ","), "|")"#),
-            Value::Str("a|b|c".into())
-        );
+        assert_eq!(eval(r#"join(split("a,b,c", ","), "|")"#), Value::Str("a|b|c".into()));
         // Empty separator = whitespace split.
         assert_eq!(eval(r#"len(split("a b   c", ""))"#), Value::Int(3));
     }
@@ -549,10 +539,16 @@ mod tests {
         );
         assert_eq!(eval("reverse([1, 2])"), Value::List(vec![Value::Int(2), Value::Int(1)]));
         assert_eq!(eval(r#"reverse("abc")"#), Value::Str("cba".into()));
-        assert_eq!(eval("slice([1, 2, 3, 4], 1, 3)"), Value::List(vec![Value::Int(2), Value::Int(3)]));
+        assert_eq!(
+            eval("slice([1, 2, 3, 4], 1, 3)"),
+            Value::List(vec![Value::Int(2), Value::Int(3)])
+        );
         assert_eq!(eval("slice([1], 5, 9)"), Value::List(vec![]));
         assert_eq!(eval("len(concat([1], [2, 3]))"), Value::Int(3));
-        assert_eq!(eval("unique([1, 2, 1, 3, 2])"), Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+        assert_eq!(
+            eval("unique([1, 2, 1, 3, 2])"),
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
         assert_eq!(eval("sum([1, 2, 3])"), Value::Int(6));
         assert_eq!(eval("sum([1, 2.5])"), Value::Float(3.5));
     }

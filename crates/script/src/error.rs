@@ -34,14 +34,25 @@ impl fmt::Display for Span {
 /// Everything that can go wrong while lexing, parsing, or running a script.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScriptError {
-    Lex { span: Span, message: String },
-    Parse { span: Span, message: String },
+    Lex {
+        span: Span,
+        message: String,
+    },
+    Parse {
+        span: Span,
+        message: String,
+    },
     /// A runtime error, e.g. a type error or unknown variable.
-    Runtime { span: Span, message: String },
+    Runtime {
+        span: Span,
+        message: String,
+    },
     /// The fuel budget was exhausted — the Validator's "timeout".
     OutOfFuel,
     /// A host call (`call_llm` / `call_module` / `call_tool`) failed.
-    Host { message: String },
+    Host {
+        message: String,
+    },
 }
 
 impl ScriptError {

@@ -99,9 +99,10 @@ impl<'p> Interpreter<'p> {
         args: Vec<Value>,
         span: Span,
     ) -> Result<Value, ScriptError> {
-        let func = self.program.function(name).ok_or_else(|| {
-            ScriptError::runtime(span, format!("unknown function `{name}`"))
-        })?;
+        let func = self
+            .program
+            .function(name)
+            .ok_or_else(|| ScriptError::runtime(span, format!("unknown function `{name}`")))?;
         if func.params.len() != args.len() {
             return Err(ScriptError::runtime(
                 span,
@@ -112,8 +113,7 @@ impl<'p> Interpreter<'p> {
                 ),
             ));
         }
-        let mut scope: HashMap<String, Value> =
-            func.params.iter().cloned().zip(args).collect();
+        let mut scope: HashMap<String, Value> = func.params.iter().cloned().zip(args).collect();
         // Clone the body statements' reference via raw indexing to avoid
         // borrowing issues: the program outlives the interpreter borrow.
         let body = func.body.clone();
@@ -282,7 +282,9 @@ impl<'p> Interpreter<'p> {
                     UnOp::Not => Ok(Value::Bool(!v.truthy())),
                 }
             }
-            Expr::Binary(op, left, right, span) => self.eval_binary(host, *op, left, right, *span, scope),
+            Expr::Binary(op, left, right, span) => {
+                self.eval_binary(host, *op, left, right, *span, scope)
+            }
             Expr::Call(name, args, span) => self.eval_call(host, name, args, *span, scope),
             Expr::Index(base, index, span) => {
                 let b = self.eval(host, base, scope)?;
@@ -360,10 +362,9 @@ impl<'p> Interpreter<'p> {
         // 2. Host bridge.
         match name {
             "call_llm" => {
-                let prompt = values
-                    .first()
-                    .and_then(|v| v.as_str())
-                    .ok_or_else(|| ScriptError::runtime(span, "call_llm expects a string prompt"))?;
+                let prompt = values.first().and_then(|v| v.as_str()).ok_or_else(|| {
+                    ScriptError::runtime(span, "call_llm expects a string prompt")
+                })?;
                 return host
                     .call_llm(prompt)
                     .map(Value::Str)
@@ -392,11 +393,7 @@ impl<'p> Interpreter<'p> {
                     .map_err(|message| ScriptError::Host { message });
             }
             "print" => {
-                let line = values
-                    .iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" ");
+                let line = values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
                 self.output.push(line);
                 return Ok(Value::Null);
             }
@@ -500,9 +497,9 @@ fn read_index(base: &Value, index: &Value, span: Span) -> Result<Value, ScriptEr
         (Value::Str(s), Value::Int(i)) => {
             let chars: Vec<char> = s.chars().collect();
             let idx = normalize_index(*i, chars.len());
-            idx.and_then(|i| chars.get(i))
-                .map(|c| Value::Str(c.to_string()))
-                .ok_or_else(|| ScriptError::runtime(span, format!("string index {i} out of bounds")))
+            idx.and_then(|i| chars.get(i)).map(|c| Value::Str(c.to_string())).ok_or_else(|| {
+                ScriptError::runtime(span, format!("string index {i} out of bounds"))
+            })
         }
         (b, i) => Err(ScriptError::runtime(
             span,
@@ -639,9 +636,9 @@ fn compare(op: BinOp, l: &Value, r: &Value, span: Span) -> Result<Value, ScriptE
     let ord = match (l, r) {
         (Value::Str(a), Value::Str(b)) => a.cmp(b),
         _ => match (l.as_f64(), r.as_f64()) {
-            (Some(x), Some(y)) => x.partial_cmp(&y).ok_or_else(|| {
-                ScriptError::runtime(span, "cannot compare NaN")
-            })?,
+            (Some(x), Some(y)) => {
+                x.partial_cmp(&y).ok_or_else(|| ScriptError::runtime(span, "cannot compare NaN"))?
+            }
             _ => {
                 return Err(ScriptError::runtime(
                     span,
@@ -697,10 +694,7 @@ mod tests {
 
     #[test]
     fn string_concatenation() {
-        assert_eq!(
-            run1(r#"fn main() { return "a" + "b" + 1; }"#),
-            Value::Str("ab1".into())
-        );
+        assert_eq!(run1(r#"fn main() { return "a" + "b" + 1; }"#), Value::Str("ab1".into()));
     }
 
     #[test]
@@ -720,10 +714,7 @@ mod tests {
 
     #[test]
     fn variables_and_assignment() {
-        assert_eq!(
-            run1("fn main() { let x = 1; x = x + 5; return x; }"),
-            Value::Int(6)
-        );
+        assert_eq!(run1("fn main() { let x = 1; x = x + 5; return x; }"), Value::Int(6));
         // Assigning an undeclared variable fails.
         assert!(run("fn main() { y = 3; return y; }", "main", vec![]).is_err());
     }
@@ -751,7 +742,9 @@ mod tests {
             Value::Int(3)
         );
         assert_eq!(
-            run1(r#"fn main() { let m = {}; insert(m, "k", 5); let v = delete(m, "k"); return v + len(m); }"#),
+            run1(
+                r#"fn main() { let m = {}; insert(m, "k", 5); let v = delete(m, "k"); return v + len(m); }"#
+            ),
             Value::Int(5)
         );
         // push into a nested container through one index level.
@@ -775,7 +768,9 @@ mod tests {
         );
         // Iterating a map yields keys; iterating a string yields chars.
         assert_eq!(
-            run1(r#"fn main() { let ks = ""; for k in {"b": 1, "a": 2} { ks = ks + k; } return ks; }"#),
+            run1(
+                r#"fn main() { let ks = ""; for k in {"b": 1, "a": 2} { ks = ks + k; } return ks; }"#
+            ),
             Value::Str("ab".into())
         );
         assert_eq!(

@@ -57,10 +57,7 @@ impl<'a> Lexer<'a> {
             let start = self.byte_offset();
             let line = self.line;
             let Some(c) = self.peek() else {
-                tokens.push(Token {
-                    kind: TokenKind::Eof,
-                    span: Span::new(start, start, line),
-                });
+                tokens.push(Token { kind: TokenKind::Eof, span: Span::new(start, start, line) });
                 return Ok(tokens);
             };
             let kind = match c {
@@ -188,9 +185,7 @@ impl<'a> Lexer<'a> {
                     Some('r') => out.push('\r'),
                     Some('\\') => out.push('\\'),
                     Some('"') => out.push('"'),
-                    Some(other) => {
-                        return Err(self.error(start, format!("bad escape `\\{other}`")))
-                    }
+                    Some(other) => return Err(self.error(start, format!("bad escape `\\{other}`"))),
                     None => return Err(self.error(start, "unterminated escape")),
                 },
                 Some(c) => out.push(c),
@@ -282,10 +277,7 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""he\tsaid \"hi\"\n""#)[0],
-            TokenKind::Str("he\tsaid \"hi\"\n".into())
-        );
+        assert_eq!(kinds(r#""he\tsaid \"hi\"\n""#)[0], TokenKind::Str("he\tsaid \"hi\"\n".into()));
     }
 
     #[test]

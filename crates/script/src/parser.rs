@@ -405,8 +405,10 @@ mod tests {
 
     #[test]
     fn else_if_nests() {
-        let p = parse("fn f(x) { if x > 1 { return 1; } else if x > 0 { return 0; } else { return -1; } }")
-            .unwrap();
+        let p = parse(
+            "fn f(x) { if x > 1 { return 1; } else if x > 0 { return 0; } else { return -1; } }",
+        )
+        .unwrap();
         match &p.functions[0].body[0] {
             Stmt::If { else_branch, .. } => {
                 assert_eq!(else_branch.len(), 1);

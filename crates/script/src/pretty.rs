@@ -260,8 +260,10 @@ mod tests {
 
     #[test]
     fn else_if_chain_prints_flat() {
-        let p = parse("fn f(x) { if x > 1 { return 1; } else if x > 0 { return 0; } else { return -1; } }")
-            .unwrap();
+        let p = parse(
+            "fn f(x) { if x > 1 { return 1; } else if x > 0 { return 0; } else { return -1; } }",
+        )
+        .unwrap();
         let printed = program(&p);
         assert!(printed.contains("} else if x > 0 {"), "{printed}");
         roundtrip(&printed);

@@ -15,8 +15,22 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "fn" | "let" | "if" | "else" | "while" | "for" | "in" | "return" | "break"
-                | "continue" | "true" | "false" | "null" | "push" | "pop" | "insert" | "delete"
+            "fn" | "let"
+                | "if"
+                | "else"
+                | "while"
+                | "for"
+                | "in"
+                | "return"
+                | "break"
+                | "continue"
+                | "true"
+                | "false"
+                | "null"
+                | "push"
+                | "pop"
+                | "insert"
+                | "delete"
         )
     })
 }
@@ -26,8 +40,7 @@ fn literal() -> impl Strategy<Value = Expr> {
         Just(Expr::Null(span())),
         any::<bool>().prop_map(|b| Expr::Bool(b, span())),
         (-1000i64..1000).prop_map(|i| Expr::Int(i, span())),
-        (-100.0f64..100.0)
-            .prop_map(|f| Expr::Float((f * 8.0).round() / 8.0, span())),
+        (-100.0f64..100.0).prop_map(|f| Expr::Float((f * 8.0).round() / 8.0, span())),
         "[ -~]{0,12}".prop_map(|s| Expr::Str(s, span())),
     ]
 }
@@ -45,15 +58,10 @@ fn expr(depth: u32) -> impl Strategy<Value = Expr> {
                 Box::new(r),
                 span()
             )),
-            (inner.clone(), unop())
-                .prop_map(|(e, op)| Expr::Unary(op, Box::new(e), span())),
+            (inner.clone(), unop()).prop_map(|(e, op)| Expr::Unary(op, Box::new(e), span())),
             (ident(), prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(name, args)| Expr::Call(name, args, span())),
-            (inner.clone(), inner).prop_map(|(b, i)| Expr::Index(
-                Box::new(b),
-                Box::new(i),
-                span()
-            )),
+            (inner.clone(), inner).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i), span())),
         ]
     })
 }
@@ -91,16 +99,19 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
     }
     prop_oneof![
         simple,
-        (expr(1), prop::collection::vec(stmt(depth - 1), 0..3), prop::collection::vec(stmt(depth - 1), 0..2))
+        (
+            expr(1),
+            prop::collection::vec(stmt(depth - 1), 0..3),
+            prop::collection::vec(stmt(depth - 1), 0..2)
+        )
             .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
                 cond,
                 then_branch,
                 else_branch,
                 span: span()
             }),
-        (ident(), expr(1), prop::collection::vec(stmt(depth - 1), 0..3)).prop_map(
-            |(var, iterable, body)| Stmt::For { var, iterable, body, span: span() }
-        ),
+        (ident(), expr(1), prop::collection::vec(stmt(depth - 1), 0..3))
+            .prop_map(|(var, iterable, body)| Stmt::For { var, iterable, body, span: span() }),
     ]
     .boxed()
 }

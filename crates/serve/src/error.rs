@@ -1,0 +1,77 @@
+//! The serving-layer error type.
+
+use lingua_core::CoreError;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors from submitting to or running jobs on a [`crate::PipelineServer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the submission: the job queue is at
+    /// capacity. Callers should back off and retry.
+    Full { capacity: usize },
+    /// The job spent longer than its timeout waiting in the queue and was
+    /// cancelled before execution.
+    Timeout { waited: Duration },
+    /// No pipeline is registered under the requested id.
+    UnknownPipeline(String),
+    /// Compilation or execution failed inside the core system.
+    Core(CoreError),
+    /// The server has been shut down; no further submissions are accepted.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Full { capacity } => {
+                write!(f, "job queue is full (capacity {capacity}); back off and retry")
+            }
+            ServeError::Timeout { waited } => {
+                write!(f, "job timed out after waiting {waited:?} in the queue")
+            }
+            ServeError::UnknownPipeline(id) => write!(f, "no pipeline registered as `{id}`"),
+            ServeError::Core(err) => write!(f, "pipeline error: {err}"),
+            ServeError::Shutdown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(err: CoreError) -> Self {
+        ServeError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::Full { capacity: 8 }.to_string().contains('8'));
+        assert!(ServeError::UnknownPipeline("er".into()).to_string().contains("er"));
+        let err: ServeError = CoreError::Compile("bad op".into()).into();
+        assert!(err.to_string().contains("bad op"));
+        assert!(ServeError::Timeout { waited: Duration::from_millis(5) }
+            .to_string()
+            .contains("timed out"));
+    }
+
+    #[test]
+    fn core_errors_keep_their_source() {
+        use std::error::Error;
+        let err: ServeError = CoreError::NotReplicable { module: "m".into() }.into();
+        assert!(err.source().is_some());
+        assert!(ServeError::Shutdown.source().is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! Serving metrics: counters, a queue-depth gauge, latency percentiles, and
+//! per-job LLM metering.
+//!
+//! The paper's efficiency story is counted in LLM calls and dollars; a
+//! serving layer has to keep that story visible per job even when many
+//! workers share one metered [`LlmService`]. [`UsageMeter`] wraps the shared
+//! service with job-local counters so each job's usage is exact under
+//! concurrency, and [`Metrics`] aggregates the server-wide view.
+
+use lingua_llm_sim::cost::count_tokens;
+use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cap on retained latency samples (FIFO ring; old samples age out).
+const LATENCY_WINDOW: usize = 16_384;
+
+/// Aggregated serving metrics. Cheap to clone a handle; all mutation goes
+/// through the interior mutex.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    accepted: u64,
+    rejected: u64,
+    coalesced: u64,
+    cache_hits: u64,
+    completed: u64,
+    failed: u64,
+    timed_out: u64,
+    queue_depth: u64,
+    latencies_ms: VecDeque<f64>,
+    llm: Usage,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub(crate) fn accept(&self) {
+        self.inner.lock().accepted += 1;
+    }
+
+    pub(crate) fn reject(&self) {
+        self.inner.lock().rejected += 1;
+    }
+
+    pub(crate) fn coalesce(&self) {
+        let mut inner = self.inner.lock();
+        inner.accepted += 1;
+        inner.coalesced += 1;
+    }
+
+    pub(crate) fn cache_hit(&self) {
+        let mut inner = self.inner.lock();
+        inner.accepted += 1;
+        inner.cache_hits += 1;
+    }
+
+    pub(crate) fn enqueue(&self) {
+        self.inner.lock().queue_depth += 1;
+    }
+
+    pub(crate) fn dequeue(&self) {
+        let mut inner = self.inner.lock();
+        inner.queue_depth = inner.queue_depth.saturating_sub(1);
+    }
+
+    pub(crate) fn complete(&self, latency: Duration, llm: Usage) {
+        let mut inner = self.inner.lock();
+        inner.completed += 1;
+        if inner.latencies_ms.len() == LATENCY_WINDOW {
+            inner.latencies_ms.pop_front();
+        }
+        inner.latencies_ms.push_back(latency.as_secs_f64() * 1e3);
+        inner.llm.calls += llm.calls;
+        inner.llm.tokens_in += llm.tokens_in;
+        inner.llm.tokens_out += llm.tokens_out;
+        inner.llm.cache_hits += llm.cache_hits;
+    }
+
+    pub(crate) fn fail(&self) {
+        self.inner.lock().failed += 1;
+    }
+
+    pub(crate) fn time_out(&self) {
+        self.inner.lock().timed_out += 1;
+    }
+
+    /// A consistent point-in-time snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut sorted: Vec<f64> = inner.latencies_ms.iter().copied().collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        MetricsSnapshot {
+            accepted: inner.accepted,
+            rejected: inner.rejected,
+            coalesced: inner.coalesced,
+            cache_hits: inner.cache_hits,
+            completed: inner.completed,
+            failed: inner.failed,
+            timed_out: inner.timed_out,
+            queue_depth: inner.queue_depth,
+            p50_latency_ms: percentile(&sorted, 0.50),
+            p95_latency_ms: percentile(&sorted, 0.95),
+            latency_samples: sorted.len(),
+            llm: inner.llm,
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Submissions admitted (including deduplicated ones).
+    pub accepted: u64,
+    /// Submissions rejected by admission control (queue full).
+    pub rejected: u64,
+    /// Submissions coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs that errored during execution.
+    pub failed: u64,
+    /// Jobs cancelled after exceeding their queue timeout.
+    pub timed_out: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Median end-to-end latency (submit → result) over the sample window.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile end-to-end latency over the sample window.
+    pub p95_latency_ms: f64,
+    /// Number of latency samples the percentiles were computed over.
+    pub latency_samples: usize,
+    /// LLM usage summed over completed jobs (per-job metered).
+    pub llm: Usage,
+}
+
+impl MetricsSnapshot {
+    /// Executions avoided by deduplication, in-flight or cached.
+    pub fn deduped(&self) -> u64 {
+        self.coalesced + self.cache_hits
+    }
+
+    /// Mean LLM calls per completed job.
+    pub fn llm_calls_per_job(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.llm.calls as f64 / self.completed as f64
+        }
+    }
+
+    /// Human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "serving metrics\n\
+             \x20 accepted        {}\n\
+             \x20 rejected (full) {}\n\
+             \x20 deduplicated    {} ({} in-flight, {} cached)\n\
+             \x20 completed       {}\n\
+             \x20 failed          {}\n\
+             \x20 timed out       {}\n\
+             \x20 queue depth     {}\n\
+             \x20 latency p50/p95 {:.2} ms / {:.2} ms ({} samples)\n\
+             \x20 llm usage       {} call(s), {} tokens in, {} tokens out ({:.2} calls/job)\n",
+            self.accepted,
+            self.rejected,
+            self.deduped(),
+            self.coalesced,
+            self.cache_hits,
+            self.completed,
+            self.failed,
+            self.timed_out,
+            self.queue_depth,
+            self.p50_latency_ms,
+            self.p95_latency_ms,
+            self.latency_samples,
+            self.llm.calls,
+            self.llm.tokens_in,
+            self.llm.tokens_out,
+            self.llm_calls_per_job(),
+        )
+    }
+}
+
+/// A per-job metering wrapper around a shared [`LlmService`].
+///
+/// Workers share one LLM service (its global counters keep working), but a
+/// job's own usage can't be read off the shared counters under concurrency —
+/// another worker's calls would pollute the delta. Each job instead runs
+/// against a fresh `UsageMeter` whose local counters record exactly the
+/// traffic the job generated. Because [`UsageMeter::usage`] reports the
+/// *local* counters, the executor's per-op usage traces are also exact
+/// per job.
+pub struct UsageMeter {
+    inner: Arc<dyn LlmService>,
+    local: Mutex<Usage>,
+}
+
+impl UsageMeter {
+    pub fn new(inner: Arc<dyn LlmService>) -> UsageMeter {
+        UsageMeter { inner, local: Mutex::new(Usage::default()) }
+    }
+
+    fn record(&self, prompt: &str, response: &str) {
+        self.local.lock().record(count_tokens(prompt), count_tokens(response));
+    }
+}
+
+impl LlmService for UsageMeter {
+    fn complete(&self, request: &CompletionRequest) -> String {
+        let response = self.inner.complete(request);
+        self.record(&request.prompt, &response);
+        response
+    }
+
+    fn embed(&self, text: &str) -> Vec<f64> {
+        let embedding = self.inner.embed(text);
+        self.local.lock().record(count_tokens(text), 0);
+        embedding
+    }
+
+    fn usage(&self) -> Usage {
+        *self.local.lock()
+    }
+
+    fn simulated_latency_ms(&self) -> u64 {
+        self.inner.simulated_latency_ms()
+    }
+
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
+        let code = self.inner.generate_code(spec);
+        self.record(&spec.task, &code.source);
+        code
+    }
+
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
+        let suggestion = self.inner.suggest_fix(source, failures);
+        self.record(source, &suggestion);
+        suggestion
+    }
+
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode {
+        let code = self.inner.repair_code(spec, previous, suggestion);
+        self.record(&previous.source, &code.source);
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        let metrics = Metrics::new();
+        for ms in 1..=100u64 {
+            metrics.complete(Duration::from_millis(ms), Usage::default());
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.completed, 100);
+        assert!((snap.p50_latency_ms - 50.0).abs() < 2.0, "p50 = {}", snap.p50_latency_ms);
+        assert!((snap.p95_latency_ms - 95.0).abs() < 2.0, "p95 = {}", snap.p95_latency_ms);
+        assert_eq!(snap.latency_samples, 100);
+    }
+
+    #[test]
+    fn empty_metrics_report_zeroes() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!(snap.p50_latency_ms, 0.0);
+        assert_eq!(snap.deduped(), 0);
+        assert_eq!(snap.llm_calls_per_job(), 0.0);
+        assert!(snap.report().contains("accepted"));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let metrics = Metrics::new();
+        metrics.accept();
+        metrics.coalesce();
+        metrics.cache_hit();
+        metrics.reject();
+        metrics.enqueue();
+        metrics.enqueue();
+        metrics.dequeue();
+        metrics.fail();
+        metrics.time_out();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.accepted, 3);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.deduped(), 2);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.timed_out, 1);
+    }
+
+    #[test]
+    fn usage_meter_counts_locally_and_forwards() {
+        let world = WorldSpec::generate(3);
+        let shared: Arc<SimLlm> = Arc::new(SimLlm::with_seed(&world, 3));
+        let meter_a = UsageMeter::new(shared.clone());
+        let meter_b = UsageMeter::new(shared.clone());
+        meter_a.complete(&CompletionRequest::new("Summarize.\nText: a b c"));
+        meter_a.complete(&CompletionRequest::new("Summarize.\nText: d e f"));
+        meter_b.complete(&CompletionRequest::new("Summarize.\nText: g h i"));
+        // Local views are isolated; the shared service sees everything.
+        assert_eq!(meter_a.usage().calls, 2);
+        assert_eq!(meter_b.usage().calls, 1);
+        assert_eq!(shared.usage().calls, 3);
+        assert!(meter_a.usage().tokens_in > 0);
+        assert!(meter_a.usage().tokens_out > 0);
+    }
+}

@@ -1,0 +1,577 @@
+//! The serving engine: a bounded two-lane job queue, a worker pool over
+//! per-worker pipeline instances, request deduplication, and graceful
+//! shutdown.
+//!
+//! Life of a request:
+//!
+//! 1. [`PipelineServer::submit`] fingerprints the inputs. A result-cache hit
+//!    returns a completed handle immediately; a duplicate of an in-flight
+//!    job attaches to that job's completion cell; otherwise the job enters
+//!    the bounded queue — or is rejected with [`ServeError::Full`].
+//! 2. A worker dequeues (high-priority lane first), replicates the compiled
+//!    pipeline if its cached instance is stale, and executes it on a fresh
+//!    [`ExecContext`] whose LLM is a per-job [`UsageMeter`].
+//! 3. Completion wakes every attached waiter, updates the dedup tables, and
+//!    records metrics.
+
+use crate::error::ServeError;
+use crate::fingerprint::fingerprint_inputs;
+use crate::job::{JobCore, JobHandle, JobId, JobOutput};
+use crate::metrics::{Metrics, MetricsSnapshot, UsageMeter};
+use crate::registry::PipelineRegistry;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use lingua_core::{Compiler, ContextFactory, Data, Executor, PhysicalPipeline};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing pipelines.
+    pub workers: usize,
+    /// Bounded capacity of each queue lane; submissions beyond it are
+    /// rejected with [`ServeError::Full`].
+    pub queue_capacity: usize,
+    /// Coalesce identical in-flight submissions onto one execution.
+    pub dedup_inflight: bool,
+    /// Completed results cached by (pipeline, fingerprint), FIFO-evicted
+    /// beyond this many entries. `0` disables the result cache.
+    pub result_cache_capacity: usize,
+    /// Default queue timeout applied to jobs that don't set their own.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            dedup_inflight: true,
+            result_cache_capacity: 1024,
+            default_timeout: None,
+        }
+    }
+}
+
+/// Queue lane selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    #[default]
+    Normal,
+    /// Drained before any normal-priority work.
+    High,
+}
+
+/// A pipeline-execution request.
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// Registry id of the pipeline to run.
+    pub pipeline: String,
+    /// Initial variable environment for the run.
+    pub inputs: BTreeMap<String, Data>,
+    pub priority: Priority,
+    /// Maximum time the job may wait in the queue (overrides the config
+    /// default). Exceeding it fails the job with [`ServeError::Timeout`].
+    pub timeout: Option<Duration>,
+}
+
+impl SubmitRequest {
+    pub fn new(pipeline: impl Into<String>) -> SubmitRequest {
+        SubmitRequest {
+            pipeline: pipeline.into(),
+            inputs: BTreeMap::new(),
+            priority: Priority::Normal,
+            timeout: None,
+        }
+    }
+
+    pub fn input(mut self, name: impl Into<String>, value: Data) -> SubmitRequest {
+        self.inputs.insert(name.into(), value);
+        self
+    }
+
+    pub fn priority(mut self, priority: Priority) -> SubmitRequest {
+        self.priority = priority;
+        self
+    }
+
+    pub fn timeout(mut self, timeout: Duration) -> SubmitRequest {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+type DedupKey = (String, u64);
+
+#[derive(Default)]
+struct DedupState {
+    /// Jobs admitted but not yet finished, by dedup key. Later identical
+    /// submissions attach to the same completion cell.
+    in_flight: HashMap<DedupKey, Arc<JobCore>>,
+    /// Completed outputs, FIFO-evicted at `result_cache_capacity`.
+    results: HashMap<DedupKey, Arc<JobOutput>>,
+    order: VecDeque<DedupKey>,
+}
+
+/// State shared between the submitter and every worker.
+struct Shared {
+    factory: ContextFactory,
+    registry: Arc<PipelineRegistry>,
+    metrics: Arc<Metrics>,
+    dedup: Mutex<DedupState>,
+    config: ServeConfig,
+}
+
+struct QueueItem {
+    core: Arc<JobCore>,
+    pipeline: String,
+    inputs: BTreeMap<String, Data>,
+    key: Option<DedupKey>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// The embedded pipeline-serving engine.
+pub struct PipelineServer {
+    shared: Arc<Shared>,
+    high_tx: Option<Sender<QueueItem>>,
+    normal_tx: Option<Sender<QueueItem>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl PipelineServer {
+    /// Start the worker pool. `factory` supplies the shared LLM service and
+    /// tool registry every job runs against.
+    pub fn start(factory: ContextFactory, config: ServeConfig) -> PipelineServer {
+        let registry = Arc::new(PipelineRegistry::new());
+        let metrics = Arc::new(Metrics::new());
+        let shared = Arc::new(Shared {
+            factory,
+            registry,
+            metrics,
+            dedup: Mutex::new(DedupState::default()),
+            config: config.clone(),
+        });
+        let (high_tx, high_rx) = bounded(config.queue_capacity.max(1));
+        let (normal_tx, normal_rx) = bounded(config.queue_capacity.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let high_rx = high_rx.clone();
+                let normal_rx = normal_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("lingua-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &high_rx, &normal_rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        PipelineServer {
+            shared,
+            high_tx: Some(high_tx),
+            normal_tx: Some(normal_tx),
+            workers,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Start with default configuration.
+    pub fn with_defaults(factory: ContextFactory) -> PipelineServer {
+        PipelineServer::start(factory, ServeConfig::default())
+    }
+
+    /// The pipeline registry (register/unregister/list).
+    pub fn registry(&self) -> &PipelineRegistry {
+        &self.shared.registry
+    }
+
+    /// Register a compiled pipeline under `id`.
+    pub fn register_pipeline(
+        &self,
+        id: impl Into<String>,
+        pipeline: PhysicalPipeline,
+    ) -> Result<(), ServeError> {
+        self.shared.registry.register(id, pipeline)
+    }
+
+    /// Compile DSL source (once, against the shared services) and register
+    /// it under `id`.
+    pub fn register_dsl(
+        &self,
+        id: impl Into<String>,
+        source: &str,
+        compiler: &Compiler,
+    ) -> Result<(), ServeError> {
+        let mut ctx = self.shared.factory.build();
+        self.shared.registry.register_dsl(id, source, compiler, &mut ctx)
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Submit a job. Returns immediately with a handle; poll or
+    /// [`JobHandle::wait`] for the result.
+    pub fn submit(&self, request: SubmitRequest) -> Result<JobHandle, ServeError> {
+        let metrics = &self.shared.metrics;
+        if !self.shared.registry.contains(&request.pipeline) {
+            return Err(ServeError::UnknownPipeline(request.pipeline));
+        }
+        let (high_tx, normal_tx) = match (&self.high_tx, &self.normal_tx) {
+            (Some(h), Some(n)) => (h, n),
+            _ => return Err(ServeError::Shutdown),
+        };
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let dedup_enabled =
+            self.shared.config.dedup_inflight || self.shared.config.result_cache_capacity > 0;
+        let key =
+            dedup_enabled.then(|| (request.pipeline.clone(), fingerprint_inputs(&request.inputs)));
+
+        let now = Instant::now();
+        let timeout = request.timeout.or(self.shared.config.default_timeout);
+        let item = |core: Arc<JobCore>, key: Option<DedupKey>| QueueItem {
+            core,
+            pipeline: request.pipeline.clone(),
+            inputs: request.inputs.clone(),
+            key,
+            enqueued: now,
+            deadline: timeout.map(|t| now + t),
+        };
+        let lane = match request.priority {
+            Priority::High => high_tx,
+            Priority::Normal => normal_tx,
+        };
+
+        // The dedup lock is held across the (non-blocking) try_send so that
+        // reservation + admission are atomic: workers can't complete-and-
+        // remove a key between our lookup and our reservation.
+        if let Some(key) = key {
+            let mut dedup = self.shared.dedup.lock();
+            if let Some(output) = dedup.results.get(&key) {
+                let core = JobCore::finished(Ok(Arc::clone(output)));
+                metrics.cache_hit();
+                return Ok(JobHandle::new(id, core));
+            }
+            if self.shared.config.dedup_inflight {
+                if let Some(core) = dedup.in_flight.get(&key) {
+                    metrics.coalesce();
+                    return Ok(JobHandle::new(id, Arc::clone(core)));
+                }
+            }
+            let core = JobCore::new();
+            match lane.try_send(item(Arc::clone(&core), Some(key.clone()))) {
+                Ok(()) => {
+                    if self.shared.config.dedup_inflight {
+                        dedup.in_flight.insert(key, Arc::clone(&core));
+                    }
+                    metrics.accept();
+                    metrics.enqueue();
+                    Ok(JobHandle::new(id, core))
+                }
+                Err(_) => {
+                    metrics.reject();
+                    Err(ServeError::Full { capacity: self.shared.config.queue_capacity })
+                }
+            }
+        } else {
+            let core = JobCore::new();
+            match lane.try_send(item(Arc::clone(&core), None)) {
+                Ok(()) => {
+                    metrics.accept();
+                    metrics.enqueue();
+                    Ok(JobHandle::new(id, core))
+                }
+                Err(_) => {
+                    metrics.reject();
+                    Err(ServeError::Full { capacity: self.shared.config.queue_capacity })
+                }
+            }
+        }
+    }
+
+    /// Submit and block for the result.
+    pub fn run(&self, request: SubmitRequest) -> Result<Arc<JobOutput>, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Graceful shutdown: stop admitting, drain queued jobs, join workers.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&mut self) {
+        self.high_tx.take();
+        self.normal_tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for PipelineServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Blocking dequeue honouring priority: the high lane is drained before the
+/// normal lane is consulted. Returns `None` once both lanes are closed and
+/// empty (shutdown).
+fn next_item(high: &Receiver<QueueItem>, normal: &Receiver<QueueItem>) -> Option<QueueItem> {
+    loop {
+        let mut high_closed = false;
+        let mut normal_closed = false;
+        match high.try_recv() {
+            Ok(item) => return Some(item),
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => high_closed = true,
+        }
+        match normal.try_recv() {
+            Ok(item) => return Some(item),
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => normal_closed = true,
+        }
+        if high_closed && normal_closed {
+            return None;
+        }
+        // Both lanes empty: block until either produces. Between wake-ups
+        // the loop re-checks the high lane first, so priority inversion is
+        // bounded to the single message `select!` hands us.
+        crossbeam::select! {
+            recv(high) -> msg => {
+                if let Ok(item) = msg {
+                    return Some(item);
+                }
+            }
+            recv(normal) -> msg => {
+                if let Ok(item) = msg {
+                    return Some(item);
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, high: &Receiver<QueueItem>, normal: &Receiver<QueueItem>) {
+    // Per-worker instance cache: (generation, executable pipeline copy).
+    let mut instances: HashMap<String, (u64, PhysicalPipeline)> = HashMap::new();
+    while let Some(item) = next_item(high, normal) {
+        shared.metrics.dequeue();
+        process(shared, &mut instances, item);
+    }
+}
+
+fn process(
+    shared: &Shared,
+    instances: &mut HashMap<String, (u64, PhysicalPipeline)>,
+    item: QueueItem,
+) {
+    if let Some(deadline) = item.deadline {
+        if Instant::now() > deadline {
+            shared.metrics.time_out();
+            finish(shared, &item, Err(ServeError::Timeout { waited: item.enqueued.elapsed() }));
+            return;
+        }
+    }
+    item.core.set_running();
+
+    // Refresh the cached instance if missing or stale.
+    let current = shared.registry.generation(&item.pipeline);
+    let cached = instances.get(&item.pipeline).map(|(generation, _)| *generation);
+    if current.is_none() || cached != current {
+        instances.remove(&item.pipeline);
+        match shared.registry.instantiate(&item.pipeline) {
+            Ok((generation, instance)) => {
+                instances.insert(item.pipeline.clone(), (generation, instance));
+            }
+            Err(err) => {
+                shared.metrics.fail();
+                finish(shared, &item, Err(err));
+                return;
+            }
+        }
+    }
+    let (_, pipeline) = instances.get_mut(&item.pipeline).expect("instance just ensured");
+
+    // Fresh context per run: shared LLM + tools behind a per-job meter.
+    let meter = Arc::new(UsageMeter::new(shared.factory.llm()));
+    let mut ctx =
+        shared.factory.build_with_llm(Arc::clone(&meter) as Arc<dyn lingua_llm_sim::LlmService>);
+    let start = Instant::now();
+    let result = Executor::run(pipeline, &mut ctx, item.inputs.clone());
+    let wall = start.elapsed();
+    match result {
+        Ok(report) => {
+            let output = Arc::new(JobOutput { env: report.env, llm: meter.usage(), wall });
+            shared.metrics.complete(item.enqueued.elapsed(), output.llm);
+            finish(shared, &item, Ok(output));
+        }
+        Err(err) => {
+            shared.metrics.fail();
+            finish(shared, &item, Err(ServeError::Core(err)));
+        }
+    }
+}
+
+/// Completion bookkeeping: release the in-flight reservation, feed the
+/// result cache, wake every waiter.
+fn finish(shared: &Shared, item: &QueueItem, result: Result<Arc<JobOutput>, ServeError>) {
+    if let Some(key) = &item.key {
+        let mut dedup = shared.dedup.lock();
+        dedup.in_flight.remove(key);
+        if let Ok(output) = &result {
+            let capacity = shared.config.result_cache_capacity;
+            if capacity > 0 && dedup.results.insert(key.clone(), Arc::clone(output)).is_none() {
+                dedup.order.push_back(key.clone());
+                while dedup.results.len() > capacity {
+                    if let Some(oldest) = dedup.order.pop_front() {
+                        dedup.results.remove(&oldest);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    item.core.finish(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+
+    fn factory() -> ContextFactory {
+        let world = WorldSpec::generate(21);
+        ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 21)))
+    }
+
+    fn summarize_server(config: ServeConfig) -> PipelineServer {
+        let server = PipelineServer::start(factory(), config);
+        server
+            .register_dsl(
+                "summ",
+                r#"pipeline summ {
+                    out = summarize(text) using llm with { desc: "summarize the following document" };
+                }"#,
+                &Compiler::with_builtins(),
+            )
+            .unwrap();
+        server
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let server = summarize_server(ServeConfig { workers: 2, ..Default::default() });
+        let request = SubmitRequest::new("summ")
+            .input("text", Data::Str("a quick brown fox jumps over the lazy dog".into()));
+        let output = server.run(request).unwrap();
+        assert!(output.get("out").is_ok());
+        assert!(output.llm.calls >= 1, "the summarize op billed the LLM");
+        let snap = server.metrics();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.queue_depth, 0);
+    }
+
+    #[test]
+    fn unknown_pipeline_is_rejected_at_submit() {
+        let server = summarize_server(ServeConfig { workers: 1, ..Default::default() });
+        let err = server.submit(SubmitRequest::new("ghost")).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownPipeline(id) if id == "ghost"));
+    }
+
+    #[test]
+    fn result_cache_serves_repeats_without_llm_calls() {
+        let mut server = summarize_server(ServeConfig { workers: 1, ..Default::default() });
+        let request = SubmitRequest::new("summ")
+            .input("text", Data::Str("the same document every time".into()));
+        let first = server.run(request.clone()).unwrap();
+        let second = server.run(request).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "second run came from the result cache");
+        let snap = server.metrics();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.completed, 1, "only one real execution");
+        server.shutdown();
+    }
+
+    #[test]
+    fn distinct_inputs_do_not_dedup() {
+        let server = summarize_server(ServeConfig { workers: 2, ..Default::default() });
+        let a = server
+            .run(SubmitRequest::new("summ").input("text", Data::Str("first text".into())))
+            .unwrap();
+        let b = server
+            .run(SubmitRequest::new("summ").input("text", Data::Str("second text".into())))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        let snap = server.metrics();
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.deduped(), 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let mut server = summarize_server(ServeConfig { workers: 1, ..Default::default() });
+        server.shutdown();
+        let err = server
+            .submit(SubmitRequest::new("summ").input("text", Data::Str("late".into())))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Shutdown));
+        // Idempotent.
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let mut server = summarize_server(ServeConfig {
+            workers: 1,
+            dedup_inflight: false,
+            result_cache_capacity: 0,
+            ..Default::default()
+        });
+        let handles: Vec<JobHandle> = (0..8)
+            .map(|i| {
+                server
+                    .submit(
+                        SubmitRequest::new("summ")
+                            .input("text", Data::Str(format!("document number {i}"))),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        server.shutdown();
+        for handle in handles {
+            assert!(handle.wait().is_ok(), "queued work completed before shutdown");
+        }
+        assert_eq!(server.metrics().completed, 8);
+    }
+
+    #[test]
+    fn run_reports_execution_errors() {
+        let server =
+            PipelineServer::start(factory(), ServeConfig { workers: 1, ..Default::default() });
+        // `load_csv` on a nonexistent path fails inside the worker.
+        let mut ctx = server.shared.factory.build();
+        server
+            .shared
+            .registry
+            .register_dsl(
+                "bad",
+                r#"pipeline bad { t = load_csv() with { path: "/nonexistent/x.csv" }; }"#,
+                &Compiler::with_builtins(),
+                &mut ctx,
+            )
+            .unwrap();
+        let err = server.run(SubmitRequest::new("bad")).unwrap_err();
+        assert!(matches!(err, ServeError::Core(_)));
+        assert_eq!(server.metrics().failed, 1);
+    }
+}

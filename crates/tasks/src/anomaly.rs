@@ -21,11 +21,8 @@ pub fn detect_numeric(
     threshold: f64,
 ) -> Result<Vec<Anomaly>, lingua_dataset::DataError> {
     let values = table.column(column)?;
-    let numeric: Vec<(usize, f64)> = values
-        .iter()
-        .enumerate()
-        .filter_map(|(i, v)| v.as_f64().map(|x| (i, x)))
-        .collect();
+    let numeric: Vec<(usize, f64)> =
+        values.iter().enumerate().filter_map(|(i, v)| v.as_f64().map(|x| (i, x))).collect();
     if numeric.len() < 4 {
         return Ok(vec![]);
     }
@@ -64,11 +61,8 @@ mod tests {
     use lingua_dataset::csv;
 
     fn table() -> Table {
-        csv::read_str(
-            "prices",
-            "name,price\na,10.0\nb,11.0\nc,9.5\nd,10.5\ne,9.9\nf,999.0\n",
-        )
-        .unwrap()
+        csv::read_str("prices", "name,price\na,10.0\nb,11.0\nc,9.5\nd,10.5\ne,9.9\nf,999.0\n")
+            .unwrap()
     }
 
     #[test]

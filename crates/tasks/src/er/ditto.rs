@@ -33,8 +33,7 @@ impl DittoMatcher {
             .collect();
 
         // Augmentation: swapped sides (symmetry) and self-pairs (identity).
-        let swapped: Vec<_> =
-            raw.iter().map(|(l, r, y)| (r.clone(), l.clone(), *y)).collect();
+        let swapped: Vec<_> = raw.iter().map(|(l, r, y)| (r.clone(), l.clone(), *y)).collect();
         raw.extend(swapped);
         for pair in split.train.iter().choose_multiple(&mut rng, split.train.len() / 4) {
             let fields = record_fields(&pair.left);
@@ -121,10 +120,7 @@ mod tests {
         let mut magellan = MagellanMatcher::train(&split, 0);
         let f1_ditto = evaluate(&mut ditto, &split, &mut ctx).f1();
         let f1_magellan = evaluate(&mut magellan, &split, &mut ctx).f1();
-        assert!(
-            f1_ditto >= f1_magellan - 0.03,
-            "ditto {f1_ditto} vs magellan {f1_magellan}"
-        );
+        assert!(f1_ditto >= f1_magellan - 0.03, "ditto {f1_ditto} vs magellan {f1_magellan}");
     }
 
     #[test]

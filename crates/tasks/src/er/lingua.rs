@@ -47,8 +47,7 @@ impl LinguaMatcher {
             "entity_resolution",
             PromptBuilder::PairJudgment {
                 description:
-                    "Please determine if the following two records refer to the same entity."
-                        .into(),
+                    "Please determine if the following two records refer to the same entity.".into(),
                 examples,
             },
             OutputValidator::YesNo,
@@ -77,18 +76,11 @@ impl LinguaMatcher {
 /// "providing optional input and output specifications through examples"
 /// (§4.1); borderline examples calibrate the model's decision boundary far
 /// better than easy ones.
-fn select_examples(
-    schema: &Schema,
-    pool: &[LabeledPair],
-    count: usize,
-) -> Vec<(String, bool)> {
+fn select_examples(schema: &Schema, pool: &[LabeledPair], count: usize) -> Vec<(String, bool)> {
     use lingua_llm_sim::behaviors::entity_match::pair_score;
     let score = |p: &LabeledPair| -> f64 {
         let to_map = |r: &Record| -> std::collections::BTreeMap<String, String> {
-            r.iter()
-                .enumerate()
-                .map(|(i, v)| (schema.name(i).to_lowercase(), v.render()))
-                .collect()
+            r.iter().enumerate().map(|(i, v)| (schema.name(i).to_lowercase(), v.render())).collect()
         };
         pair_score(&to_map(&p.left), &to_map(&p.right), true)
     };
@@ -103,10 +95,7 @@ fn select_examples(
         .take(count - half)
         .chain(negatives.into_iter().take(half))
         .map(|p| {
-            (
-                format!("A: {} | B: {}", p.left.describe(schema), p.right.describe(schema)),
-                p.label,
-            )
+            (format!("A: {} | B: {}", p.left.describe(schema), p.right.describe(schema)), p.label)
         })
         .collect()
 }

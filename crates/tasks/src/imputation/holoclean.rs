@@ -44,11 +44,8 @@ impl HoloCleanImputer {
                 .or_default() += 1;
             *counts.entry(manufacturer.to_string()).or_default() += 1;
         }
-        let mode = counts
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .map(|(m, _)| m.clone())
-            .unwrap_or_default();
+        let mode =
+            counts.iter().max_by_key(|(_, &c)| c).map(|(m, _)| m.clone()).unwrap_or_default();
         HoloCleanImputer { by_name, by_description, mode }
     }
 

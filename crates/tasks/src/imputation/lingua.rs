@@ -80,10 +80,9 @@ impl LinguaImputer {
         let spec = spec();
         let mut module = LlmgcModule::generate("impute_manufacturer", spec, ctx)?;
         let vocabulary: Vec<String> = match ctx.tools.call("vocabulary", &[]) {
-            Ok(ScriptValue::List(items)) => items
-                .iter()
-                .filter_map(|v| v.as_str().map(|s| s.to_string()))
-                .collect(),
+            Ok(ScriptValue::List(items)) => {
+                items.iter().filter_map(|v| v.as_str().map(|s| s.to_string())).collect()
+            }
             _ => vec![],
         };
         let validator = Validator::new(validation_cases(&vocabulary))
@@ -152,10 +151,7 @@ mod tests {
         // The 1/6 economy: most rows resolve by rules, roughly the hard sixth
         // falls back to the LLM.
         let calls_per_row = outcome.llm_calls as f64 / benchmark.len() as f64;
-        assert!(
-            calls_per_row < 0.30,
-            "calls per row {calls_per_row} (expected around 1/6)"
-        );
+        assert!(calls_per_row < 0.30, "calls per row {calls_per_row} (expected around 1/6)");
         assert!(calls_per_row > 0.05, "fallback should actually fire: {calls_per_row}");
     }
 

@@ -100,9 +100,6 @@ mod tests {
         let mut naive = FmsImputer;
         let acc_validated = evaluate(&mut validated, &benchmark, &mut ctx).accuracy();
         let acc_naive = evaluate(&mut naive, &benchmark, &mut ctx).accuracy();
-        assert!(
-            acc_validated > acc_naive + 0.04,
-            "validated {acc_validated} vs naive {acc_naive}"
-        );
+        assert!(acc_validated > acc_naive + 0.04, "validated {acc_validated} vs naive {acc_naive}");
     }
 }

@@ -75,8 +75,7 @@ impl NameExtractionPipeline {
             },
         };
         let mut extractor = LlmgcModule::generate("extract_noun_phrases", extractor_spec, ctx)?;
-        let validator =
-            Validator::new(extractor_cases(config.multilingual)).with_budgets(4, 2);
+        let validator = Validator::new(extractor_cases(config.multilingual)).with_budgets(4, 2);
         let report = validator.validate_and_fix(&mut extractor, ctx)?;
         if report.outcome != ValidationOutcome::Passed {
             return Err(CoreError::ValidationExhausted {
@@ -233,14 +232,8 @@ fn str_list(items: &[&str]) -> Data {
 
 fn tokenizer_cases() -> Vec<TestCase> {
     vec![
-        TestCase::new(
-            Data::Str("Hello, world!".into()),
-            str_list(&["Hello", "world"]),
-        ),
-        TestCase::new(
-            Data::Str("I saw a cat".into()),
-            str_list(&["I", "saw", "a", "cat"]),
-        ),
+        TestCase::new(Data::Str("Hello, world!".into()), str_list(&["Hello", "world"])),
+        TestCase::new(Data::Str("I saw a cat".into()), str_list(&["I", "saw", "a", "cat"])),
         TestCase::new(Data::Null, Data::List(vec![])),
     ]
 }

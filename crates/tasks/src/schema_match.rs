@@ -3,7 +3,7 @@
 //! The LLM module proposes the alignment; evaluation is against known
 //! renamings.
 
-use lingua_core::{ExecContext};
+use lingua_core::ExecContext;
 use lingua_llm_sim::CompletionRequest;
 
 /// A proposed column alignment.
@@ -14,11 +14,7 @@ pub struct ColumnMatch {
 }
 
 /// Ask the LLM to match two column lists.
-pub fn match_schemas(
-    left: &[String],
-    right: &[String],
-    ctx: &mut ExecContext,
-) -> Vec<ColumnMatch> {
+pub fn match_schemas(left: &[String], right: &[String], ctx: &mut ExecContext) -> Vec<ColumnMatch> {
     let prompt = format!(
         "Perform schema matching between the tables.\nColumns A: {}\nColumns B: {}",
         left.join(", "),
@@ -34,20 +30,15 @@ pub fn parse_alignment(response: &str) -> Vec<ColumnMatch> {
         .split(';')
         .filter_map(|pair| {
             let (left, right) = pair.split_once("->")?;
-            Some(ColumnMatch {
-                left: left.trim().to_string(),
-                right: right.trim().to_string(),
-            })
+            Some(ColumnMatch { left: left.trim().to_string(), right: right.trim().to_string() })
         })
         .collect()
 }
 
 /// Score proposals against gold `(left, right)` pairs: (precision, recall, f1).
 pub fn score(proposed: &[ColumnMatch], gold: &[(String, String)]) -> (f64, f64, f64) {
-    let tp = proposed
-        .iter()
-        .filter(|m| gold.iter().any(|(l, r)| *l == m.left && *r == m.right))
-        .count();
+    let tp =
+        proposed.iter().filter(|m| gold.iter().any(|(l, r)| *l == m.left && *r == m.right)).count();
     let precision = if proposed.is_empty() { 0.0 } else { tp as f64 / proposed.len() as f64 };
     let recall = if gold.is_empty() { 0.0 } else { tp as f64 / gold.len() as f64 };
     let f1 = if precision + recall == 0.0 {
@@ -71,8 +62,10 @@ mod tests {
         let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 44)));
         let left: Vec<String> =
             ["product_name", "maker", "cost", "details"].iter().map(|s| s.to_string()).collect();
-        let right: Vec<String> =
-            ["name", "manufacturer", "price_usd", "description"].iter().map(|s| s.to_string()).collect();
+        let right: Vec<String> = ["name", "manufacturer", "price_usd", "description"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let proposed = match_schemas(&left, &right, &mut ctx);
         let gold: Vec<(String, String)> = vec![
             ("product_name".into(), "name".into()),

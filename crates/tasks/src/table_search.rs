@@ -15,7 +15,11 @@ pub struct TableIndex {
 /// Render the text that represents a table for indexing: name, column names,
 /// and a small sample of cell values (the head rows only — data minimization).
 pub fn table_signature(table: &Table, sample_rows: usize) -> String {
-    let mut text = format!("table {} columns {}", table.name(), table.schema().names().collect::<Vec<_>>().join(" "));
+    let mut text = format!(
+        "table {} columns {}",
+        table.name(),
+        table.schema().names().collect::<Vec<_>>().join(" ")
+    );
     for row in table.rows().iter().take(sample_rows) {
         text.push(' ');
         text.push_str(&row.describe(table.schema()));

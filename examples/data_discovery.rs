@@ -39,12 +39,8 @@ fn main() {
 
     // 2. Schema matching between the catalogue and a differently-named feed.
     let left: Vec<String> = tables[0].schema().names().map(String::from).collect();
-    let right = vec![
-        "title".to_string(),
-        "maker".to_string(),
-        "cost".to_string(),
-        "details".to_string(),
-    ];
+    let right =
+        vec!["title".to_string(), "maker".to_string(), "cost".to_string(), "details".to_string()];
     println!("> schema match {left:?} <-> {right:?}");
     for m in schema_match::match_schemas(&left, &right, &mut ctx) {
         println!("  {} -> {}", m.left, m.right);
@@ -54,8 +50,8 @@ fn main() {
     // 3. Connector-mediated access: the LLM can only see allowlisted slices.
     let mut catalog = Catalog::new();
     catalog.register(tables[0].clone());
-    let mut connector = TabularConnector::new(catalog)
-        .allow_prefix("SELECT name, price FROM products");
+    let mut connector =
+        TabularConnector::new(catalog).allow_prefix("SELECT name, price FROM products");
     let approved = connector.fetch("SELECT name, price FROM products WHERE price < 50").unwrap();
     println!("> connector: approved query returned {} row(s)", approved.len());
     let denied = connector.fetch("SELECT * FROM products");
@@ -70,7 +66,10 @@ fn main() {
     let anomalies = anomaly::detect_all(&tables[0], 6.0);
     println!("> anomaly scan: {} outlier cell(s)", anomalies.len());
     for a in anomalies.iter().take(3) {
-        println!("  row {} column {} value {} (robust z = {:.1})", a.row, a.column, a.value, a.score);
+        println!(
+            "  row {} column {} value {} (robust z = {:.1})",
+            a.row, a.column, a.value, a.score
+        );
     }
 }
 
@@ -97,10 +96,7 @@ fn build_lake(world: &WorldSpec) -> Vec<Table> {
     }
     products.rows_mut()[7].set(2, Value::Float(99999.0)); // the anomaly
 
-    let mut beers = Table::new(
-        "beers",
-        Schema::of_names(["beer_name", "brewery", "style", "abv"]),
-    );
+    let mut beers = Table::new("beers", Schema::of_names(["beer_name", "brewery", "style", "abv"]));
     for b in world.beers.iter().take(40) {
         beers
             .push(Record::new(vec![
@@ -112,10 +108,8 @@ fn build_lake(world: &WorldSpec) -> Vec<Table> {
             .unwrap();
     }
 
-    let mut restaurants = Table::new(
-        "restaurants",
-        Schema::of_names(["name", "addr", "city", "phone", "cuisine"]),
-    );
+    let mut restaurants =
+        Table::new("restaurants", Schema::of_names(["name", "addr", "city", "phone", "cuisine"]));
     for r in world.restaurants.iter().take(40) {
         restaurants
             .push(Record::new(vec![

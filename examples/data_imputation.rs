@@ -42,7 +42,9 @@ fn main() {
     println!("--- the validated LLMGC module ---\n{}", expert.source());
     println!(
         "validation: {} cycle(s), {} regeneration(s), failures per round {:?}\n",
-        expert.validation.cycles, expert.validation.regenerations, expert.validation.failure_history
+        expert.validation.cycles,
+        expert.validation.regenerations,
+        expert.validation.failure_history
     );
 
     // Head-to-head with the pure LLM module.

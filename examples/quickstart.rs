@@ -46,8 +46,7 @@ fn main() {
     //    system assembles the validated LLM module.
     let llm = Arc::new(SimLlm::with_seed(&world, 7));
     let mut ctx = ExecContext::new(llm.clone());
-    let mut matcher =
-        LinguaMatcher::build(&split.schema, &split.train, &LinguaErConfig::default());
+    let mut matcher = LinguaMatcher::build(&split.schema, &split.train, &LinguaErConfig::default());
 
     let confusion: Confusion = evaluate(&mut matcher, &split, &mut ctx);
     println!("> judged {} pairs with {} LLM call(s)", split.test.len(), llm.usage().calls);

@@ -87,8 +87,5 @@ fn llm_call_economy_is_about_one_sixth() {
     assert_eq!(r.imp.llm_calls, 0);
     assert!(r.llm_only.llm_calls as usize >= r.llm_only.total);
     let ratio = r.lingua.llm_calls as f64 / r.llm_only.llm_calls as f64;
-    assert!(
-        (0.08..0.30).contains(&ratio),
-        "lingua/llm_only call ratio {ratio} (paper: ~1/6)"
-    );
+    assert!((0.08..0.30).contains(&ratio), "lingua/llm_only call ratio {ratio} (paper: ~1/6)");
 }

@@ -61,8 +61,9 @@ fn simulator_cuts_llm_calls_on_a_real_tagging_stream() {
     let tagger = LlmModule::new(
         "tagger",
         PromptBuilder::Template {
-            template: "Is the following phrase a person name?\nLanguage: {language}\nText: {phrase}"
-                .into(),
+            template:
+                "Is the following phrase a person name?\nLanguage: {language}\nText: {phrase}"
+                    .into(),
         },
         OutputValidator::YesNo,
     );
@@ -82,10 +83,7 @@ fn simulator_cuts_llm_calls_on_a_real_tagging_stream() {
     let stats = simulated.stats();
     assert_eq!(stats.teacher_calls + stats.student_calls, served);
     assert!(simulated.has_taken_over(), "{stats:?}");
-    assert!(
-        stats.student_calls > served / 2,
-        "student should carry most of the stream: {stats:?}"
-    );
+    assert!(stats.student_calls > served / 2, "student should carry most of the stream: {stats:?}");
     // The LLM bill is bounded by the teacher share.
     assert!(llm.usage().calls <= stats.teacher_calls + 5);
 }
@@ -100,8 +98,7 @@ fn connectors_enforce_allowlists_and_meter_exposure() {
     .unwrap();
     let mut catalog = Catalog::new();
     catalog.register(table);
-    let mut connector =
-        TabularConnector::new(catalog).allow_prefix("SELECT name FROM products");
+    let mut connector = TabularConnector::new(catalog).allow_prefix("SELECT name FROM products");
     assert!(connector.fetch("SELECT name FROM products WHERE price < 10").is_ok());
     assert!(connector.fetch("SELECT * FROM products").is_err());
     let meter = connector.meter();

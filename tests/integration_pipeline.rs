@@ -21,11 +21,8 @@ fn dsl_pipeline_runs_end_to_end_over_csv() {
     let dir = temp_dir("pipeline");
     let input = dir.join("in.csv");
     let output = dir.join("out.csv");
-    std::fs::write(
-        &input,
-        "name,price\nwidget,9.99\nwidget,9.99\ngadget,19.5\ndoohickey,4.25\n",
-    )
-    .unwrap();
+    std::fs::write(&input, "name,price\nwidget,9.99\nwidget,9.99\ngadget,19.5\ndoohickey,4.25\n")
+        .unwrap();
 
     let dsl = format!(
         r#"pipeline cleanup {{
@@ -66,10 +63,7 @@ fn template_pipeline_compiles_with_llmgc_and_llm_bindings() {
 
     let world = WorldSpec::generate(91);
     let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 91)));
-    ctx.tools.register(
-        "stopwords",
-        lingua_core::tools::stopwords_tool_from_world(&world),
-    );
+    ctx.tools.register("stopwords", lingua_core::tools::stopwords_tool_from_world(&world));
     let compiler = Compiler::with_builtins();
     let physical = compiler.compile(&template.pipeline, &mut ctx).unwrap();
 

@@ -10,10 +10,10 @@ use lingua_dataset::generators::er::{generate, ErDataset};
 use lingua_dataset::world::WorldSpec;
 use lingua_llm_sim::SimLlm;
 use lingua_tasks::er::ditto::DittoMatcher;
+use lingua_tasks::er::evaluate;
 use lingua_tasks::er::fms::FmsMatcher;
 use lingua_tasks::er::lingua::{LinguaErConfig, LinguaMatcher};
 use lingua_tasks::er::magellan::MagellanMatcher;
-use lingua_tasks::er::evaluate;
 use std::sync::Arc;
 
 /// Mean F1 per method over a couple of seeds (keeps single-split noise down
