@@ -92,13 +92,13 @@ fn main() {
         table.row([
             label.to_string(),
             usage.calls.to_string(),
-            usage.cache_hits.to_string(),
+            usage.cached_calls.to_string(),
             usage.tokens_in.to_string(),
             format!("{:.1}", llm.simulated_latency_ms() as f64 / 1000.0),
             format!("{cost:.4}"),
         ]);
         json_rows.push(serde_json::json!({
-            "config": label, "calls": usage.calls, "cache_hits": usage.cache_hits,
+            "config": label, "calls": usage.calls, "cached_calls": usage.cached_calls,
             "tokens_in": usage.tokens_in, "cost_usd": cost,
         }));
     }

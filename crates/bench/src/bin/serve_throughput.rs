@@ -138,7 +138,7 @@ fn serve_once(
     let llm = Arc::new(SimLlm::new(world, SimLlmConfig { seed: SEED, ..Default::default() }));
     let factory = ContextFactory::new(llm);
     let config = ServeConfig { workers, queue_capacity: inputs.len() + 8, ..Default::default() };
-    let mut server = PipelineServer::start(factory, config);
+    let mut server = PipelineServer::start(factory, config).expect("valid bench config");
     let id = pipeline.name.clone();
     server.register_pipeline(id.as_str(), pipeline).expect("pipeline replicates");
     let start = Instant::now();
@@ -177,7 +177,7 @@ fn dedup_arm(
         result_cache_capacity: if enabled { 1024 } else { 0 },
         ..Default::default()
     };
-    let mut server = PipelineServer::start(factory, config);
+    let mut server = PipelineServer::start(factory, config).expect("valid bench config");
     let id = pipeline.name.clone();
     server.register_pipeline(id.as_str(), pipeline).expect("pipeline replicates");
     let start = Instant::now();

@@ -36,6 +36,17 @@ pub struct PhysicalPipeline {
     pub ops: Vec<(LogicalOp, Box<dyn Module>)>,
 }
 
+impl std::fmt::Debug for PhysicalPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|(op, module)| format!("{} -> {}", op.op_type, module.name()))
+            .collect();
+        f.debug_struct("PhysicalPipeline").field("name", &self.name).field("ops", &ops).finish()
+    }
+}
+
 impl PhysicalPipeline {
     /// Human-readable binding summary.
     pub fn describe(&self) -> String {

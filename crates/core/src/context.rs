@@ -82,6 +82,14 @@ impl ContextFactory {
         self
     }
 
+    /// Replace the shared LLM service, keeping the tool registry — the hook
+    /// for interposing a wrapper (a resilience gateway, a metering shim)
+    /// between every built context and the original service.
+    pub fn with_llm(mut self, llm: Arc<dyn LlmService>) -> ContextFactory {
+        self.llm = llm;
+        self
+    }
+
     /// The shared LLM service.
     pub fn llm(&self) -> Arc<dyn LlmService> {
         Arc::clone(&self.llm)
@@ -224,6 +232,22 @@ mod tests {
         tools.register_list("vocab", vec!["Sony".into()]);
         let factory = factory.with_tools(tools);
         assert!(factory.build().tools.contains("vocab"));
+    }
+
+    #[test]
+    fn with_llm_swaps_the_service_and_keeps_tools() {
+        let world = WorldSpec::generate(2);
+        let original: Arc<SimLlm> = Arc::new(SimLlm::with_seed(&world, 2));
+        let replacement: Arc<SimLlm> = Arc::new(SimLlm::with_seed(&world, 3));
+        let mut tools = ToolRegistry::new();
+        tools.register_list("vocab", vec!["Sony".into()]);
+        let factory =
+            ContextFactory::new(original.clone()).with_tools(tools).with_llm(replacement.clone());
+        let ctx = factory.build();
+        ctx.llm.complete(&lingua_llm_sim::CompletionRequest::new("Summarize.\nText: x"));
+        assert_eq!(replacement.usage().calls, 1, "calls land on the swapped-in service");
+        assert_eq!(original.usage().calls, 0, "the original service is untouched");
+        assert!(ctx.tools.contains("vocab"), "tools survive the swap");
     }
 
     #[test]

@@ -280,7 +280,7 @@ mod tests {
         assert_eq!(responses.len(), prompts.len());
         let usage = svc.usage();
         assert_eq!(usage.calls, prompts.len() as u64);
-        assert_eq!(usage.cache_hits, 0);
+        assert_eq!(usage.cached_calls, 0);
         assert!(usage.tokens_in > 0 && usage.tokens_out > 0);
     }
 
@@ -301,7 +301,7 @@ mod tests {
         });
         assert!(out.windows(2).all(|w| w[0] == w[1]), "all callers see one answer");
         let usage = svc.usage();
-        assert_eq!(usage.calls + usage.cache_hits, requests.len() as u64);
+        assert_eq!(usage.calls + usage.cached_calls, requests.len() as u64);
         assert!(usage.calls >= 1);
     }
 }

@@ -35,7 +35,7 @@ impl ExecStats {
         }
         out.push_str(&format!(
             "llm: {} call(s), {} tokens in, {} tokens out, {} cache hit(s)\n",
-            delta.calls, delta.tokens_in, delta.tokens_out, delta.cache_hits
+            delta.calls, delta.tokens_in, delta.tokens_out, delta.cached_calls
         ));
         out
     }

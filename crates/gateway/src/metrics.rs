@@ -1,0 +1,288 @@
+//! Gateway metrics: per-backend counters plus gateway-level routing counters.
+//!
+//! Same discipline as `lingua-serve`'s metrics: all mutation behind one
+//! mutex, snapshots are plain serializable values, and everything the
+//! resilience machinery does — attempts, retries, faults by class, breaker
+//! transitions, budget denials, fallback hits, added latency — is visible in
+//! one place.
+
+use crate::{BreakerState, BreakerStats, FaultClass};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// Counters for a single backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct BackendCounters {
+    /// Transport calls placed (first tries and retries).
+    pub attempts: u64,
+    /// Requests this backend answered successfully.
+    pub served: u64,
+    /// Retries against this backend (attempts beyond a request's first).
+    pub retries: u64,
+    /// Faults by class.
+    pub timeouts: u64,
+    pub rate_limited: u64,
+    pub transient: u64,
+    pub malformed: u64,
+    /// Calls skipped because the token budget denied admission.
+    pub budget_denied: u64,
+    /// Calls skipped because the circuit breaker was open.
+    pub breaker_denied: u64,
+    /// Total backoff delay charged against this backend, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl BackendCounters {
+    pub fn faults(&self) -> u64 {
+        self.timeouts + self.rate_limited + self.transient + self.malformed
+    }
+
+    fn record_fault(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::Timeout => self.timeouts += 1,
+            FaultClass::RateLimited => self.rate_limited += 1,
+            FaultClass::TransientServer => self.transient += 1,
+            FaultClass::MalformedOutput => self.malformed += 1,
+        }
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    backends: Vec<BackendCounters>,
+    requests: u64,
+    failovers: u64,
+    degraded_cache_hits: u64,
+    degraded_fallbacks: u64,
+    degraded_static: u64,
+}
+
+/// Interior-mutable metrics registry owned by the gateway.
+pub struct GatewayMetrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl GatewayMetrics {
+    pub fn new(backend_count: usize) -> GatewayMetrics {
+        GatewayMetrics {
+            inner: Mutex::new(MetricsInner {
+                backends: vec![BackendCounters::default(); backend_count],
+                ..MetricsInner::default()
+            }),
+        }
+    }
+
+    pub(crate) fn request(&self) {
+        self.inner.lock().requests += 1;
+    }
+
+    pub(crate) fn attempt(&self, backend: usize, is_retry: bool) {
+        let mut inner = self.inner.lock();
+        inner.backends[backend].attempts += 1;
+        if is_retry {
+            inner.backends[backend].retries += 1;
+        }
+    }
+
+    pub(crate) fn served(&self, backend: usize) {
+        self.inner.lock().backends[backend].served += 1;
+    }
+
+    pub(crate) fn fault(&self, backend: usize, class: FaultClass) {
+        self.inner.lock().backends[backend].record_fault(class);
+    }
+
+    pub(crate) fn budget_denied(&self, backend: usize) {
+        self.inner.lock().backends[backend].budget_denied += 1;
+    }
+
+    pub(crate) fn breaker_denied(&self, backend: usize) {
+        self.inner.lock().backends[backend].breaker_denied += 1;
+    }
+
+    pub(crate) fn backoff(&self, backend: usize, delay_ms: u64) {
+        self.inner.lock().backends[backend].backoff_ms += delay_ms;
+    }
+
+    pub(crate) fn failover(&self) {
+        self.inner.lock().failovers += 1;
+    }
+
+    pub(crate) fn degraded_cache_hit(&self) {
+        self.inner.lock().degraded_cache_hits += 1;
+    }
+
+    pub(crate) fn degraded_fallback(&self) {
+        self.inner.lock().degraded_fallbacks += 1;
+    }
+
+    pub(crate) fn degraded_static(&self) {
+        self.inner.lock().degraded_static += 1;
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        names: &[String],
+        breakers: &[(BreakerState, BreakerStats)],
+    ) -> GatewaySnapshot {
+        let inner = self.inner.lock();
+        let backends = inner
+            .backends
+            .iter()
+            .zip(names)
+            .zip(breakers)
+            .map(|((counters, name), (state, stats))| BackendSnapshot {
+                name: name.clone(),
+                counters: *counters,
+                breaker_state: state.label(),
+                breaker: *stats,
+            })
+            .collect();
+        GatewaySnapshot {
+            requests: inner.requests,
+            failovers: inner.failovers,
+            degraded_cache_hits: inner.degraded_cache_hits,
+            degraded_fallbacks: inner.degraded_fallbacks,
+            degraded_static: inner.degraded_static,
+            backends,
+        }
+    }
+}
+
+/// Point-in-time view of one backend.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BackendSnapshot {
+    pub name: String,
+    pub counters: BackendCounters,
+    pub breaker_state: &'static str,
+    pub breaker: BreakerStats,
+}
+
+/// Point-in-time view of the whole gateway.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GatewaySnapshot {
+    /// Requests entering the gateway (one per `complete`/`embed` call).
+    pub requests: u64,
+    /// Requests that moved past an attempted or shielded backend to the next.
+    pub failovers: u64,
+    /// Requests answered from the degraded-mode response cache.
+    pub degraded_cache_hits: u64,
+    /// Requests answered by the degraded-mode fallback backend.
+    pub degraded_fallbacks: u64,
+    /// Requests answered with the static degraded notice (nothing left).
+    pub degraded_static: u64,
+    pub backends: Vec<BackendSnapshot>,
+}
+
+impl GatewaySnapshot {
+    /// Total backoff latency added across backends, in milliseconds.
+    pub fn added_backoff_ms(&self) -> u64 {
+        self.backends.iter().map(|b| b.counters.backoff_ms).sum()
+    }
+
+    /// Total retries across backends.
+    pub fn retries(&self) -> u64 {
+        self.backends.iter().map(|b| b.counters.retries).sum()
+    }
+
+    /// Total faults observed across backends.
+    pub fn faults(&self) -> u64 {
+        self.backends.iter().map(|b| b.counters.faults()).sum()
+    }
+
+    /// Requests that were answered degraded (cache, fallback, or static).
+    pub fn degraded(&self) -> u64 {
+        self.degraded_cache_hits + self.degraded_fallbacks + self.degraded_static
+    }
+
+    /// Human-readable report, matching the serve metrics style.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "gateway metrics\n\
+             \x20 requests        {}\n\
+             \x20 failovers       {}\n\
+             \x20 degraded        {} ({} cached, {} fallback, {} static)\n",
+            self.requests,
+            self.failovers,
+            self.degraded(),
+            self.degraded_cache_hits,
+            self.degraded_fallbacks,
+            self.degraded_static,
+        );
+        for backend in &self.backends {
+            let c = &backend.counters;
+            out.push_str(&format!(
+                "\x20 backend {:<12} {} attempts, {} served, {} retries, {} faults \
+                 (t/r/s/m {}/{}/{}/{}), {} budget-denied, {} breaker-denied, \
+                 {} ms backoff, breaker {} (o/h/c {}/{}/{}, {} denied)\n",
+                backend.name,
+                c.attempts,
+                c.served,
+                c.retries,
+                c.faults(),
+                c.timeouts,
+                c.rate_limited,
+                c.transient,
+                c.malformed,
+                c.budget_denied,
+                c.breaker_denied,
+                c.backoff_ms,
+                backend.breaker_state,
+                backend.breaker.opened,
+                backend.breaker.half_opened,
+                backend.breaker.closed,
+                backend.breaker.denied,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_on_the_right_backend() {
+        let metrics = GatewayMetrics::new(2);
+        metrics.request();
+        metrics.attempt(0, false);
+        metrics.fault(0, FaultClass::Timeout);
+        metrics.backoff(0, 40);
+        metrics.attempt(0, true);
+        metrics.fault(0, FaultClass::TransientServer);
+        metrics.failover();
+        metrics.attempt(1, false);
+        metrics.served(1);
+        let names = vec!["primary".to_string(), "standby".to_string()];
+        let breakers = vec![(BreakerState::Closed, BreakerStats::default()); 2];
+        let snap = metrics.snapshot(&names, &breakers);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.failovers, 1);
+        assert_eq!(snap.backends[0].counters.attempts, 2);
+        assert_eq!(snap.backends[0].counters.retries, 1);
+        assert_eq!(snap.backends[0].counters.faults(), 2);
+        assert_eq!(snap.backends[0].counters.backoff_ms, 40);
+        assert_eq!(snap.backends[1].counters.served, 1);
+        assert_eq!(snap.added_backoff_ms(), 40);
+        assert_eq!(snap.retries(), 1);
+        assert_eq!(snap.faults(), 2);
+        assert!(snap.report().contains("primary"));
+        assert!(snap.report().contains("standby"));
+    }
+
+    #[test]
+    fn degraded_paths_are_distinguished() {
+        let metrics = GatewayMetrics::new(1);
+        metrics.degraded_cache_hit();
+        metrics.degraded_fallback();
+        metrics.degraded_static();
+        let snap = metrics
+            .snapshot(&["only".to_string()], &[(BreakerState::Open, BreakerStats::default())]);
+        assert_eq!(snap.degraded(), 3);
+        assert_eq!(snap.degraded_cache_hits, 1);
+        assert_eq!(snap.degraded_fallbacks, 1);
+        assert_eq!(snap.degraded_static, 1);
+        assert!(snap.report().contains("breaker open"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The fallible transport layer.
+//!
+//! [`LlmTransport`] is the [`lingua_llm_sim::LlmService`] contract with the
+//! truth restored: calls over a network can fail. [`ServiceTransport`] adapts
+//! any infallible service into a transport that never faults (the shape a
+//! perfectly reliable backend would have); [`crate::FaultInjector`] is the
+//! adversarial counterpart.
+
+use crate::TransportError;
+use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use std::sync::Arc;
+
+/// A named, fallible LLM backend.
+///
+/// Completions and embeddings — the hot, per-record paths — are fallible.
+/// The structured code-generation endpoints stay infallible: they are called
+/// a handful of times at pipeline-compile time and the repair loop around
+/// them already tolerates bad output.
+pub trait LlmTransport: Send + Sync {
+    /// Stable backend name, used as the metrics key.
+    fn name(&self) -> &str;
+    /// Free-text completion.
+    fn complete(&self, request: &CompletionRequest) -> Result<String, TransportError>;
+    /// Deterministic text embedding.
+    fn embed(&self, text: &str) -> Result<Vec<f64>, TransportError>;
+    /// Cumulative usage counters of the underlying service.
+    fn usage(&self) -> Usage;
+    /// Simulated wall-clock latency accumulated so far, in milliseconds.
+    fn simulated_latency_ms(&self) -> u64;
+    /// Generate an LLMGC module program.
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode;
+    /// Ask for a fix suggestion given code and failure descriptions.
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String;
+    /// Regenerate code after a failed validation.
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode;
+}
+
+/// Adapter lifting an infallible [`LlmService`] into a transport that never
+/// faults.
+pub struct ServiceTransport {
+    name: String,
+    service: Arc<dyn LlmService>,
+}
+
+impl ServiceTransport {
+    pub fn new(name: impl Into<String>, service: Arc<dyn LlmService>) -> ServiceTransport {
+        ServiceTransport { name: name.into(), service }
+    }
+}
+
+impl LlmTransport for ServiceTransport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn complete(&self, request: &CompletionRequest) -> Result<String, TransportError> {
+        Ok(self.service.complete(request))
+    }
+
+    fn embed(&self, text: &str) -> Result<Vec<f64>, TransportError> {
+        Ok(self.service.embed(text))
+    }
+
+    fn usage(&self) -> Usage {
+        self.service.usage()
+    }
+
+    fn simulated_latency_ms(&self) -> u64 {
+        self.service.simulated_latency_ms()
+    }
+
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
+        self.service.generate_code(spec)
+    }
+
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
+        self.service.suggest_fix(source, failures)
+    }
+
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode {
+        self.service.repair_code(spec, previous, suggestion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+
+    #[test]
+    fn service_transport_never_faults_and_forwards_usage() {
+        let world = WorldSpec::generate(7);
+        let svc: Arc<dyn LlmService> = Arc::new(SimLlm::with_seed(&world, 7));
+        let transport = ServiceTransport::new("sim", svc);
+        assert_eq!(transport.name(), "sim");
+        let req = CompletionRequest::new("Summarize. Text: a reliable backend");
+        let first = transport.complete(&req).expect("infallible");
+        let second = transport.complete(&req).expect("infallible");
+        assert_eq!(first, second);
+        assert!(!transport.embed("some text").unwrap().is_empty());
+        // Two completions plus the embed (SimLlm bills embeds as calls too).
+        assert_eq!(transport.usage().calls, 3);
+        assert!(transport.simulated_latency_ms() > 0);
+    }
+}

@@ -39,8 +39,18 @@ pub struct Usage {
     pub calls: u64,
     pub tokens_in: u64,
     pub tokens_out: u64,
-    /// Calls answered from the response cache (not counted in `calls`).
-    pub cache_hits: u64,
+    /// Calls answered from a response cache (not counted in `calls`).
+    pub cached_calls: u64,
+    /// Input tokens the cached calls would have billed. Together with
+    /// `tokens_out_saved` this makes cache savings exact instead of inferred
+    /// from hit counts.
+    pub tokens_in_saved: u64,
+    /// Output tokens the cached calls would have billed.
+    pub tokens_out_saved: u64,
+    /// Calls aborted by a transport fault before a response was produced
+    /// (not counted in `calls`; any billed prompt tokens land in
+    /// `tokens_in`).
+    pub failed_calls: u64,
 }
 
 impl Usage {
@@ -50,9 +60,42 @@ impl Usage {
         self.tokens_out += tokens_out as u64;
     }
 
+    /// Record a call answered from a cache: nothing billed, exact savings
+    /// booked.
+    pub fn record_cached(&mut self, tokens_in: usize, tokens_out: usize) {
+        self.cached_calls += 1;
+        self.tokens_in_saved += tokens_in as u64;
+        self.tokens_out_saved += tokens_out as u64;
+    }
+
+    /// Record a call aborted by a transport fault: the prompt was billed but
+    /// no response was produced.
+    pub fn record_failed(&mut self, tokens_in: usize) {
+        self.failed_calls += 1;
+        self.tokens_in += tokens_in as u64;
+    }
+
     pub fn cost_usd(&self, pricing: &TokenPricing) -> f64 {
         self.tokens_in as f64 / 1000.0 * pricing.input_per_1k
             + self.tokens_out as f64 / 1000.0 * pricing.output_per_1k
+    }
+
+    /// Dollars the cached calls avoided spending.
+    pub fn saved_usd(&self, pricing: &TokenPricing) -> f64 {
+        self.tokens_in_saved as f64 / 1000.0 * pricing.input_per_1k
+            + self.tokens_out_saved as f64 / 1000.0 * pricing.output_per_1k
+    }
+
+    /// Add another usage tally into this one (e.g. summing per-backend
+    /// counters at a gateway).
+    pub fn merge(&mut self, other: &Usage) {
+        self.calls += other.calls;
+        self.tokens_in += other.tokens_in;
+        self.tokens_out += other.tokens_out;
+        self.cached_calls += other.cached_calls;
+        self.tokens_in_saved += other.tokens_in_saved;
+        self.tokens_out_saved += other.tokens_out_saved;
+        self.failed_calls += other.failed_calls;
     }
 
     /// Usage delta since an earlier snapshot.
@@ -61,7 +104,10 @@ impl Usage {
             calls: self.calls - earlier.calls,
             tokens_in: self.tokens_in - earlier.tokens_in,
             tokens_out: self.tokens_out - earlier.tokens_out,
-            cache_hits: self.cache_hits - earlier.cache_hits,
+            cached_calls: self.cached_calls - earlier.cached_calls,
+            tokens_in_saved: self.tokens_in_saved - earlier.tokens_in_saved,
+            tokens_out_saved: self.tokens_out_saved - earlier.tokens_out_saved,
+            failed_calls: self.failed_calls - earlier.failed_calls,
         }
     }
 }
@@ -101,9 +147,56 @@ mod tests {
         u.record(100, 10);
         let snapshot = u;
         u.record(200, 20);
+        u.record_cached(50, 5);
+        u.record_failed(30);
         let delta = u.since(&snapshot);
         assert_eq!(delta.calls, 1);
-        assert_eq!(delta.tokens_in, 200);
+        assert_eq!(delta.tokens_in, 230);
         assert_eq!(delta.tokens_out, 20);
+        assert_eq!(delta.cached_calls, 1);
+        assert_eq!(delta.tokens_in_saved, 50);
+        assert_eq!(delta.tokens_out_saved, 5);
+        assert_eq!(delta.failed_calls, 1);
+    }
+
+    #[test]
+    fn cached_calls_book_exact_savings() {
+        let mut u = Usage::default();
+        u.record_cached(1000, 500);
+        u.record_cached(1000, 500);
+        assert_eq!(u.cached_calls, 2);
+        assert_eq!(u.calls, 0, "cached calls bill nothing");
+        assert_eq!(u.cost_usd(&TokenPricing::default()), 0.0);
+        let saved = u.saved_usd(&TokenPricing::default());
+        assert!((saved - (2.0 * 0.0015 + 1.0 * 0.002)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_calls_bill_prompt_tokens() {
+        let mut u = Usage::default();
+        u.record_failed(1000);
+        assert_eq!(u.failed_calls, 1);
+        assert_eq!(u.calls, 0);
+        assert_eq!(u.tokens_in, 1000);
+        let cost = u.cost_usd(&TokenPricing::default());
+        assert!((cost - 0.0015).abs() < 1e-12, "aborted calls still cost input tokens");
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = Usage::default();
+        a.record(10, 5);
+        let mut b = Usage::default();
+        b.record(20, 10);
+        b.record_cached(7, 3);
+        b.record_failed(4);
+        a.merge(&b);
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.tokens_in, 34);
+        assert_eq!(a.tokens_out, 15);
+        assert_eq!(a.cached_calls, 1);
+        assert_eq!(a.tokens_in_saved, 7);
+        assert_eq!(a.tokens_out_saved, 3);
+        assert_eq!(a.failed_calls, 1);
     }
 }

@@ -190,6 +190,16 @@ impl SimLlm {
         state.latency_ms += self.config.latency_ms_per_call;
     }
 
+    /// Fault-injection hook (used by `lingua-gateway`'s chaos substrate):
+    /// meter a call that a simulated transport fault aborted. The prompt
+    /// still crossed the wire — input tokens bill and the call consumed its
+    /// latency — but no response tokens were produced.
+    pub fn meter_failed_call(&self, prompt_text: &str) {
+        let mut state = self.state.lock();
+        state.usage.record_failed(count_tokens(prompt_text));
+        state.latency_ms += self.config.latency_ms_per_call;
+    }
+
     // -- structured code-generation endpoints (see the LlmService trait) -----
 
     fn generate_code_impl(&self, spec: &CodeGenSpec) -> GeneratedCode {
@@ -241,7 +251,9 @@ impl LlmService for SimLlm {
             let mut state = self.state.lock();
             if let Some(hit) = state.cache.get(&key) {
                 let hit = hit.clone();
-                state.usage.cache_hits += 1;
+                // Book the exact tokens the hit avoided billing, so cache
+                // savings are measured rather than inferred.
+                state.usage.record_cached(count_tokens(&request.prompt), count_tokens(&hit));
                 return hit;
             }
         }
@@ -343,7 +355,7 @@ mod tests {
         assert_eq!(a, b);
         let usage = svc.usage();
         assert_eq!(usage.calls, 1);
-        assert_eq!(usage.cache_hits, 1);
+        assert_eq!(usage.cached_calls, 1);
     }
 
     #[test]
@@ -364,7 +376,7 @@ mod tests {
         assert_eq!(svc.cache_len(), 2, "capacity bounds the cache");
         // The newest entries still hit; the oldest was evicted and re-bills.
         svc.complete(&CompletionRequest::new(prompts[2]));
-        assert_eq!(svc.usage().cache_hits, 1);
+        assert_eq!(svc.usage().cached_calls, 1);
         let calls_before = svc.usage().calls;
         svc.complete(&CompletionRequest::new(prompts[0]));
         assert_eq!(svc.usage().calls, calls_before + 1, "evicted entry is a miss");
@@ -372,7 +384,7 @@ mod tests {
         // Re-completing an already-cached prompt never duplicates the
         // eviction-order entry.
         svc.complete(&CompletionRequest::new(prompts[0]));
-        assert_eq!(svc.usage().cache_hits, 2);
+        assert_eq!(svc.usage().cached_calls, 2);
     }
 
     #[test]
@@ -387,7 +399,7 @@ mod tests {
         svc.complete(&req);
         assert_eq!(svc.cache_len(), 0);
         assert_eq!(svc.usage().calls, 2);
-        assert_eq!(svc.usage().cache_hits, 0);
+        assert_eq!(svc.usage().cached_calls, 0);
     }
 
     #[test]

@@ -7,6 +7,10 @@ use std::time::Duration;
 /// Errors from submitting to or running jobs on a [`crate::PipelineServer`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
+    /// The server configuration is unusable (zero workers, zero queue
+    /// capacity, zero deadline); rejected at construction instead of
+    /// panicking or hanging later.
+    InvalidConfig { reason: String },
     /// Admission control rejected the submission: the job queue is at
     /// capacity. Callers should back off and retry.
     Full { capacity: usize },
@@ -24,6 +28,9 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid serve configuration: {reason}")
+            }
             ServeError::Full { capacity } => {
                 write!(f, "job queue is full (capacity {capacity}); back off and retry")
             }
@@ -58,6 +65,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
+        assert!(ServeError::InvalidConfig { reason: "workers must be > 0".into() }
+            .to_string()
+            .contains("workers"));
         assert!(ServeError::Full { capacity: 8 }.to_string().contains('8'));
         assert!(ServeError::UnknownPipeline("er".into()).to_string().contains("er"));
         let err: ServeError = CoreError::Compile("bad op".into()).into();

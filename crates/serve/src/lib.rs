@@ -44,7 +44,7 @@
 //!
 //! let world = WorldSpec::generate(1);
 //! let factory = ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 1)));
-//! let server = PipelineServer::start(factory, ServeConfig::default());
+//! let server = PipelineServer::start(factory, ServeConfig::default()).unwrap();
 //! server.register_dsl(
 //!     "summ",
 //!     r#"pipeline summ {

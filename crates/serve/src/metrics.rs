@@ -7,6 +7,7 @@
 //! service with job-local counters so each job's usage is exact under
 //! concurrency, and [`Metrics`] aggregates the server-wide view.
 
+use lingua_gateway::GatewaySnapshot;
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
 use parking_lot::Mutex;
@@ -80,10 +81,7 @@ impl Metrics {
             inner.latencies_ms.pop_front();
         }
         inner.latencies_ms.push_back(latency.as_secs_f64() * 1e3);
-        inner.llm.calls += llm.calls;
-        inner.llm.tokens_in += llm.tokens_in;
-        inner.llm.tokens_out += llm.tokens_out;
-        inner.llm.cache_hits += llm.cache_hits;
+        inner.llm.merge(&llm);
     }
 
     pub(crate) fn fail(&self) {
@@ -112,6 +110,7 @@ impl Metrics {
             p95_latency_ms: percentile(&sorted, 0.95),
             latency_samples: sorted.len(),
             llm: inner.llm,
+            gateway: None,
         }
     }
 }
@@ -125,7 +124,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// A point-in-time view of the server's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MetricsSnapshot {
     /// Submissions admitted (including deduplicated ones).
     pub accepted: u64,
@@ -151,6 +150,9 @@ pub struct MetricsSnapshot {
     pub latency_samples: usize,
     /// LLM usage summed over completed jobs (per-job metered).
     pub llm: Usage,
+    /// Resilience counters of the attached [`lingua_gateway::Gateway`], when
+    /// one backs the LLM service (see `PipelineServer::attach_gateway`).
+    pub gateway: Option<GatewaySnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -170,7 +172,7 @@ impl MetricsSnapshot {
 
     /// Human-readable report.
     pub fn report(&self) -> String {
-        format!(
+        let mut out = format!(
             "serving metrics\n\
              \x20 accepted        {}\n\
              \x20 rejected (full) {}\n\
@@ -197,7 +199,11 @@ impl MetricsSnapshot {
             self.llm.tokens_in,
             self.llm.tokens_out,
             self.llm_calls_per_job(),
-        )
+        );
+        if let Some(gateway) = &self.gateway {
+            out.push_str(&gateway.report());
+        }
+        out
     }
 }
 

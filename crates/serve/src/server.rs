@@ -21,6 +21,8 @@ use crate::metrics::{Metrics, MetricsSnapshot, UsageMeter};
 use crate::registry::PipelineRegistry;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use lingua_core::{Compiler, ContextFactory, Data, Executor, PhysicalPipeline};
+use lingua_gateway::Gateway;
+use lingua_llm_sim::LlmService;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +56,31 @@ impl Default for ServeConfig {
             result_cache_capacity: 1024,
             default_timeout: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Reject unusable configurations up front: zero workers would hang
+    /// every job, a zero-capacity queue would reject every submission, and a
+    /// zero default deadline would time every job out before it ran.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "workers must be > 0 (no worker would ever dequeue a job)".into(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "queue_capacity must be > 0 (every submission would be rejected)".into(),
+            });
+        }
+        if self.default_timeout == Some(Duration::ZERO) {
+            return Err(ServeError::InvalidConfig {
+                reason: "default_timeout must be nonzero (every job would expire in the queue)"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -124,6 +151,9 @@ struct Shared {
     metrics: Arc<Metrics>,
     dedup: Mutex<DedupState>,
     config: ServeConfig,
+    /// Gateway backing the factory's LLM service, when one is attached; its
+    /// resilience counters are folded into [`MetricsSnapshot`].
+    gateway: Mutex<Option<Arc<Gateway>>>,
 }
 
 struct QueueItem {
@@ -146,8 +176,13 @@ pub struct PipelineServer {
 
 impl PipelineServer {
     /// Start the worker pool. `factory` supplies the shared LLM service and
-    /// tool registry every job runs against.
-    pub fn start(factory: ContextFactory, config: ServeConfig) -> PipelineServer {
+    /// tool registry every job runs against. The configuration is validated
+    /// first; see [`ServeConfig::validate`].
+    pub fn start(
+        factory: ContextFactory,
+        config: ServeConfig,
+    ) -> Result<PipelineServer, ServeError> {
+        config.validate()?;
         let registry = Arc::new(PipelineRegistry::new());
         let metrics = Arc::new(Metrics::new());
         let shared = Arc::new(Shared {
@@ -156,10 +191,11 @@ impl PipelineServer {
             metrics,
             dedup: Mutex::new(DedupState::default()),
             config: config.clone(),
+            gateway: Mutex::new(None),
         });
-        let (high_tx, high_rx) = bounded(config.queue_capacity.max(1));
-        let (normal_tx, normal_rx) = bounded(config.queue_capacity.max(1));
-        let workers = (0..config.workers.max(1))
+        let (high_tx, high_rx) = bounded(config.queue_capacity);
+        let (normal_tx, normal_rx) = bounded(config.queue_capacity);
+        let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let high_rx = high_rx.clone();
@@ -170,18 +206,27 @@ impl PipelineServer {
                     .expect("spawn worker thread")
             })
             .collect();
-        PipelineServer {
+        Ok(PipelineServer {
             shared,
             high_tx: Some(high_tx),
             normal_tx: Some(normal_tx),
             workers,
             next_id: AtomicU64::new(1),
-        }
+        })
     }
 
     /// Start with default configuration.
     pub fn with_defaults(factory: ContextFactory) -> PipelineServer {
         PipelineServer::start(factory, ServeConfig::default())
+            .expect("the default configuration is valid")
+    }
+
+    /// Surface a [`Gateway`]'s resilience metrics in this server's
+    /// [`MetricsSnapshot`]. Call it with the gateway the context factory's
+    /// LLM service is (or wraps); attaching does not change routing — the
+    /// factory already decides what the workers call.
+    pub fn attach_gateway(&self, gateway: Arc<Gateway>) {
+        *self.shared.gateway.lock() = Some(gateway);
     }
 
     /// The pipeline registry (register/unregister/list).
@@ -214,9 +259,14 @@ impl PipelineServer {
         self.workers.len()
     }
 
-    /// Point-in-time serving metrics.
+    /// Point-in-time serving metrics (including gateway resilience counters
+    /// when a gateway is attached).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snapshot = self.shared.metrics.snapshot();
+        if let Some(gateway) = self.shared.gateway.lock().as_ref() {
+            snapshot.gateway = Some(gateway.snapshot());
+        }
+        snapshot
     }
 
     /// Submit a job. Returns immediately with a handle; poll or
@@ -454,7 +504,7 @@ mod tests {
     }
 
     fn summarize_server(config: ServeConfig) -> PipelineServer {
-        let server = PipelineServer::start(factory(), config);
+        let server = PipelineServer::start(factory(), config).unwrap();
         server
             .register_dsl(
                 "summ",
@@ -555,9 +605,71 @@ mod tests {
     }
 
     #[test]
+    fn unusable_configurations_are_rejected_at_start() {
+        let start_err =
+            |config: ServeConfig| PipelineServer::start(factory(), config).map(|_| ()).unwrap_err();
+        let err = start_err(ServeConfig { workers: 0, ..Default::default() });
+        assert!(matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("workers")));
+
+        let err = start_err(ServeConfig { queue_capacity: 0, ..Default::default() });
+        assert!(
+            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("queue_capacity"))
+        );
+
+        let err =
+            start_err(ServeConfig { default_timeout: Some(Duration::ZERO), ..Default::default() });
+        assert!(
+            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("default_timeout"))
+        );
+
+        // A nonzero deadline is fine.
+        let ok =
+            ServeConfig { default_timeout: Some(Duration::from_secs(30)), ..Default::default() };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn attached_gateway_metrics_surface_in_snapshot() {
+        let world = WorldSpec::generate(33);
+        let sim = Arc::new(SimLlm::with_seed(&world, 33));
+        let transport =
+            lingua_gateway::ServiceTransport::new("sim", Arc::clone(&sim) as Arc<dyn LlmService>);
+        let gateway =
+            Arc::new(Gateway::over(Arc::new(transport) as Arc<dyn lingua_gateway::LlmTransport>));
+        let factory = ContextFactory::new(Arc::clone(&gateway) as Arc<dyn LlmService>);
+        let server =
+            PipelineServer::start(factory, ServeConfig { workers: 1, ..Default::default() })
+                .unwrap();
+        server
+            .register_dsl(
+                "summ",
+                r#"pipeline summ {
+                    out = summarize(text) using llm with { desc: "summarize the following document" };
+                }"#,
+                &Compiler::with_builtins(),
+            )
+            .unwrap();
+        assert!(server.metrics().gateway.is_none(), "no gateway attached yet");
+        server.attach_gateway(Arc::clone(&gateway));
+        server
+            .run(
+                SubmitRequest::new("summ").input("text", Data::Str("route through gateway".into())),
+            )
+            .unwrap();
+        let snap = server.metrics();
+        let gw = snap.gateway.as_ref().expect("gateway counters attached");
+        assert!(gw.requests >= 1, "the summarize call went through the gateway");
+        assert_eq!(gw.faults(), 0, "a clean backend injects nothing");
+        assert_eq!(gw.backends.len(), 1);
+        assert_eq!(gw.backends[0].breaker_state, "closed");
+        assert!(snap.report().contains("gateway"), "report folds in the gateway section");
+    }
+
+    #[test]
     fn run_reports_execution_errors() {
         let server =
-            PipelineServer::start(factory(), ServeConfig { workers: 1, ..Default::default() });
+            PipelineServer::start(factory(), ServeConfig { workers: 1, ..Default::default() })
+                .unwrap();
         // `load_csv` on a nonexistent path fails inside the worker.
         let mut ctx = server.shared.factory.build();
         server

@@ -79,7 +79,8 @@ fn concurrent_identical_submissions_execute_once() {
     let server = PipelineServer::start(
         ContextFactory::new(llm.clone()),
         ServeConfig { workers: 2, ..Default::default() },
-    );
+    )
+    .unwrap();
     server.register_dsl("gated", GATED_LLM_PIPELINE, &compiler).unwrap();
 
     // Baseline: what one run costs (gate open, unique input).
@@ -132,7 +133,8 @@ fn bounded_queue_rejects_overflow_with_typed_full() {
     let server = PipelineServer::start(
         ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 32))),
         ServeConfig { workers: 1, queue_capacity: 2, ..Default::default() },
-    );
+    )
+    .unwrap();
     server.register_dsl("hold", r#"pipeline hold { out = gate(text); }"#, &compiler).unwrap();
 
     let submit = |text: &str| {
@@ -165,7 +167,8 @@ fn high_priority_jobs_jump_the_queue() {
     let server = PipelineServer::start(
         ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 33))),
         ServeConfig { workers: 1, ..Default::default() },
-    );
+    )
+    .unwrap();
     server
         .register_dsl(
             "traced",
@@ -208,7 +211,8 @@ fn queue_timeouts_cancel_stale_jobs() {
     let server = PipelineServer::start(
         ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 34))),
         ServeConfig { workers: 1, ..Default::default() },
-    );
+    )
+    .unwrap();
     server.register_dsl("hold", r#"pipeline hold { out = gate(text); }"#, &compiler).unwrap();
 
     let blocker = server
@@ -263,7 +267,8 @@ fn multi_worker_results_match_direct_execution() {
             result_cache_capacity: 0,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     server.register_dsl("summ", source, &compiler).unwrap();
     let handles: Vec<_> = texts
         .iter()
