@@ -1,0 +1,114 @@
+//! **Trace export** — run a traced ER serving workload end to end and write
+//! the Chrome `trace_event` JSON under `results/`, ready to open in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! One tracer is threaded through every layer: the serve lifecycle
+//! (`serve_job` spans with queued/dequeued instants), pipeline and op
+//! execution, gateway routing (attempt/fault/failover instants under each
+//! request span), and per-call LLM usage. A mildly flaky primary backend is
+//! injected so the exported timeline shows retries and failovers, not just
+//! the happy path.
+
+use lingua_bench::{arg_usize, results_dir, TextTable};
+use lingua_core::{Compiler, ContextFactory, Data};
+use lingua_dataset::generators::er::{self, ErDataset};
+use lingua_dataset::labels::LabeledPair;
+use lingua_dataset::world::WorldSpec;
+use lingua_gateway::{FaultInjector, FaultPlan, Gateway, ServiceTransport};
+use lingua_llm_sim::{LlmService, SimLlm};
+use lingua_serve::{PipelineServer, ServeConfig, SubmitRequest};
+use lingua_trace::{chrome_trace_json, ring_tracer, TraceTree};
+use std::sync::Arc;
+
+const SEED: u64 = 9300;
+
+const ER_PIPELINE: &str = r#"pipeline er {
+    verdict = entity_resolution(a, b) using llm with {
+        desc: "Determine if the following two records refer to the same entity.",
+        output: "yesno"
+    };
+}"#;
+
+fn main() {
+    let jobs = arg_usize("--jobs", 12);
+    let workers = arg_usize("--workers", 4);
+    println!("Trace export: {jobs} traced ER jobs across {workers} workers\n");
+
+    let world = WorldSpec::generate(SEED);
+    let (tracer, sink) = ring_tracer(1 << 16);
+
+    // Flaky primary + clean standby, sharing the workload's tracer so the
+    // gateway's routing story lands in the same timeline as the serve spans.
+    let gateway: Arc<Gateway> = Arc::new(
+        Gateway::builder()
+            .backend(Arc::new(FaultInjector::new(
+                "flaky-primary",
+                Arc::new(SimLlm::with_seed(&world, SEED)),
+                FaultPlan::transient(0.15, SEED ^ 0x7ace),
+            )))
+            .backend(Arc::new(ServiceTransport::new(
+                "standby",
+                Arc::new(SimLlm::with_seed(&world, SEED)),
+            )))
+            .tracer(tracer.clone())
+            .build(),
+    );
+    let factory = ContextFactory::new(Arc::clone(&gateway) as Arc<dyn LlmService>)
+        .with_tracer(tracer.clone());
+    let mut server = PipelineServer::start(
+        factory,
+        ServeConfig { workers, queue_capacity: jobs + 8, ..Default::default() },
+    )
+    .expect("valid bench config");
+    server.attach_gateway(Arc::clone(&gateway));
+    server.register_dsl("er", ER_PIPELINE, &Compiler::with_builtins()).expect("er DSL compiles");
+
+    let split = er::generate(&world, ErDataset::BeerAdvoRateBeer, SEED);
+    let schema = split.schema.clone();
+    let pairs: Vec<_> = split.test.iter().take(jobs).collect();
+    assert_eq!(pairs.len(), jobs, "ER test split too small for {jobs} jobs");
+    let request = |pair: &LabeledPair| {
+        SubmitRequest::new("er")
+            .input("a", Data::Str(pair.left.describe(&schema)))
+            .input("b", Data::Str(pair.right.describe(&schema)))
+    };
+    let handles: Vec<_> =
+        pairs.iter().map(|&p| server.submit(request(p)).expect("queue sized for run")).collect();
+    for handle in &handles {
+        handle.wait().expect("traced job completes");
+    }
+    // Repeat one request so the cache-hit path shows on the timeline too.
+    server.run(request(pairs[0])).expect("cache repeat completes");
+
+    let metrics = server.metrics();
+    server.shutdown();
+    assert_eq!(tracer.dropped(), 0, "ring sized for the workload");
+    let events = sink.events();
+    let tree = TraceTree::build(&events).expect("trace stream is well-formed");
+
+    let summary = metrics.trace.clone().unwrap_or_default();
+    let mut table = TextTable::new(["Span kind", "Completed spans"]);
+    for (kind, count) in &summary.spans_by_kind {
+        table.row([(*kind).to_string(), count.to_string()]);
+    }
+    table.print();
+    println!(
+        "\n{} events, {} roots, {} instant(s); llm usage attributed: {} call(s), \
+         {} tokens in, {} tokens out",
+        summary.events,
+        tree.roots.len(),
+        summary.instants,
+        summary.llm_calls,
+        summary.tokens_in,
+        summary.tokens_out,
+    );
+
+    let path = results_dir().join("er_trace_chrome.json");
+    match std::fs::write(&path, chrome_trace_json(&events)) {
+        Ok(()) => println!(
+            "\nchrome trace written to {} — open in chrome://tracing or ui.perfetto.dev",
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -177,6 +177,8 @@ impl Compiler {
         pipeline: &Pipeline,
         ctx: &mut ExecContext,
     ) -> Result<PhysicalPipeline, CoreError> {
+        let mut span = ctx.tracer.span(lingua_trace::SpanKind::Compile, &pipeline.name);
+        span.attr("ops", pipeline.ops.len().to_string());
         let mut ops = Vec::with_capacity(pipeline.ops.len());
         for op in &pipeline.ops {
             let module = self.bind(op, ctx)?;

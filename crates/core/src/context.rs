@@ -9,6 +9,7 @@ use crate::stats::ExecStats;
 use crate::tools::ToolRegistry;
 use lingua_llm_sim::{CompletionRequest, LlmService};
 use lingua_script::{Host, Value as ScriptValue};
+use lingua_trace::{SpanKind, TracedLlm, Tracer};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -57,6 +58,8 @@ pub struct ExecContext {
     pub registry: ModuleRegistry,
     /// Execution counters.
     pub stats: ExecStats,
+    /// Trace emitter (disabled by default — every emit is one branch).
+    pub tracer: Tracer,
 }
 
 /// Builds fresh per-run [`ExecContext`]s over shared services.
@@ -69,11 +72,12 @@ pub struct ExecContext {
 pub struct ContextFactory {
     llm: Arc<dyn LlmService>,
     tools: ToolRegistry,
+    tracer: Tracer,
 }
 
 impl ContextFactory {
     pub fn new(llm: Arc<dyn LlmService>) -> ContextFactory {
-        ContextFactory { llm, tools: ToolRegistry::new() }
+        ContextFactory { llm, tools: ToolRegistry::new(), tracer: Tracer::disabled() }
     }
 
     /// Share a tool registry with every built context.
@@ -90,6 +94,19 @@ impl ContextFactory {
         self
     }
 
+    /// Share a tracer with every built context: pipeline, module, optimizer,
+    /// and LLM-call spans all flow to its sink.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ContextFactory {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The shared tracer (disabled unless [`ContextFactory::with_tracer`]
+    /// installed one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// The shared LLM service.
     pub fn llm(&self) -> Arc<dyn LlmService> {
         Arc::clone(&self.llm)
@@ -104,7 +121,7 @@ impl ContextFactory {
     /// metering or routing wrapper around [`ContextFactory::llm`] — while
     /// keeping the shared tool registry.
     pub fn build_with_llm(&self, llm: Arc<dyn LlmService>) -> ExecContext {
-        ExecContext::new(llm).with_tools(self.tools.clone())
+        ExecContext::new(llm).with_tools(self.tools.clone()).with_tracer(self.tracer.clone())
     }
 }
 
@@ -117,11 +134,27 @@ impl std::fmt::Debug for ContextFactory {
 impl ExecContext {
     pub fn new(llm: Arc<dyn LlmService>) -> ExecContext {
         let stats = ExecStats { usage_at_start: llm.usage(), ..Default::default() };
-        ExecContext { llm, tools: ToolRegistry::new(), registry: ModuleRegistry::new(), stats }
+        ExecContext {
+            llm,
+            tools: ToolRegistry::new(),
+            registry: ModuleRegistry::new(),
+            stats,
+            tracer: Tracer::disabled(),
+        }
     }
 
     pub fn with_tools(mut self, tools: ToolRegistry) -> ExecContext {
         self.tools = tools;
+        self
+    }
+
+    /// Install a tracer. When enabled, the LLM service is wrapped with
+    /// [`TracedLlm`] so every call this context makes emits an `llm_call`
+    /// span with exact token attribution; a disabled tracer leaves the
+    /// service untouched.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ExecContext {
+        self.llm = TracedLlm::wrap(&tracer, Arc::clone(&self.llm));
+        self.tracer = tracer;
         self
     }
 
@@ -136,7 +169,13 @@ impl ExecContext {
             .ok_or_else(|| CoreError::Compile(format!("no module named `{name}`")))?;
         self.stats.record_invocation(name);
         let mut guard = module.lock();
-        guard.invoke(input, self)
+        let mut span = self.tracer.span(SpanKind::Module, name);
+        span.attr("module_kind", guard.kind().name());
+        let result = guard.invoke(input, self);
+        if result.is_err() {
+            span.attr("error", "true");
+        }
+        result
     }
 }
 

@@ -65,6 +65,8 @@ impl Executor {
     ) -> Result<RunReport, CoreError> {
         let mut env = initial_env;
         let mut traces = Vec::with_capacity(pipeline.ops.len());
+        let mut pipeline_span = ctx.tracer.span(lingua_trace::SpanKind::Pipeline, &pipeline.name);
+        pipeline_span.attr("ops", pipeline.ops.len().to_string());
         for (op, module) in &mut pipeline.ops {
             let input = match op.inputs.len() {
                 0 => Data::Null,
@@ -87,7 +89,14 @@ impl Executor {
             let usage_before = ctx.llm.usage();
             let start = Instant::now();
             ctx.stats.record_invocation(module.name());
+            let mut op_span = ctx.tracer.span(lingua_trace::SpanKind::Op, &op.op_type);
+            op_span.attr("module", module.name());
+            op_span.attr("module_kind", module.kind().name());
+            if !op.output.is_empty() {
+                op_span.attr("output", op.output.as_str());
+            }
             let output = module.invoke(input, ctx)?;
+            drop(op_span);
             traces.push(OpTrace {
                 op_type: op.op_type.clone(),
                 output: op.output.clone(),

@@ -137,6 +137,7 @@ impl Module for LlmModule {
             return Ok(data);
         }
         if self.retry_on_invalid {
+            ctx.tracer.instant(lingua_trace::SpanKind::Module, "output_retry", Vec::new);
             let strict_prompt = format!("{prompt}\n{}", self.validator.strict_instruction());
             let raw = ctx.llm.complete(&CompletionRequest::new(&strict_prompt));
             if let Some(data) = self.validator.validate(&raw) {
@@ -145,6 +146,7 @@ impl Module for LlmModule {
         }
         // Unvalidatable output: surface the raw text rather than fail the
         // pipeline; downstream consumers decide.
+        ctx.tracer.instant(lingua_trace::SpanKind::Module, "output_unvalidated", Vec::new);
         Ok(Data::Str(raw))
     }
 

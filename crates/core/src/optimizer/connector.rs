@@ -7,6 +7,7 @@ use crate::error::CoreError;
 use lingua_dataset::query::Catalog;
 use lingua_dataset::Table;
 use lingua_ml::features::HashingVectorizer;
+use lingua_trace::{SpanKind, Tracer};
 
 /// Running account of the data exposed to the LLM through a connector.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,6 +28,9 @@ pub struct TabularConnector {
     /// Hard cap on rows returned per query (data minimization).
     pub max_rows: usize,
     meter: ExposureMeter,
+    /// Connectors sit below the execution context, so they carry their own
+    /// tracer handle (disabled unless installed via `with_tracer`).
+    tracer: Tracer,
 }
 
 impl TabularConnector {
@@ -36,7 +40,14 @@ impl TabularConnector {
             allowed_prefixes: Vec::new(),
             max_rows: 50,
             meter: ExposureMeter::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Emit a `connector` instant for every query decision.
+    pub fn with_tracer(mut self, tracer: Tracer) -> TabularConnector {
+        self.tracer = tracer;
+        self
     }
 
     /// Allow queries starting with `prefix` (whitespace-normalized,
@@ -62,13 +73,24 @@ impl TabularConnector {
             self.allowed_prefixes.iter().any(|prefix| normalized.starts_with(prefix.as_str()));
         if !allowed {
             self.meter.queries_denied += 1;
+            self.tracer.instant(SpanKind::Connector, "query_denied", || {
+                vec![("sql".into(), normalized.clone())]
+            });
             return Err(CoreError::ConnectorDenied(sql.to_string()));
         }
         let result = self.catalog.execute(sql)?;
         let result = result.head(self.max_rows);
         self.meter.queries += 1;
         self.meter.rows_exposed += result.len() as u64;
-        self.meter.bytes_exposed += lingua_dataset::csv::write_str(&result).len() as u64;
+        let bytes = lingua_dataset::csv::write_str(&result).len() as u64;
+        self.meter.bytes_exposed += bytes;
+        self.tracer.instant(SpanKind::Connector, "query", || {
+            vec![
+                ("sql".into(), normalized.clone()),
+                ("rows".into(), result.len().to_string()),
+                ("bytes".into(), bytes.to_string()),
+            ]
+        });
         Ok(result)
     }
 }
@@ -83,6 +105,7 @@ pub struct TextConnector {
     pub top_k: usize,
     vectorizer: HashingVectorizer,
     meter: ExposureMeter,
+    tracer: Tracer,
 }
 
 impl TextConnector {
@@ -92,7 +115,14 @@ impl TextConnector {
             top_k,
             vectorizer: HashingVectorizer::new(512),
             meter: ExposureMeter::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Emit a `connector` instant for every chunk selection.
+    pub fn with_tracer(mut self, tracer: Tracer) -> TextConnector {
+        self.tracer = tracer;
+        self
     }
 
     pub fn meter(&self) -> ExposureMeter {
@@ -131,7 +161,14 @@ impl TextConnector {
         let selected: Vec<String> =
             scored.into_iter().take(self.top_k).map(|(_, chunk)| chunk).collect();
         self.meter.queries += 1;
-        self.meter.bytes_exposed += selected.iter().map(|c| c.len() as u64).sum::<u64>();
+        let bytes = selected.iter().map(|c| c.len() as u64).sum::<u64>();
+        self.meter.bytes_exposed += bytes;
+        self.tracer.instant(SpanKind::Connector, "chunks", || {
+            vec![
+                ("selected".into(), selected.len().to_string()),
+                ("bytes".into(), bytes.to_string()),
+            ]
+        });
         selected
     }
 }

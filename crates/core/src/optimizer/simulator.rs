@@ -133,7 +133,7 @@ impl Simulated {
     }
 
     /// Train a candidate student and check it on a holdout; install on pass.
-    fn try_train(&mut self) {
+    fn try_train(&mut self, tracer: &lingua_trace::Tracer) {
         self.stats.trainings += 1;
         self.samples_at_last_training = self.buffer.len();
         // Deterministic interleaved split: every 4th sample is holdout (for
@@ -208,9 +208,20 @@ impl Simulated {
             }
         }
         let accuracy = correct as f64 / holdout.len() as f64;
-        if accuracy >= self.config.takeover_accuracy {
+        let installed = accuracy >= self.config.takeover_accuracy;
+        tracer.instant(lingua_trace::SpanKind::Simulator, "training", || {
+            vec![
+                ("samples".into(), self.buffer.len().to_string()),
+                ("holdout_accuracy".into(), format!("{accuracy:.4}")),
+                ("installed".into(), installed.to_string()),
+            ]
+        });
+        if installed {
             if self.student.is_none() {
                 self.stats.takeover_at = Some(self.stats.teacher_calls);
+                tracer.instant(lingua_trace::SpanKind::Simulator, "takeover", || {
+                    vec![("teacher_calls".into(), self.stats.teacher_calls.to_string())]
+                });
             }
             self.student = Some(candidate);
         }
@@ -254,6 +265,9 @@ impl Module for Simulated {
         if let Some((prediction, confidence)) = self.student_predict(&text) {
             if confidence >= self.config.confidence_threshold {
                 self.stats.student_calls += 1;
+                ctx.tracer.instant(lingua_trace::SpanKind::Simulator, "student_serve", || {
+                    vec![("confidence".into(), format!("{confidence:.4}"))]
+                });
                 return Ok(prediction);
             }
         }
@@ -261,6 +275,7 @@ impl Module for Simulated {
         // Teacher serves; its answer becomes training signal.
         let output = self.teacher.invoke(input, ctx)?;
         self.stats.teacher_calls += 1;
+        ctx.tracer.instant(lingua_trace::SpanKind::Simulator, "teacher_serve", Vec::new);
         let label = match (&output, self.kind) {
             (Data::Bool(b), StudentKind::Binary) => Some(Label::Bool(*b)),
             (Data::Str(s), StudentKind::Categorical) => Some(Label::Class(s.clone())),
@@ -273,7 +288,8 @@ impl Module for Simulated {
                 >= self.samples_at_last_training + self.config.retrain_interval
                 && self.samples_at_last_training > 0;
             if due_first || due_refresh {
-                self.try_train();
+                let tracer = ctx.tracer.clone();
+                self.try_train(&tracer);
             }
         }
         Ok(output)

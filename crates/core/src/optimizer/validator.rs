@@ -118,6 +118,8 @@ impl Validator {
         module: &mut LlmgcModule,
         ctx: &mut ExecContext,
     ) -> Result<ValidationReport, CoreError> {
+        let mut span = ctx.tracer.span(lingua_trace::SpanKind::Validator, module.name());
+        span.attr("cases", self.cases.len().to_string());
         let mut cycles = 0usize;
         let mut regenerations = 0usize;
         let mut failure_history = Vec::new();
@@ -138,7 +140,13 @@ impl Validator {
                     }
                 }
                 failure_history.push(failures.len());
+                ctx.tracer.instant(lingua_trace::SpanKind::Validator, "evaluate", || {
+                    vec![("failures".into(), failures.len().to_string())]
+                });
                 if failures.is_empty() {
+                    span.attr("outcome", "passed");
+                    span.attr("cycles", cycles.to_string());
+                    span.attr("regenerations", regenerations.to_string());
                     return Ok(ValidationReport {
                         outcome: ValidationOutcome::Passed,
                         cycles,
@@ -162,10 +170,14 @@ impl Validator {
                 // A syntactically-broken repair is itself a failure; keep the
                 // old program and let the next cycle try again.
                 let _ = module.replace_program(repaired);
+                ctx.tracer.instant(lingua_trace::SpanKind::Validator, "repair", Vec::new);
             }
 
             if regenerations >= self.max_regenerations {
                 let final_failures = self.evaluate(module, ctx);
+                span.attr("outcome", "exhausted");
+                span.attr("cycles", cycles.to_string());
+                span.attr("regenerations", regenerations.to_string());
                 return Ok(ValidationReport {
                     outcome: ValidationOutcome::Exhausted,
                     cycles,
@@ -176,6 +188,7 @@ impl Validator {
             }
             // Regenerate from scratch.
             regenerations += 1;
+            ctx.tracer.instant(lingua_trace::SpanKind::Validator, "regenerate", Vec::new);
             let fresh = ctx.llm.generate_code(module.spec());
             let _ = module.replace_program(fresh);
         }

@@ -25,6 +25,7 @@ use crate::{
 };
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use lingua_trace::{SpanKind, Tracer};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -80,6 +81,7 @@ pub struct GatewayBuilder {
     config: GatewayConfig,
     backends: Vec<Arc<dyn LlmTransport>>,
     fallback: Option<Arc<dyn LlmTransport>>,
+    tracer: Tracer,
 }
 
 impl GatewayBuilder {
@@ -117,6 +119,13 @@ impl GatewayBuilder {
         self
     }
 
+    /// Emit `gateway` spans and routing instants (attempts, faults, backoff,
+    /// failover, breaker/budget denials, degraded serves) to `tracer`.
+    pub fn tracer(mut self, tracer: Tracer) -> GatewayBuilder {
+        self.tracer = tracer;
+        self
+    }
+
     /// Build the gateway.
     ///
     /// # Panics
@@ -143,6 +152,7 @@ impl GatewayBuilder {
             stale: Mutex::new(StaleCache::default()),
             degraded_usage: Mutex::new(Usage::default()),
             added_backoff_ms: Mutex::new(0),
+            tracer: self.tracer,
         }
     }
 }
@@ -158,11 +168,17 @@ pub struct Gateway {
     degraded_usage: Mutex<Usage>,
     /// Backoff latency charged (virtually) against this gateway.
     added_backoff_ms: Mutex<u64>,
+    tracer: Tracer,
 }
 
 impl Gateway {
     pub fn builder() -> GatewayBuilder {
-        GatewayBuilder { config: GatewayConfig::default(), backends: Vec::new(), fallback: None }
+        GatewayBuilder {
+            config: GatewayConfig::default(),
+            backends: Vec::new(),
+            fallback: None,
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// Convenience: a single-backend gateway with default tuning.
@@ -223,10 +239,16 @@ impl Gateway {
         for (idx, backend) in self.backends.iter().enumerate() {
             if idx > 0 {
                 self.metrics.failover();
+                self.tracer.instant(SpanKind::Gateway, "failover", || {
+                    vec![("to".into(), backend.name.clone())]
+                });
             }
             if let Some(budget) = &backend.budget {
                 if !budget.try_consume(est_tokens) {
                     self.metrics.budget_denied(idx);
+                    self.tracer.instant(SpanKind::Gateway, "budget_denied", || {
+                        vec![("backend".into(), backend.name.clone())]
+                    });
                     continue;
                 }
             }
@@ -234,18 +256,49 @@ impl Gateway {
             loop {
                 if !backend.breaker.acquire() {
                     self.metrics.breaker_denied(idx);
+                    self.tracer.instant(SpanKind::Gateway, "breaker_denied", || {
+                        vec![("backend".into(), backend.name.clone())]
+                    });
                     break;
                 }
                 self.metrics.attempt(idx, attempt > 0);
+                let is_retry = attempt > 0;
+                self.tracer.instant(SpanKind::Gateway, "attempt", || {
+                    vec![
+                        ("backend".into(), backend.name.clone()),
+                        ("retry".into(), is_retry.to_string()),
+                    ]
+                });
                 match op(backend.transport.as_ref()) {
                     Ok(value) => {
+                        let before = backend.breaker.state();
                         backend.breaker.on_success();
+                        let after = backend.breaker.state();
                         self.metrics.served(idx);
+                        self.tracer.instant(SpanKind::Gateway, "served", || {
+                            let mut attrs = vec![("backend".into(), backend.name.clone())];
+                            if after != before {
+                                attrs.push(("breaker".into(), after.label().into()));
+                            }
+                            attrs
+                        });
                         return Some(value);
                     }
                     Err(err) => {
+                        let before = backend.breaker.state();
                         backend.breaker.on_failure();
+                        let after = backend.breaker.state();
                         self.metrics.fault(idx, err.class());
+                        self.tracer.instant(SpanKind::Gateway, "fault", || {
+                            let mut attrs = vec![
+                                ("backend".into(), backend.name.clone()),
+                                ("class".into(), err.class().label().into()),
+                            ];
+                            if after != before {
+                                attrs.push(("breaker".into(), after.label().into()));
+                            }
+                            attrs
+                        });
                         attempt += 1;
                         if !err.is_retryable() || attempt >= self.config.backoff.max_attempts {
                             break;
@@ -256,6 +309,12 @@ impl Gateway {
                         }
                         self.metrics.backoff(idx, delay);
                         *self.added_backoff_ms.lock() += delay;
+                        self.tracer.instant(SpanKind::Gateway, "backoff", || {
+                            vec![
+                                ("backend".into(), backend.name.clone()),
+                                ("delay_ms".into(), delay.to_string()),
+                            ]
+                        });
                     }
                 }
             }
@@ -276,47 +335,61 @@ impl Gateway {
 impl LlmService for Gateway {
     fn complete(&self, request: &CompletionRequest) -> String {
         self.metrics.request();
+        let mut span = self.tracer.span(SpanKind::Gateway, "complete");
         let key = prompt_key(&request.prompt);
         let est_tokens = count_tokens(&request.prompt) as u64;
         if let Some(response) =
             self.call_resilient(key, est_tokens, |transport| transport.complete(request))
         {
+            span.attr("path", "served");
             self.remember(key, &response);
             return response;
         }
         // Degraded mode: stale cache, then fallback backend, then notice.
         if let Some(stale) = self.recall(key) {
             self.metrics.degraded_cache_hit();
+            self.tracer.instant(SpanKind::Gateway, "degraded_cache_hit", Vec::new);
+            span.attr("path", "degraded_cache");
             self.degraded_usage.lock().record_cached(est_tokens as usize, count_tokens(&stale));
             return stale;
         }
         if let Some(fallback) = &self.fallback {
             if let Ok(response) = fallback.complete(request) {
                 self.metrics.degraded_fallback();
+                self.tracer.instant(SpanKind::Gateway, "degraded_fallback", Vec::new);
+                span.attr("path", "degraded_fallback");
                 self.remember(key, &response);
                 return response;
             }
         }
         self.metrics.degraded_static();
+        self.tracer.instant(SpanKind::Gateway, "degraded_static", Vec::new);
+        span.attr("path", "degraded_static");
         DEGRADED_NOTICE.to_string()
     }
 
     fn embed(&self, text: &str) -> Vec<f64> {
         self.metrics.request();
+        let mut span = self.tracer.span(SpanKind::Gateway, "embed");
         let key = prompt_key(text);
         let est_tokens = count_tokens(text) as u64;
         if let Some(embedding) =
             self.call_resilient(key, est_tokens, |transport| transport.embed(text))
         {
+            span.attr("path", "served");
             return embedding;
         }
         if let Some(fallback) = &self.fallback {
             if let Ok(embedding) = fallback.embed(text) {
                 self.metrics.degraded_fallback();
+                self.tracer.instant(SpanKind::Gateway, "degraded_fallback", Vec::new);
+                span.attr("path", "degraded_fallback");
                 return embedding;
             }
         }
         self.metrics.degraded_static();
+        self.tracer.instant(SpanKind::Gateway, "degraded_static", Vec::new);
+        span.attr("path", "degraded_static");
         vec![0.0; DEGRADED_EMBED_DIM]
     }
 

@@ -10,6 +10,7 @@
 use lingua_gateway::GatewaySnapshot;
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use lingua_trace::TraceSummary;
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -111,6 +112,7 @@ impl Metrics {
             latency_samples: sorted.len(),
             llm: inner.llm,
             gateway: None,
+            trace: None,
         }
     }
 }
@@ -153,6 +155,9 @@ pub struct MetricsSnapshot {
     /// Resilience counters of the attached [`lingua_gateway::Gateway`], when
     /// one backs the LLM service (see `PipelineServer::attach_gateway`).
     pub gateway: Option<GatewaySnapshot>,
+    /// Rollup of the trace stream, when the context factory carries an
+    /// enabled tracer (see `ContextFactory::with_tracer`).
+    pub trace: Option<TraceSummary>,
 }
 
 impl MetricsSnapshot {
@@ -202,6 +207,10 @@ impl MetricsSnapshot {
         );
         if let Some(gateway) = &self.gateway {
             out.push_str(&gateway.report());
+        }
+        if let Some(trace) = &self.trace {
+            out.push_str(&trace.report_line());
+            out.push('\n');
         }
         out
     }
@@ -260,7 +269,10 @@ impl LlmService for UsageMeter {
 
     fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
         let suggestion = self.inner.suggest_fix(source, failures);
-        self.record(source, &suggestion);
+        // Bill the same request string `SimLlm::suggest_fix` meters, so the
+        // per-job meter reconciles exactly with the shared service's counters
+        // (and with trace-attributed usage).
+        self.record(&format!("{source}\n{}", failures.join("\n")), &suggestion);
         suggestion
     }
 
@@ -271,7 +283,8 @@ impl LlmService for UsageMeter {
         suggestion: &str,
     ) -> GeneratedCode {
         let code = self.inner.repair_code(spec, previous, suggestion);
-        self.record(&previous.source, &code.source);
+        // Same request string `SimLlm::repair_code` meters.
+        self.record(&format!("{}\n{suggestion}", previous.source), &code.source);
         code
     }
 }

@@ -19,10 +19,11 @@ use crate::fingerprint::fingerprint_inputs;
 use crate::job::{JobCore, JobHandle, JobId, JobOutput};
 use crate::metrics::{Metrics, MetricsSnapshot, UsageMeter};
 use crate::registry::PipelineRegistry;
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use lingua_core::{Compiler, ContextFactory, Data, Executor, PhysicalPipeline};
 use lingua_gateway::Gateway;
 use lingua_llm_sim::LlmService;
+use lingua_trace::{ManualSpan, SpanKind};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -163,6 +164,9 @@ struct QueueItem {
     key: Option<DedupKey>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// The job's `serve_job` span, begun at submission; the worker (or the
+    /// timeout path) closes it with the path the job actually took.
+    span: Option<ManualSpan>,
 }
 
 /// The embedded pipeline-serving engine.
@@ -266,6 +270,7 @@ impl PipelineServer {
         if let Some(gateway) = self.shared.gateway.lock().as_ref() {
             snapshot.gateway = Some(gateway.snapshot());
         }
+        snapshot.trace = self.shared.factory.tracer().summary();
         snapshot
     }
 
@@ -288,14 +293,17 @@ impl PipelineServer {
 
         let now = Instant::now();
         let timeout = request.timeout.or(self.shared.config.default_timeout);
-        let item = |core: Arc<JobCore>, key: Option<DedupKey>| QueueItem {
-            core,
-            pipeline: request.pipeline.clone(),
-            inputs: request.inputs.clone(),
-            key,
-            enqueued: now,
-            deadline: timeout.map(|t| now + t),
-        };
+        let tracer = self.shared.factory.tracer();
+        let item =
+            |core: Arc<JobCore>, key: Option<DedupKey>, span: Option<ManualSpan>| QueueItem {
+                core,
+                pipeline: request.pipeline.clone(),
+                inputs: request.inputs.clone(),
+                key,
+                enqueued: now,
+                deadline: timeout.map(|t| now + t),
+                span,
+            };
         let lane = match request.priority {
             Priority::High => high_tx,
             Priority::Normal => normal_tx,
@@ -309,16 +317,26 @@ impl PipelineServer {
             if let Some(output) = dedup.results.get(&key) {
                 let core = JobCore::finished(Ok(Arc::clone(output)));
                 metrics.cache_hit();
+                let span = tracer
+                    .begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(key.1)));
+                tracer.end(span, || vec![("path".into(), "cache_hit".into())]);
                 return Ok(JobHandle::new(id, core));
             }
             if self.shared.config.dedup_inflight {
                 if let Some(core) = dedup.in_flight.get(&key) {
                     metrics.coalesce();
+                    let span = tracer.begin(SpanKind::ServeJob, &request.pipeline, || {
+                        job_attrs(id, Some(key.1))
+                    });
+                    tracer.end(span, || vec![("path".into(), "dedup_hit".into())]);
                     return Ok(JobHandle::new(id, Arc::clone(core)));
                 }
             }
             let core = JobCore::new();
-            match lane.try_send(item(Arc::clone(&core), Some(key.clone()))) {
+            let span =
+                tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(key.1)));
+            tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
+            match lane.try_send(item(Arc::clone(&core), Some(key.clone()), Some(span))) {
                 Ok(()) => {
                     if self.shared.config.dedup_inflight {
                         dedup.in_flight.insert(key, Arc::clone(&core));
@@ -327,21 +345,31 @@ impl PipelineServer {
                     metrics.enqueue();
                     Ok(JobHandle::new(id, core))
                 }
-                Err(_) => {
+                Err(err) => {
                     metrics.reject();
+                    let (TrySendError::Full(returned) | TrySendError::Disconnected(returned)) = err;
+                    if let Some(span) = returned.span {
+                        tracer.end(span, || vec![("path".into(), "rejected_full".into())]);
+                    }
                     Err(ServeError::Full { capacity: self.shared.config.queue_capacity })
                 }
             }
         } else {
             let core = JobCore::new();
-            match lane.try_send(item(Arc::clone(&core), None)) {
+            let span = tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, None));
+            tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
+            match lane.try_send(item(Arc::clone(&core), None, Some(span))) {
                 Ok(()) => {
                     metrics.accept();
                     metrics.enqueue();
                     Ok(JobHandle::new(id, core))
                 }
-                Err(_) => {
+                Err(err) => {
                     metrics.reject();
+                    let (TrySendError::Full(returned) | TrySendError::Disconnected(returned)) = err;
+                    if let Some(span) = returned.span {
+                        tracer.end(span, || vec![("path".into(), "rejected_full".into())]);
+                    }
                     Err(ServeError::Full { capacity: self.shared.config.queue_capacity })
                 }
             }
@@ -368,6 +396,15 @@ impl Drop for PipelineServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Begin-edge attributes for a `serve_job` span.
+fn job_attrs(id: JobId, fingerprint: Option<u64>) -> Vec<(String, String)> {
+    let mut attrs = vec![("job".to_string(), id.0.to_string())];
+    if let Some(fp) = fingerprint {
+        attrs.push(("fingerprint".to_string(), format!("{fp:016x}")));
+    }
+    attrs
 }
 
 /// Blocking dequeue honouring priority: the high lane is drained before the
@@ -420,11 +457,15 @@ fn worker_loop(shared: &Shared, high: &Receiver<QueueItem>, normal: &Receiver<Qu
 fn process(
     shared: &Shared,
     instances: &mut HashMap<String, (u64, PhysicalPipeline)>,
-    item: QueueItem,
+    mut item: QueueItem,
 ) {
+    let tracer = shared.factory.tracer();
     if let Some(deadline) = item.deadline {
         if Instant::now() > deadline {
             shared.metrics.time_out();
+            if let Some(span) = item.span.take() {
+                tracer.end(span, || vec![("path".into(), "timeout".into())]);
+            }
             finish(shared, &item, Err(ServeError::Timeout { waited: item.enqueued.elapsed() }));
             return;
         }
@@ -442,6 +483,9 @@ fn process(
             }
             Err(err) => {
                 shared.metrics.fail();
+                if let Some(span) = item.span.take() {
+                    tracer.end(span, || vec![("path".into(), "failed".into())]);
+                }
                 finish(shared, &item, Err(err));
                 return;
             }
@@ -453,17 +497,29 @@ fn process(
     let meter = Arc::new(UsageMeter::new(shared.factory.llm()));
     let mut ctx =
         shared.factory.build_with_llm(Arc::clone(&meter) as Arc<dyn lingua_llm_sim::LlmService>);
+    // Nest the execution under the job span begun at submission.
+    let enter = item.span.as_ref().map(|span| {
+        tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "dequeued", Vec::new);
+        tracer.enter(span)
+    });
     let start = Instant::now();
     let result = Executor::run(pipeline, &mut ctx, item.inputs.clone());
     let wall = start.elapsed();
+    drop(enter);
     match result {
         Ok(report) => {
             let output = Arc::new(JobOutput { env: report.env, llm: meter.usage(), wall });
             shared.metrics.complete(item.enqueued.elapsed(), output.llm);
+            if let Some(span) = item.span.take() {
+                tracer.end(span, || vec![("path".into(), "executed".into())]);
+            }
             finish(shared, &item, Ok(output));
         }
         Err(err) => {
             shared.metrics.fail();
+            if let Some(span) = item.span.take() {
+                tracer.end(span, || vec![("path".into(), "failed".into())]);
+            }
             finish(shared, &item, Err(ServeError::Core(err)));
         }
     }

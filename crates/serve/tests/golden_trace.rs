@@ -1,0 +1,235 @@
+//! Golden-trace snapshot tests: a seeded ER and imputation run through the
+//! serving engine must reproduce its *entire decision tree* — span kinds,
+//! module names, paths taken, validator retries, call counts, token totals —
+//! byte for byte.
+//!
+//! Fixture protocol:
+//! * fixture absent → the run's canonical trace is written and the test
+//!   passes (bless-on-first-run);
+//! * `LINGUA_BLESS=1` → fixtures are rewritten unconditionally;
+//! * otherwise → byte-exact comparison against `tests/golden/*.json`.
+//!
+//! Durations, span ids, sequence numbers, and thread ordinals never appear
+//! in the fixture (see `TraceTree::golden`), so the same workload serializes
+//! identically at 1 and 4 workers and across consecutive runs.
+
+use lingua_core::{Compiler, ContextFactory, Data};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{SimLlm, TokenPricing, Usage};
+use lingua_serve::{MetricsSnapshot, PipelineServer, ServeConfig, SubmitRequest};
+use lingua_trace::{ring_tracer, SpanKind, TraceTree};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const WORLD_SEED: u64 = 91;
+const LLM_SEED: u64 = 91;
+
+const ER_PIPELINE: &str = r#"pipeline er {
+    verdict = entity_resolution(a, b) using llm with {
+        desc: "Determine if the following two records refer to the same entity.",
+        output: "yesno"
+    };
+}"#;
+
+const IMPUTATION_PIPELINE: &str = r#"pipeline imputation {
+    brand = impute_manufacturer(product) using llm with {
+        desc: "Fill in the missing manufacturer for this product.",
+        payload_label: "Product",
+        extra: "Candidates: Sony, Microsoft, Nintendo",
+        output: "category:Sony,Microsoft,Nintendo"
+    };
+}"#;
+
+/// Fixed ER workload: borderline beer-catalogue pairs.
+fn er_jobs() -> Vec<Vec<(&'static str, String)>> {
+    let pairs = [
+        (
+            "beer_name: Hoppy Badger IPA; brewery: Stonegate Brewing; abv: 6.2",
+            "beer_name: Hoppy Badger; brewery: Stonegate Brewing Co.; abv: 6.2",
+        ),
+        (
+            "beer_name: Midnight Porter; brewery: Old Mill; abv: 5.5",
+            "beer_name: Golden Lager; brewery: Riverbend; abv: 4.8",
+        ),
+        (
+            "beer_name: Cloudy Wheat; brewery: Harvest Moon; abv: 5.0",
+            "beer_name: Cloudy Wheat Ale; brewery: Harvest Moon Brewery; abv: 5.0",
+        ),
+        (
+            "beer_name: Amber Fox; brewery: Foxfield; abv: 5.9",
+            "beer_name: Amber Wolf; brewery: Wolfcreek; abv: 6.1",
+        ),
+    ];
+    pairs.iter().map(|(a, b)| vec![("a", (*a).to_string()), ("b", (*b).to_string())]).collect()
+}
+
+/// Fixed imputation workload: products with a missing manufacturer.
+fn imputation_jobs() -> Vec<Vec<(&'static str, String)>> {
+    [
+        "name: Sony Vista 300 Webcam; description: compact usb webcam",
+        "name: Xbox Elite Controller; description: wireless gamepad by Microsoft",
+        "name: Switch Pro Joypad; description: Nintendo console accessory",
+    ]
+    .iter()
+    .map(|p| vec![("product", (*p).to_string())])
+    .collect()
+}
+
+struct TracedRun {
+    golden: String,
+    tree: TraceTree,
+    metrics: MetricsSnapshot,
+    /// Job id → the per-job `UsageMeter` bill, for executed jobs.
+    bills: BTreeMap<u64, Usage>,
+}
+
+/// Run a workload through a traced server: submit every job (all distinct),
+/// wait for all of them, then repeat the first request sequentially so the
+/// result-cache path shows up in the trace deterministically.
+fn run_traced(
+    workers: usize,
+    name: &str,
+    source: &str,
+    jobs: &[Vec<(&'static str, String)>],
+) -> TracedRun {
+    let world = WorldSpec::generate(WORLD_SEED);
+    let llm: Arc<SimLlm> = Arc::new(SimLlm::with_seed(&world, LLM_SEED));
+    let (tracer, sink) = ring_tracer(1 << 14);
+    let factory = ContextFactory::new(llm).with_tracer(tracer.clone());
+    let server =
+        PipelineServer::start(factory, ServeConfig { workers, ..Default::default() }).unwrap();
+    server.register_dsl(name, source, &Compiler::with_builtins()).unwrap();
+
+    let request = |job: &[(&'static str, String)]| {
+        let mut request = SubmitRequest::new(name);
+        for (key, value) in job {
+            request = request.input(*key, Data::Str(value.clone()));
+        }
+        request
+    };
+    let handles: Vec<_> = jobs.iter().map(|job| server.submit(request(job)).unwrap()).collect();
+    let mut bills = BTreeMap::new();
+    for handle in &handles {
+        let output = handle.wait().unwrap();
+        bills.insert(handle.id().0, output.llm);
+    }
+    // Sequential repeat of the first job: a deterministic cache hit.
+    server.run(request(&jobs[0])).unwrap();
+
+    let metrics = server.metrics();
+    drop(server);
+    assert_eq!(tracer.dropped(), 0, "the ring must be sized for the workload");
+    let tree = TraceTree::build(&sink.events()).expect("trace stream is well-formed");
+    let golden = tree.golden_pretty();
+    TracedRun { golden, tree, metrics, bills }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compare against the fixture, blessing it when absent or when
+/// `LINGUA_BLESS=1` is set.
+fn assert_matches_fixture(name: &str, golden: &str) {
+    let path = fixture_path(name);
+    let bless = std::env::var("LINGUA_BLESS").is_ok_and(|v| v == "1");
+    if bless || !path.exists() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).unwrap();
+        std::fs::write(&path, golden).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        golden, expected,
+        "golden trace drifted from {name}; if the change is intended, \
+         regenerate fixtures with LINGUA_BLESS=1"
+    );
+}
+
+#[test]
+fn er_golden_trace_matches_fixture() {
+    let run = run_traced(1, "er", ER_PIPELINE, &er_jobs());
+
+    // Structure sanity before trusting the fixture: one compile root, one
+    // serve_job per submission (+1 cache repeat), each executed job nesting
+    // pipeline → op → llm_call.
+    let compiles = run.tree.spans_of_kind(SpanKind::Compile);
+    assert_eq!(compiles.len(), 1, "register_dsl compiles once");
+    let jobs = run.tree.spans_of_kind(SpanKind::ServeJob);
+    assert_eq!(jobs.len(), er_jobs().len() + 1);
+    let executed: Vec<_> = jobs
+        .iter()
+        .filter(|j| j.attrs.get("path").map(String::as_str) == Some("executed"))
+        .collect();
+    assert_eq!(executed.len(), er_jobs().len());
+    for job in &executed {
+        assert_eq!(job.children.len(), 1, "one pipeline span per executed job");
+        assert_eq!(job.children[0].kind, SpanKind::Pipeline);
+        assert!(job.count_kind(SpanKind::LlmCall) >= 1, "ER judgment billed the LLM");
+        assert!(job.attrs.contains_key("fingerprint"), "dedup key recorded");
+    }
+    let cache_hits: Vec<_> = jobs
+        .iter()
+        .filter(|j| j.attrs.get("path").map(String::as_str) == Some("cache_hit"))
+        .collect();
+    assert_eq!(cache_hits.len(), 1, "the sequential repeat is a cache hit");
+    assert_eq!(cache_hits[0].rollup(), Usage::default(), "cache hits cost nothing");
+
+    assert_matches_fixture("er_trace.json", &run.golden);
+}
+
+#[test]
+fn imputation_golden_trace_matches_fixture() {
+    let run = run_traced(1, "imputation", IMPUTATION_PIPELINE, &imputation_jobs());
+    let jobs = run.tree.spans_of_kind(SpanKind::ServeJob);
+    assert_eq!(jobs.len(), imputation_jobs().len() + 1);
+    assert_matches_fixture("imputation_trace.json", &run.golden);
+}
+
+#[test]
+fn golden_is_byte_stable_across_runs_and_worker_counts() {
+    // Two consecutive seeded runs and a 4-worker run must serialize to the
+    // exact same bytes after canonical ordering — the acceptance bar for
+    // trusting traces as regression fixtures.
+    let first = run_traced(1, "er", ER_PIPELINE, &er_jobs());
+    let second = run_traced(1, "er", ER_PIPELINE, &er_jobs());
+    assert_eq!(first.golden, second.golden, "consecutive runs must be byte-identical");
+    let wide = run_traced(4, "er", ER_PIPELINE, &er_jobs());
+    assert_eq!(first.golden, wide.golden, "1-worker and 4-worker traces must canonicalize alike");
+}
+
+#[test]
+fn per_job_cost_rollups_reconcile_with_the_meter() {
+    let run = run_traced(2, "er", ER_PIPELINE, &er_jobs());
+
+    // Every executed job's subtree rollup equals what its UsageMeter billed
+    // — same calls, same tokens, and therefore the same dollars to the cent.
+    let jobs = run.tree.spans_of_kind(SpanKind::ServeJob);
+    let mut rolled_total = Usage::default();
+    let mut matched = 0;
+    for job in jobs {
+        if job.attrs.get("path").map(String::as_str) != Some("executed") {
+            continue;
+        }
+        let id: u64 = job.attrs["job"].parse().expect("job attr is the numeric id");
+        let billed = run.bills.get(&id).expect("an executed span maps to a waited job");
+        let rollup = job.rollup();
+        assert_eq!(rollup, *billed, "trace rollup diverges from the meter for job {id}");
+        let pricing = TokenPricing::default();
+        let cents = |usage: &Usage| (usage.cost_usd(&pricing) * 100.0).round() as i64;
+        assert_eq!(cents(&rollup), cents(billed), "cost attribution off by a cent for job {id}");
+        rolled_total.merge(&rollup);
+        matched += 1;
+    }
+    assert_eq!(matched, er_jobs().len());
+
+    // The sum of per-job rollups is the server's aggregate LLM bill, and the
+    // trace summary folded into the snapshot agrees.
+    assert_eq!(rolled_total, run.metrics.llm);
+    let summary = run.metrics.trace.as_ref().expect("traced factory folds a summary in");
+    assert_eq!(summary.tokens_in, rolled_total.tokens_in);
+    assert_eq!(summary.tokens_out, rolled_total.tokens_out);
+    assert_eq!(summary.llm_calls, rolled_total.calls + rolled_total.cached_calls);
+    assert!(run.metrics.report().contains("trace"), "report prints the trace line");
+}

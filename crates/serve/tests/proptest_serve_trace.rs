@@ -1,0 +1,67 @@
+//! Property tests for trace/metric conservation under arbitrary worker
+//! pools: whatever the pool size and workload, the trace stream must
+//! rebuild into a well-formed forest whose `serve_job` spans and usage
+//! rollups reconcile with the metrics snapshot. (The deterministic
+//! one-of-each-path variant lives in `trace_conservation.rs`.)
+
+use lingua_core::{Compiler, ContextFactory, Data};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::SimLlm;
+use lingua_serve::{PipelineServer, ServeConfig, SubmitRequest};
+use lingua_trace::{ring_tracer, SpanKind, TraceTree};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary distinct workloads over arbitrary pool sizes: one executed
+    /// `serve_job` span per submission, each wrapping exactly one pipeline,
+    /// with the forest's total usage equal to the server's aggregate bill.
+    #[test]
+    fn multi_worker_traces_balance_for_any_pool_size(
+        jobs in 1usize..10,
+        workers in 1usize..5,
+    ) {
+        let world = WorldSpec::generate(53);
+        let llm: Arc<SimLlm> = Arc::new(SimLlm::with_seed(&world, 53));
+        let (tracer, sink) = ring_tracer(1 << 14);
+        let factory = ContextFactory::new(llm).with_tracer(tracer.clone());
+        let server =
+            PipelineServer::start(factory, ServeConfig { workers, ..Default::default() }).unwrap();
+        let source = r#"pipeline summ {
+            out = summarize(text) using llm with { desc: "summarize the following document" };
+        }"#;
+        server.register_dsl("summ", source, &Compiler::with_builtins()).unwrap();
+
+        let handles: Vec<_> = (0..jobs)
+            .map(|i| {
+                let text = format!("quarterly report {i} on the beer catalogue");
+                server.submit(SubmitRequest::new("summ").input("text", Data::Str(text))).unwrap()
+            })
+            .collect();
+        for handle in &handles {
+            prop_assert!(handle.wait().is_ok());
+        }
+        let metrics = server.metrics();
+        drop(server);
+        prop_assert_eq!(tracer.dropped(), 0);
+
+        // Well-formed under concurrency: build() enforces unique timestamps,
+        // balanced span edges, and parents open at child emission.
+        let tree = TraceTree::build(&sink.events()).expect("well-formed multi-worker trace");
+        prop_assert_eq!(metrics.accepted, jobs as u64);
+        prop_assert_eq!(metrics.completed, jobs as u64, "distinct inputs never dedup");
+        let executed: Vec<_> = tree
+            .spans_of_kind(SpanKind::ServeJob)
+            .into_iter()
+            .filter(|j| j.attrs.get("path").map(String::as_str) == Some("executed"))
+            .collect();
+        prop_assert_eq!(executed.len() as u64, metrics.completed);
+        for job in &executed {
+            prop_assert_eq!(job.children.len(), 1, "one pipeline span per executed job");
+            prop_assert_eq!(job.children[0].kind, SpanKind::Pipeline);
+        }
+        prop_assert_eq!(tree.total_usage(), metrics.llm);
+    }
+}

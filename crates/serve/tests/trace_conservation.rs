@@ -1,0 +1,193 @@
+//! Conservation laws between the serving metrics and the trace stream.
+//!
+//! Every submission takes exactly one path through the server — executed,
+//! coalesced, cache-served, timed out, failed, or rejected — and each path
+//! increments exactly one counter and closes exactly one `serve_job` span
+//! with a matching `path` attribute. This test drives one of each path
+//! through a single-worker server and checks the books balance both ways:
+//! counter identities over the snapshot, and span-path tallies over the
+//! rebuilt trace tree. (`proptest_serve_trace.rs` re-checks the invariants
+//! under arbitrary multi-worker pools.)
+
+use lingua_core::modules::{CustomModule, Module};
+use lingua_core::{Compiler, ContextFactory, Data};
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{SimLlm, Usage};
+use lingua_serve::{
+    JobStatus, MetricsSnapshot, PipelineServer, ServeConfig, ServeError, SubmitRequest,
+};
+use lingua_trace::{ring_tracer, SpanKind, TraceTree};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A reusable latch: modules built over it block until the test opens it.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate { open: Mutex::new(false), cv: Condvar::new() })
+    }
+
+    fn open(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock();
+        while !*open {
+            self.cv.wait(&mut open);
+        }
+    }
+}
+
+fn test_compiler(gate: Arc<Gate>) -> Compiler {
+    let mut compiler = Compiler::with_builtins();
+    compiler.register("gate", move |_op, _ctx| {
+        let gate = Arc::clone(&gate);
+        Ok(Box::new(CustomModule::stateless("gate", move |input, _| {
+            gate.wait();
+            Ok(input)
+        })) as Box<dyn Module>)
+    });
+    compiler
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+const GATED_LLM_PIPELINE: &str = r#"pipeline gated {
+    held = gate(text);
+    out = summarize(held) using llm with { desc: "summarize the following document" };
+}"#;
+
+/// Count `serve_job` spans whose terminal `path` attribute matches.
+fn path_count(tree: &TraceTree, path: &str) -> u64 {
+    tree.spans_of_kind(SpanKind::ServeJob)
+        .iter()
+        .filter(|j| j.attrs.get("path").map(String::as_str) == Some(path))
+        .count() as u64
+}
+
+/// The books must balance: every accepted submission resolves to exactly one
+/// terminal counter, and every counter maps onto a distinct span path.
+fn assert_conserved(metrics: &MetricsSnapshot, tree: &TraceTree) {
+    assert_eq!(
+        metrics.accepted,
+        metrics.completed
+            + metrics.failed
+            + metrics.timed_out
+            + metrics.coalesced
+            + metrics.cache_hits,
+        "accepted submissions must all reach a terminal state after drain"
+    );
+    assert_eq!(metrics.queue_depth, 0, "drained server holds no queued jobs");
+    assert_eq!(path_count(tree, "executed"), metrics.completed);
+    assert_eq!(path_count(tree, "failed"), metrics.failed);
+    assert_eq!(path_count(tree, "timeout"), metrics.timed_out);
+    assert_eq!(path_count(tree, "dedup_hit"), metrics.coalesced);
+    assert_eq!(path_count(tree, "cache_hit"), metrics.cache_hits);
+    assert_eq!(path_count(tree, "rejected_full"), metrics.rejected);
+    assert_eq!(
+        tree.spans_of_kind(SpanKind::ServeJob).len() as u64,
+        metrics.accepted + metrics.rejected,
+        "every submission — accepted or rejected — leaves exactly one span"
+    );
+}
+
+#[test]
+fn every_submission_path_balances_counters_against_the_trace() {
+    let world = WorldSpec::generate(47);
+    let llm: Arc<SimLlm> = Arc::new(SimLlm::with_seed(&world, 47));
+    let gate = Gate::new();
+    let compiler = test_compiler(Arc::clone(&gate));
+    let (tracer, sink) = ring_tracer(1 << 14);
+    let factory = ContextFactory::new(llm).with_tracer(tracer.clone());
+    let server = PipelineServer::start(
+        factory,
+        ServeConfig { workers: 1, queue_capacity: 3, ..Default::default() },
+    )
+    .unwrap();
+    server.register_dsl("gated", GATED_LLM_PIPELINE, &compiler).unwrap();
+
+    let request = |text: &str| SubmitRequest::new("gated").input("text", Data::Str(text.into()));
+
+    // Occupy the single worker, then fill the queue behind it.
+    let blocker = server.submit(request("blocker")).unwrap();
+    wait_until("worker to pick up the blocker", || blocker.status() == JobStatus::Running);
+    let queued_a = server.submit(request("queued a")).unwrap();
+    let queued_b = server.submit(request("queued b")).unwrap();
+    let stale = server.submit(request("stale").timeout(Duration::ZERO)).unwrap();
+    // Queue at capacity: the next distinct submission is rejected...
+    let err = server.submit(request("overflow")).unwrap_err();
+    assert_eq!(err, ServeError::Full { capacity: 3 });
+    // ...but duplicates of the running job coalesce without touching the queue.
+    let dupes: Vec<_> = (0..2).map(|_| server.submit(request("blocker")).unwrap()).collect();
+
+    gate.open();
+    let leader = blocker.wait().unwrap();
+    for dupe in &dupes {
+        assert!(Arc::ptr_eq(&leader, &dupe.wait().unwrap()), "coalesced jobs share the output");
+    }
+    assert!(queued_a.wait().is_ok());
+    assert!(queued_b.wait().is_ok());
+    assert!(matches!(stale.wait(), Err(ServeError::Timeout { .. })));
+    // Sequential repeat of a completed job: the result-cache path.
+    server.run(request("queued a")).unwrap();
+
+    let metrics = server.metrics();
+    drop(server);
+    assert_eq!(tracer.dropped(), 0, "the ring must be sized for the workload");
+    let tree = TraceTree::build(&sink.events()).expect("trace stream is well-formed");
+
+    // Exactly the planned tallies, then the general conservation law.
+    assert_eq!(metrics.accepted, 7, "blocker + 2 queued + stale + 2 dupes + cache repeat");
+    assert_eq!(metrics.rejected, 1);
+    assert_eq!(metrics.completed, 3);
+    assert_eq!(metrics.failed, 0);
+    assert_eq!(metrics.timed_out, 1);
+    assert_eq!(metrics.coalesced, 2);
+    assert_eq!(metrics.cache_hits, 1);
+    assert_conserved(&metrics, &tree);
+
+    // Lifecycle instants: executed jobs were queued then dequeued; the stale
+    // job was queued but never handed to the executor. The `queued` instant
+    // is emitted before the bounded push (so it always precedes the worker's
+    // `dequeued`), which means a rejected submission carries it too.
+    let jobs = tree.spans_of_kind(SpanKind::ServeJob);
+    for job in &jobs {
+        let names: Vec<&str> = job.instants.iter().map(|i| i.name.as_str()).collect();
+        match job.attrs.get("path").map(String::as_str) {
+            Some("executed") => assert_eq!(names, ["queued", "dequeued"]),
+            Some("timeout") | Some("rejected_full") => assert_eq!(names, ["queued"]),
+            _ => assert!(names.is_empty(), "short-circuit paths emit no lifecycle instants"),
+        }
+    }
+
+    // Cost conservation: the trace attributes every metered token. Only
+    // executed jobs carry usage, and their rollups sum to the server's bill.
+    let mut rolled = Usage::default();
+    for job in &jobs {
+        let rollup = job.rollup();
+        if job.attrs.get("path").map(String::as_str) == Some("executed") {
+            assert!(rollup.calls >= 1, "an executed llm pipeline bills at least one call");
+        } else {
+            assert_eq!(rollup, Usage::default(), "non-executed paths cost nothing");
+        }
+        rolled.merge(&rollup);
+    }
+    assert_eq!(rolled, metrics.llm, "span rollups account for the aggregate bill exactly");
+    let summary = metrics.trace.as_ref().expect("traced factory folds a summary in");
+    assert_eq!(summary.tokens_in, metrics.llm.tokens_in);
+    assert_eq!(summary.tokens_out, metrics.llm.tokens_out);
+    assert_eq!(summary.dropped, 0);
+}

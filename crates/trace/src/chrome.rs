@@ -1,0 +1,101 @@
+//! Chrome `trace_event` export: open the JSON in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev) to see the span forest on a timeline.
+//!
+//! Logical timestamps are mapped 1:1 onto microseconds — the visual widths
+//! are causal distance, not wall time, which is exactly what a deterministic
+//! trace can promise. Span edges become `B`/`E` duration events, instants
+//! become `i` events scoped to their thread.
+
+use crate::event::{Phase, TraceEvent};
+use serde_json::{json, Value};
+
+/// Render an event stream as a Chrome JSON-array trace.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    serde_json::to_string_pretty(&chrome_trace_value(events)).expect("chrome trace serializes")
+}
+
+fn chrome_trace_value(events: &[TraceEvent]) -> Value {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.seq);
+    let records: Vec<Value> = sorted.iter().map(|e| chrome_record(e)).collect();
+    json!({
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "logical (1 event = 1 us)",
+            "source": "lingua-trace",
+        },
+    })
+}
+
+fn chrome_record(event: &TraceEvent) -> Value {
+    let ph = match event.phase {
+        Phase::Begin => "B",
+        Phase::End => "E",
+        Phase::Instant => "i",
+    };
+    let mut args = serde_json::Map::new();
+    for (key, value) in &event.attrs {
+        args.insert(key.clone(), json!(value));
+    }
+    if let Some(usage) = &event.usage {
+        args.insert("llm_calls".into(), json!(usage.calls));
+        args.insert("tokens_in".into(), json!(usage.tokens_in));
+        args.insert("tokens_out".into(), json!(usage.tokens_out));
+    }
+    let mut record = serde_json::Map::new();
+    record.insert("name".into(), Value::String(event.name.clone()));
+    record.insert("cat".into(), json!(event.kind.as_str()));
+    record.insert("ph".into(), json!(ph));
+    record.insert("ts".into(), json!(event.seq));
+    record.insert("pid".into(), json!(1));
+    record.insert("tid".into(), json!(event.thread));
+    if event.phase == Phase::Instant {
+        record.insert("s".into(), json!("t"));
+    }
+    if !args.is_empty() {
+        record.insert("args".into(), Value::Object(args));
+    }
+    Value::Object(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanKind;
+    use crate::sink::{RingSink, TraceSink};
+    use crate::tracer::Tracer;
+    use lingua_llm_sim::Usage;
+    use std::sync::Arc;
+
+    #[test]
+    fn exports_balanced_duration_events() {
+        let sink = Arc::new(RingSink::new(256));
+        let tracer = Tracer::new(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        {
+            let _p = tracer.span(SpanKind::Pipeline, "er");
+            let mut call = tracer.span(SpanKind::LlmCall, "complete");
+            let mut usage = Usage::default();
+            usage.record(12, 3);
+            call.set_usage(usage);
+            drop(call);
+            tracer.instant(SpanKind::Gateway, "failover", || vec![("to".into(), "standby".into())]);
+        }
+        let text = chrome_trace_json(&sink.events());
+        assert!(text.contains("traceEvents"), "serialized trace carries the event array");
+        let parsed = chrome_trace_value(&sink.events());
+        let records = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(records.len(), 5);
+        let begins = records.iter().filter(|r| r["ph"] == "B").count();
+        let ends = records.iter().filter(|r| r["ph"] == "E").count();
+        assert_eq!(begins, ends, "every B has a matching E");
+        let call_end = records.iter().find(|r| r["ph"] == "E" && r["name"] == "complete").unwrap();
+        assert_eq!(call_end["args"]["tokens_in"], 12);
+        let instant = records.iter().find(|r| r["ph"] == "i").unwrap();
+        assert_eq!(instant["cat"], "gateway");
+        assert_eq!(instant["args"]["to"], "standby");
+        // Timestamps are the logical clock, strictly increasing.
+        let ts: Vec<u64> = records.iter().map(|r| r["ts"].as_u64().unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+}
