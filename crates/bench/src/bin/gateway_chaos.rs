@@ -108,7 +108,7 @@ fn chaos_arm(world: &WorldSpec, inputs: &[Data], rate: f64, workers: usize) -> A
     );
     let factory = ContextFactory::new(Arc::clone(&gateway) as Arc<dyn LlmService>);
     let config = ServeConfig {
-        workers,
+        workers: Some(workers),
         queue_capacity: inputs.len() + 8,
         // Unique batches; dedup off so every job really runs.
         dedup_inflight: false,

@@ -137,7 +137,11 @@ fn serve_once(
 ) -> ArmResult {
     let llm = Arc::new(SimLlm::new(world, SimLlmConfig { seed: SEED, ..Default::default() }));
     let factory = ContextFactory::new(llm);
-    let config = ServeConfig { workers, queue_capacity: inputs.len() + 8, ..Default::default() };
+    let config = ServeConfig {
+        workers: Some(workers),
+        queue_capacity: inputs.len() + 8,
+        ..Default::default()
+    };
     let mut server = PipelineServer::start(factory, config).expect("valid bench config");
     let id = pipeline.name.clone();
     server.register_pipeline(id.as_str(), pipeline).expect("pipeline replicates");
@@ -171,7 +175,7 @@ fn dedup_arm(
     let llm = Arc::new(SimLlm::new(world, SimLlmConfig { seed: SEED, ..Default::default() }));
     let factory = ContextFactory::new(llm.clone());
     let config = ServeConfig {
-        workers: 4,
+        workers: Some(4),
         queue_capacity: distinct.len() * dups + 8,
         dedup_inflight: enabled,
         result_cache_capacity: if enabled { 1024 } else { 0 },

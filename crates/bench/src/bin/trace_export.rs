@@ -57,7 +57,7 @@ fn main() {
         .with_tracer(tracer.clone());
     let mut server = PipelineServer::start(
         factory,
-        ServeConfig { workers, queue_capacity: jobs + 8, ..Default::default() },
+        ServeConfig { workers: Some(workers), queue_capacity: jobs + 8, ..Default::default() },
     )
     .expect("valid bench config");
     server.attach_gateway(Arc::clone(&gateway));

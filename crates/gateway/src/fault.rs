@@ -16,14 +16,12 @@ use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// FNV-1a over the prompt bytes; the injector's prompt key.
+/// The injector's prompt key: the workspace-wide FNV-1a prompt fingerprint
+/// (see `lingua_llm_sim::hotpath::fingerprint`). Replaying a [`FaultPlan`]
+/// therefore shares the hash every other layer already computed — same
+/// function, same bits, no second pass over the prompt.
 pub fn prompt_key(text: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in text.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    lingua_llm_sim::fingerprint(text)
 }
 
 /// Per-class fault rates plus the seed that makes them deterministic.
@@ -204,7 +202,7 @@ impl LlmTransport for FaultInjector {
     }
 
     fn complete(&self, request: &CompletionRequest) -> Result<String, TransportError> {
-        let key = prompt_key(&request.prompt);
+        let key = request.fingerprint();
         let attempt = self.next_attempt(key);
         let Some(class) = self.plan.decide_key(key, attempt) else {
             self.state.lock().counts.passed += 1;

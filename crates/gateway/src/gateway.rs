@@ -24,10 +24,12 @@ use crate::{
     LlmTransport, TokenBudget, TokenBudgetConfig, TransportError,
 };
 use lingua_llm_sim::cost::count_tokens;
-use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
+use lingua_llm_sim::{
+    AtomicUsage, CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, ShardedLru, Usage,
+};
 use lingua_trace::{SpanKind, Tracer};
-use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Answer returned when every backend and every degraded path is gone.
@@ -67,12 +69,6 @@ struct Backend {
     transport: Arc<dyn LlmTransport>,
     breaker: CircuitBreaker,
     budget: Option<TokenBudget>,
-}
-
-#[derive(Default)]
-struct StaleCache {
-    entries: HashMap<u64, String>,
-    order: VecDeque<u64>,
 }
 
 /// Builder for [`Gateway`]. Backends are tried in registration order —
@@ -148,10 +144,10 @@ impl GatewayBuilder {
             metrics: GatewayMetrics::new(backends.len()),
             backends,
             fallback: self.fallback,
+            stale: ShardedLru::new(self.config.stale_cache_capacity, DEFAULT_SHARDS),
             config: self.config,
-            stale: Mutex::new(StaleCache::default()),
-            degraded_usage: Mutex::new(Usage::default()),
-            added_backoff_ms: Mutex::new(0),
+            degraded_usage: AtomicUsage::default(),
+            added_backoff_ms: AtomicU64::new(0),
             tracer: self.tracer,
         }
     }
@@ -163,11 +159,13 @@ pub struct Gateway {
     fallback: Option<Arc<dyn LlmTransport>>,
     config: GatewayConfig,
     metrics: GatewayMetrics,
-    stale: Mutex<StaleCache>,
+    /// Degraded-mode stale-response cache: the same lock-striped sharded LRU
+    /// as the simulator's hot path, keyed by the shared prompt fingerprint.
+    stale: ShardedLru<Arc<str>>,
     /// Usage booked by the gateway itself (degraded cache serves).
-    degraded_usage: Mutex<Usage>,
+    degraded_usage: AtomicUsage,
     /// Backoff latency charged (virtually) against this gateway.
-    added_backoff_ms: Mutex<u64>,
+    added_backoff_ms: AtomicU64,
     tracer: Tracer,
 }
 
@@ -208,23 +206,11 @@ impl Gateway {
     }
 
     fn remember(&self, key: u64, response: &str) {
-        if self.config.stale_cache_capacity == 0 {
-            return;
-        }
-        let mut stale = self.stale.lock();
-        if stale.entries.insert(key, response.to_string()).is_none() {
-            stale.order.push_back(key);
-            while stale.entries.len() > self.config.stale_cache_capacity {
-                match stale.order.pop_front() {
-                    Some(oldest) => stale.entries.remove(&oldest),
-                    None => break,
-                };
-            }
-        }
+        self.stale.insert(key, Arc::from(response));
     }
 
-    fn recall(&self, key: u64) -> Option<String> {
-        self.stale.lock().entries.get(&key).cloned()
+    fn recall(&self, key: u64) -> Option<Arc<str>> {
+        self.stale.get(key)
     }
 
     /// Run `op` against the backends with retry, breaking, and failover.
@@ -308,7 +294,7 @@ impl Gateway {
                             delay = delay.max(hint);
                         }
                         self.metrics.backoff(idx, delay);
-                        *self.added_backoff_ms.lock() += delay;
+                        self.added_backoff_ms.fetch_add(delay, Ordering::Relaxed);
                         self.tracer.instant(SpanKind::Gateway, "backoff", || {
                             vec![
                                 ("backend".into(), backend.name.clone()),
@@ -336,7 +322,9 @@ impl LlmService for Gateway {
     fn complete(&self, request: &CompletionRequest) -> String {
         self.metrics.request();
         let mut span = self.tracer.span(SpanKind::Gateway, "complete");
-        let key = prompt_key(&request.prompt);
+        // The memoized fingerprint: whoever hashed this prompt first — serve,
+        // the simulator, or this call — every later layer reuses the value.
+        let key = request.fingerprint();
         let est_tokens = count_tokens(&request.prompt) as u64;
         if let Some(response) =
             self.call_resilient(key, est_tokens, |transport| transport.complete(request))
@@ -350,8 +338,8 @@ impl LlmService for Gateway {
             self.metrics.degraded_cache_hit();
             self.tracer.instant(SpanKind::Gateway, "degraded_cache_hit", Vec::new);
             span.attr("path", "degraded_cache");
-            self.degraded_usage.lock().record_cached(est_tokens as usize, count_tokens(&stale));
-            return stale;
+            self.degraded_usage.record_cached(est_tokens as usize, count_tokens(&stale));
+            return stale.as_ref().to_string();
         }
         if let Some(fallback) = &self.fallback {
             if let Ok(response) = fallback.complete(request) {
@@ -394,7 +382,7 @@ impl LlmService for Gateway {
     }
 
     fn usage(&self) -> Usage {
-        let mut total = *self.degraded_usage.lock();
+        let mut total = self.degraded_usage.snapshot();
         for backend in &self.backends {
             total.merge(&backend.transport.usage());
         }
@@ -405,7 +393,7 @@ impl LlmService for Gateway {
     }
 
     fn simulated_latency_ms(&self) -> u64 {
-        let mut total = *self.added_backoff_ms.lock();
+        let mut total = self.added_backoff_ms.load(Ordering::Relaxed);
         for backend in &self.backends {
             total += backend.transport.simulated_latency_ms();
         }

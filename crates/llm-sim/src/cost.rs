@@ -6,6 +6,7 @@
 //! report call counts and simulated spend.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Approximate tokenizer: whitespace-split words plus a surcharge for long
 /// words (BPE splits them) and punctuation. Close enough to real tokenizers
@@ -112,6 +113,87 @@ impl Usage {
     }
 }
 
+/// Lock-free usage accounting for the concurrent hot path.
+///
+/// Each counter is an independent atomic, so recording a call never takes a
+/// lock and never contends with the response cache. [`AtomicUsage::snapshot`]
+/// reads the counters individually; under quiescence (after workers join, or
+/// between experiment arms) the snapshot is exact to the token — and
+/// therefore to the cent — which is what the conservation suites assert. A
+/// snapshot raced by in-flight writers may split one call across two reads,
+/// but it never invents or loses a token once the writers drain.
+#[derive(Debug, Default)]
+pub struct AtomicUsage {
+    calls: AtomicU64,
+    tokens_in: AtomicU64,
+    tokens_out: AtomicU64,
+    cached_calls: AtomicU64,
+    tokens_in_saved: AtomicU64,
+    tokens_out_saved: AtomicU64,
+    failed_calls: AtomicU64,
+}
+
+impl AtomicUsage {
+    pub fn new() -> AtomicUsage {
+        AtomicUsage::default()
+    }
+
+    /// Record a billed call (see [`Usage::record`]).
+    pub fn record(&self, tokens_in: usize, tokens_out: usize) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.tokens_in.fetch_add(tokens_in as u64, Ordering::Relaxed);
+        self.tokens_out.fetch_add(tokens_out as u64, Ordering::Relaxed);
+    }
+
+    /// Record a call answered from a cache (see [`Usage::record_cached`]).
+    pub fn record_cached(&self, tokens_in: usize, tokens_out: usize) {
+        self.cached_calls.fetch_add(1, Ordering::Relaxed);
+        self.tokens_in_saved.fetch_add(tokens_in as u64, Ordering::Relaxed);
+        self.tokens_out_saved.fetch_add(tokens_out as u64, Ordering::Relaxed);
+    }
+
+    /// Record a transport-faulted call (see [`Usage::record_failed`]).
+    pub fn record_failed(&self, tokens_in: usize) {
+        self.failed_calls.fetch_add(1, Ordering::Relaxed);
+        self.tokens_in.fetch_add(tokens_in as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time [`Usage`] view. Never blocks writers.
+    pub fn snapshot(&self) -> Usage {
+        Usage {
+            calls: self.calls.load(Ordering::Relaxed),
+            tokens_in: self.tokens_in.load(Ordering::Relaxed),
+            tokens_out: self.tokens_out.load(Ordering::Relaxed),
+            cached_calls: self.cached_calls.load(Ordering::Relaxed),
+            tokens_in_saved: self.tokens_in_saved.load(Ordering::Relaxed),
+            tokens_out_saved: self.tokens_out_saved.load(Ordering::Relaxed),
+            failed_calls: self.failed_calls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (between experiment arms).
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.tokens_in.store(0, Ordering::Relaxed);
+        self.tokens_out.store(0, Ordering::Relaxed);
+        self.cached_calls.store(0, Ordering::Relaxed);
+        self.tokens_in_saved.store(0, Ordering::Relaxed);
+        self.tokens_out_saved.store(0, Ordering::Relaxed);
+        self.failed_calls.store(0, Ordering::Relaxed);
+    }
+
+    /// Merge a finished [`Usage`] tally into the atomic counters.
+    pub fn merge(&self, other: &Usage) {
+        self.calls.fetch_add(other.calls, Ordering::Relaxed);
+        self.tokens_in.fetch_add(other.tokens_in, Ordering::Relaxed);
+        self.tokens_out.fetch_add(other.tokens_out, Ordering::Relaxed);
+        self.cached_calls.fetch_add(other.cached_calls, Ordering::Relaxed);
+        self.tokens_in_saved.fetch_add(other.tokens_in_saved, Ordering::Relaxed);
+        self.tokens_out_saved.fetch_add(other.tokens_out_saved, Ordering::Relaxed);
+        self.failed_calls.fetch_add(other.failed_calls, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +262,24 @@ mod tests {
         assert_eq!(u.tokens_in, 1000);
         let cost = u.cost_usd(&TokenPricing::default());
         assert!((cost - 0.0015).abs() < 1e-12, "aborted calls still cost input tokens");
+    }
+
+    #[test]
+    fn atomic_usage_mirrors_usage_semantics() {
+        let atomic = AtomicUsage::new();
+        atomic.record(1000, 500);
+        atomic.record_cached(50, 5);
+        atomic.record_failed(30);
+        let mut reference = Usage::default();
+        reference.record(1000, 500);
+        reference.record_cached(50, 5);
+        reference.record_failed(30);
+        assert_eq!(atomic.snapshot(), reference);
+        atomic.merge(&reference);
+        assert_eq!(atomic.snapshot().calls, 2);
+        assert_eq!(atomic.snapshot().tokens_in, 2060);
+        atomic.reset();
+        assert_eq!(atomic.snapshot(), Usage::default());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod calibration;
 pub mod codegen;
 pub mod cost;
 pub mod embeddings;
+pub mod hotpath;
 pub mod knowledge;
 pub mod noise;
 pub mod prompt;
@@ -41,7 +42,8 @@ pub mod service;
 
 pub use calibration::Calibration;
 pub use codegen::{BugKind, CodeGenSpec, GeneratedCode, TemplateKind};
-pub use cost::{TokenPricing, Usage};
+pub use cost::{AtomicUsage, TokenPricing, Usage};
+pub use hotpath::{fingerprint, CacheStats, Flight, Fnv1a, ShardedLru, Singleflight};
 pub use knowledge::KnowledgeBase;
 pub use prompt::TaskIntent;
 pub use service::{CompletionRequest, LlmService, SimLlm, SimLlmConfig};

@@ -8,26 +8,39 @@
 use crate::behaviors;
 use crate::calibration::Calibration;
 use crate::codegen::{self, CodeGenSpec, GeneratedCode};
-use crate::cost::{count_tokens, TokenPricing, Usage};
+use crate::cost::{count_tokens, AtomicUsage, TokenPricing, Usage};
+use crate::hotpath::{fingerprint, CacheStats, Flight, ShardedLru, Singleflight, DEFAULT_SHARDS};
 use crate::knowledge::KnowledgeBase;
 use crate::prompt::{self, TaskIntent};
 use lingua_dataset::world::WorldSpec;
 use lingua_ml::features::{fxhash, HashingVectorizer};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// A completion request. Kept minimal: the simulated service is temperature-0
 /// (responses are a pure function of the prompt and the service seed).
+///
+/// The request also memoizes its prompt's 64-bit fingerprint, so a call chain
+/// that crosses several caching layers (gateway stale cache → simulator
+/// response cache → fault plan) hashes the prompt bytes exactly once.
 #[derive(Debug, Clone)]
 pub struct CompletionRequest {
     pub prompt: String,
+    fingerprint: OnceLock<u64>,
 }
 
 impl CompletionRequest {
     pub fn new(prompt: impl Into<String>) -> Self {
-        CompletionRequest { prompt: prompt.into() }
+        CompletionRequest { prompt: prompt.into(), fingerprint: OnceLock::new() }
+    }
+
+    /// The prompt's FNV-1a fingerprint, computed on first use and shared by
+    /// every layer the request flows through.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| fingerprint(&self.prompt))
     }
 }
 
@@ -36,6 +49,15 @@ impl CompletionRequest {
 pub trait LlmService: Send + Sync {
     /// Free-text completion.
     fn complete(&self, request: &CompletionRequest) -> String;
+    /// Free-text completion returning a shared, clone-free response.
+    ///
+    /// Cache-backed services override this so repeat prompts hand out another
+    /// reference to the cached `Arc<str>` instead of copying the bytes; the
+    /// default adapts [`LlmService::complete`], so wrappers (meters, tracers,
+    /// gateways) keep their interception semantics without opting in.
+    fn complete_shared(&self, request: &CompletionRequest) -> Arc<str> {
+        Arc::from(self.complete(request))
+    }
     /// Deterministic text embedding (for data-discovery tasks).
     fn embed(&self, text: &str) -> Vec<f64>;
     /// Cumulative usage counters.
@@ -63,10 +85,13 @@ pub struct SimLlmConfig {
     pub pricing: TokenPricing,
     /// Response cache (identical prompt → cached answer, no tokens billed).
     pub cache_enabled: bool,
-    /// Maximum cached responses; the oldest entries are evicted FIFO beyond
-    /// this. Long-running serving workloads would otherwise grow the cache
-    /// without bound.
+    /// Maximum cached responses across all shards; each shard evicts its
+    /// least-recently-used entry beyond its slice of this. Long-running
+    /// serving workloads would otherwise grow the cache without bound.
     pub cache_capacity: usize,
+    /// Lock stripes in the response cache; `0` picks a default sized for the
+    /// machine. Tests pin `1` to get a deterministic global LRU.
+    pub cache_shards: usize,
     /// Simulated per-call latency, accumulated in a counter (never slept).
     pub latency_ms_per_call: u64,
 }
@@ -79,39 +104,69 @@ impl Default for SimLlmConfig {
             pricing: TokenPricing::default(),
             cache_enabled: false,
             cache_capacity: 4096,
+            cache_shards: 0,
             latency_ms_per_call: 350,
         }
     }
 }
 
-#[derive(Debug, Default)]
-struct State {
-    usage: Usage,
-    cache: HashMap<u64, String>,
-    /// Insertion order of cache keys, for FIFO eviction at capacity.
-    cache_order: VecDeque<u64>,
-    latency_ms: u64,
-    /// Monotonic nonce so repeated code-generation attempts differ.
-    codegen_counter: u64,
+impl SimLlmConfig {
+    fn resolved_shards(&self) -> usize {
+        if self.cache_shards > 0 {
+            self.cache_shards
+        } else {
+            let cores =
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(DEFAULT_SHARDS);
+            (cores * 4).clamp(DEFAULT_SHARDS, 64)
+        }
+    }
+}
+
+/// A cached completion: the shared response plus the token counts a hit
+/// saves. Storing the counts makes a hit O(1) — the old path re-tokenized
+/// the prompt *and* the response under the global lock on every hit.
+#[derive(Clone)]
+struct CachedResponse {
+    text: Arc<str>,
+    tokens_in: usize,
+    tokens_out: usize,
 }
 
 /// The simulated LLM service.
+///
+/// Concurrency: the hot path holds no global lock. The response cache is a
+/// lock-striped [`ShardedLru`], usage metering is [`AtomicUsage`], and
+/// concurrent identical prompts coalesce through a [`Singleflight`] (one
+/// computes, the rest share the `Arc`'d response and book the saving). See
+/// `DESIGN.md` §"Performance: the LLM hot path".
 pub struct SimLlm {
     config: SimLlmConfig,
     knowledge: KnowledgeBase,
     vectorizer: HashingVectorizer,
-    state: Mutex<State>,
+    /// `None` when caching is disabled or capacity is zero.
+    cache: Option<ShardedLru<CachedResponse>>,
+    flights: Singleflight<CachedResponse>,
+    usage: AtomicUsage,
+    latency_ms: AtomicU64,
+    /// Monotonic nonce so repeated code-generation attempts differ.
+    codegen_counter: AtomicU64,
 }
 
 impl SimLlm {
     /// Build the service over a world (constructs the knowledge base).
     pub fn new(world: &WorldSpec, config: SimLlmConfig) -> SimLlm {
         let knowledge = KnowledgeBase::from_world(world, &config.calibration, config.seed);
+        let cache = (config.cache_enabled && config.cache_capacity > 0)
+            .then(|| ShardedLru::new(config.cache_capacity, config.resolved_shards()));
         SimLlm {
-            config,
             knowledge,
             vectorizer: HashingVectorizer::new(512),
-            state: Mutex::new(State::default()),
+            cache,
+            flights: Singleflight::new(),
+            usage: AtomicUsage::new(),
+            latency_ms: AtomicU64::new(0),
+            codegen_counter: AtomicU64::new(0),
+            config,
         }
     }
 
@@ -132,16 +187,24 @@ impl SimLlm {
         &self.config.pricing
     }
 
-    /// Number of responses currently held in the cache.
+    /// Number of responses currently held in the cache. Reads per-shard
+    /// atomics only — snapshotting never blocks a writer.
     pub fn cache_len(&self) -> usize {
-        self.state.lock().cache.len()
+        self.cache.as_ref().map(ShardedLru::len).unwrap_or(0)
+    }
+
+    /// Hot-path counters: cache hits/misses/evictions plus singleflight
+    /// coalesces. Lock-free snapshot; exact once callers quiesce.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut stats = self.cache.as_ref().map(ShardedLru::stats).unwrap_or_default();
+        stats.coalesced = self.flights.coalesced();
+        stats
     }
 
     /// Zero the usage counters (between experiment arms).
     pub fn reset_usage(&self) {
-        let mut state = self.state.lock();
-        state.usage = Usage::default();
-        state.latency_ms = 0;
+        self.usage.reset();
+        self.latency_ms.store(0, Ordering::Relaxed);
     }
 
     fn respond(&self, prompt_text: &str) -> String {
@@ -185,9 +248,8 @@ impl SimLlm {
     }
 
     fn meter(&self, prompt_text: &str, response: &str) {
-        let mut state = self.state.lock();
-        state.usage.record(count_tokens(prompt_text), count_tokens(response));
-        state.latency_ms += self.config.latency_ms_per_call;
+        self.usage.record(count_tokens(prompt_text), count_tokens(response));
+        self.latency_ms.fetch_add(self.config.latency_ms_per_call, Ordering::Relaxed);
     }
 
     /// Fault-injection hook (used by `lingua-gateway`'s chaos substrate):
@@ -195,19 +257,14 @@ impl SimLlm {
     /// still crossed the wire — input tokens bill and the call consumed its
     /// latency — but no response tokens were produced.
     pub fn meter_failed_call(&self, prompt_text: &str) {
-        let mut state = self.state.lock();
-        state.usage.record_failed(count_tokens(prompt_text));
-        state.latency_ms += self.config.latency_ms_per_call;
+        self.usage.record_failed(count_tokens(prompt_text));
+        self.latency_ms.fetch_add(self.config.latency_ms_per_call, Ordering::Relaxed);
     }
 
     // -- structured code-generation endpoints (see the LlmService trait) -----
 
     fn generate_code_impl(&self, spec: &CodeGenSpec) -> GeneratedCode {
-        let nonce = {
-            let mut state = self.state.lock();
-            state.codegen_counter += 1;
-            state.codegen_counter
-        };
+        let nonce = self.codegen_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let mut rng = StdRng::seed_from_u64(
             self.config.seed ^ fxhash(spec.task.as_bytes()) ^ nonce.wrapping_mul(0x9e37),
         );
@@ -229,11 +286,7 @@ impl SimLlm {
         previous: &GeneratedCode,
         suggestion: &str,
     ) -> GeneratedCode {
-        let nonce = {
-            let mut state = self.state.lock();
-            state.codegen_counter += 1;
-            state.codegen_counter
-        };
+        let nonce = self.codegen_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let mut rng = StdRng::seed_from_u64(
             self.config.seed ^ fxhash(previous.source.as_bytes()) ^ nonce.wrapping_mul(0x517c_c1b7),
         );
@@ -246,48 +299,63 @@ impl SimLlm {
 
 impl LlmService for SimLlm {
     fn complete(&self, request: &CompletionRequest) -> String {
-        let key = fxhash(request.prompt.as_bytes());
-        if self.config.cache_enabled {
-            let mut state = self.state.lock();
-            if let Some(hit) = state.cache.get(&key) {
-                let hit = hit.clone();
-                // Book the exact tokens the hit avoided billing, so cache
-                // savings are measured rather than inferred.
-                state.usage.record_cached(count_tokens(&request.prompt), count_tokens(&hit));
-                return hit;
+        self.complete_shared(request).as_ref().to_string()
+    }
+
+    fn complete_shared(&self, request: &CompletionRequest) -> Arc<str> {
+        if !self.config.cache_enabled {
+            let response = self.respond(&request.prompt);
+            self.meter(&request.prompt, &response);
+            return Arc::from(response);
+        }
+        // The fingerprint is computed once per call chain (memoized on the
+        // request) and doubles as cache key, shard selector, and
+        // singleflight key.
+        let key = request.fingerprint();
+        if let Some(cache) = &self.cache {
+            if let Some(entry) = cache.get(key) {
+                // Book the exact tokens the hit avoided billing — counted
+                // once at insert time, not re-tokenized per hit.
+                self.usage.record_cached(entry.tokens_in, entry.tokens_out);
+                return entry.text;
             }
         }
-        let response = self.respond(&request.prompt);
-        self.meter(&request.prompt, &response);
-        if self.config.cache_enabled && self.config.cache_capacity > 0 {
-            let mut state = self.state.lock();
-            if state.cache.insert(key, response.clone()).is_none() {
-                state.cache_order.push_back(key);
-                while state.cache.len() > self.config.cache_capacity {
-                    match state.cache_order.pop_front() {
-                        Some(oldest) => state.cache.remove(&oldest),
-                        None => break,
-                    };
-                }
+        match self.flights.join(key, || {
+            let response = self.respond(&request.prompt);
+            let entry = CachedResponse {
+                tokens_in: count_tokens(&request.prompt),
+                tokens_out: count_tokens(&response),
+                text: Arc::from(response),
+            };
+            self.usage.record(entry.tokens_in, entry.tokens_out);
+            self.latency_ms.fetch_add(self.config.latency_ms_per_call, Ordering::Relaxed);
+            if let Some(cache) = &self.cache {
+                cache.insert(key, entry.clone());
+            }
+            entry
+        }) {
+            Flight::Led(entry) => entry.text,
+            Flight::Coalesced(entry) => {
+                // A coalesced call shares the leader's computation: billed
+                // nothing, booked as a cache saving.
+                self.usage.record_cached(entry.tokens_in, entry.tokens_out);
+                entry.text
             }
         }
-        response
     }
 
     fn embed(&self, text: &str) -> Vec<f64> {
-        let mut state = self.state.lock();
-        state.usage.record(count_tokens(text), 0);
-        state.latency_ms += self.config.latency_ms_per_call / 4;
-        drop(state);
+        self.usage.record(count_tokens(text), 0);
+        self.latency_ms.fetch_add(self.config.latency_ms_per_call / 4, Ordering::Relaxed);
         self.vectorizer.transform(&crate::embeddings::normalize_for_embedding(text))
     }
 
     fn usage(&self) -> Usage {
-        self.state.lock().usage
+        self.usage.snapshot()
     }
 
     fn simulated_latency_ms(&self) -> u64 {
-        self.state.lock().latency_ms
+        self.latency_ms.load(Ordering::Relaxed)
     }
 
     fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
@@ -359,11 +427,18 @@ mod tests {
     }
 
     #[test]
-    fn cache_capacity_evicts_oldest_first() {
+    fn cache_capacity_evicts_least_recently_used() {
         let world = WorldSpec::generate(5);
+        // One shard: a deterministic global LRU for the test.
         let svc = SimLlm::new(
             &world,
-            SimLlmConfig { seed: 5, cache_enabled: true, cache_capacity: 2, ..Default::default() },
+            SimLlmConfig {
+                seed: 5,
+                cache_enabled: true,
+                cache_capacity: 2,
+                cache_shards: 1,
+                ..Default::default()
+            },
         );
         let prompts = [
             "Summarize. Text: the first document",
@@ -374,17 +449,27 @@ mod tests {
             svc.complete(&CompletionRequest::new(*prompt));
         }
         assert_eq!(svc.cache_len(), 2, "capacity bounds the cache");
-        // The newest entries still hit; the oldest was evicted and re-bills.
+        // The newest entries still hit; the least recently used was evicted
+        // and re-bills.
         svc.complete(&CompletionRequest::new(prompts[2]));
         assert_eq!(svc.usage().cached_calls, 1);
         let calls_before = svc.usage().calls;
         svc.complete(&CompletionRequest::new(prompts[0]));
         assert_eq!(svc.usage().calls, calls_before + 1, "evicted entry is a miss");
         assert_eq!(svc.cache_len(), 2);
-        // Re-completing an already-cached prompt never duplicates the
-        // eviction-order entry.
+        // Re-completing an already-cached prompt hits and refreshes recency.
         svc.complete(&CompletionRequest::new(prompts[0]));
         assert_eq!(svc.usage().cached_calls, 2);
+        // LRU (not FIFO): the hit on prompts[0] above refreshed it, so a new
+        // insert evicts prompts[2] — the stalest entry — instead.
+        svc.complete(&CompletionRequest::new("Summarize. Text: a fourth document"));
+        let cached_before = svc.usage().cached_calls;
+        svc.complete(&CompletionRequest::new(prompts[0]));
+        assert_eq!(svc.usage().cached_calls, cached_before + 1, "recently-hit entry survived");
+        let stats = svc.cache_stats();
+        assert_eq!(stats.hits, svc.usage().cached_calls);
+        assert_eq!(stats.misses, svc.usage().calls, "sequential misses all led");
+        assert_eq!(stats.len, 2);
     }
 
     #[test]

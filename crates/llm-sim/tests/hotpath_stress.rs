@@ -1,0 +1,174 @@
+//! Conservation laws for the concurrent LLM hot path.
+//!
+//! N threads hammer one shared `SimLlm` with overlapping prompts; afterwards
+//! the hit/miss/insertion/eviction/coalesce counters must reconcile *exactly*
+//! with the total number of calls, and the usage ledger must account for
+//! every token — billed or saved — to the cent. The laws extend the PR 3
+//! trace-conservation style to the cache itself:
+//!
+//! 1. every call either billed or saved:
+//!    `total = usage.calls + usage.cached_calls`
+//! 2. every saved call came from a hit or a coalesced flight:
+//!    `usage.cached_calls = stats.hits + stats.coalesced`
+//! 3. every cache miss either led a flight (and billed) or coalesced:
+//!    `stats.misses = usage.calls + stats.coalesced`
+//! 4. every billed call inserted its response (fresh or racing refresh):
+//!    `stats.insertions + stats.updates = usage.calls`
+//! 5. every inserted entry is either resident or was evicted:
+//!    `stats.insertions = stats.len + stats.evictions`
+//! 6. token conservation: `tokens_in + tokens_in_saved` equals the sum of
+//!    prompt tokens over all calls, and likewise for outputs against a
+//!    same-seed uncached reference service — hence cost + savings is exact.
+
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::cost::count_tokens;
+use lingua_llm_sim::{CompletionRequest, LlmService, SimLlm, SimLlmConfig};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 60;
+/// Far below the distinct-prompt count so evictions really happen.
+const CAPACITY: usize = 24;
+
+fn prompt(i: usize) -> String {
+    format!("Summarize. Text: stress corpus document number {i} with a few extra words")
+}
+
+#[test]
+fn counters_reconcile_exactly_under_contention() {
+    let world = WorldSpec::generate(29);
+    let svc = Arc::new(SimLlm::new(
+        &world,
+        SimLlmConfig {
+            seed: 29,
+            cache_enabled: true,
+            cache_capacity: CAPACITY,
+            ..Default::default()
+        },
+    ));
+
+    // Every thread walks the same 40-prompt pool at a different stride, so
+    // threads overlap heavily (hits + coalescing) while still thrashing the
+    // 24-entry cache (misses + evictions).
+    let distinct = 40usize;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut tally = vec![0u64; distinct];
+                for r in 0..ROUNDS {
+                    let i = (r * (t + 1) + t) % distinct;
+                    let request = CompletionRequest::new(prompt(i));
+                    let response = svc.complete(&request);
+                    assert!(!response.is_empty());
+                    tally[i] += 1;
+                }
+                tally
+            })
+        })
+        .collect();
+    let mut per_prompt = vec![0u64; distinct];
+    for handle in handles {
+        for (i, n) in handle.join().unwrap().into_iter().enumerate() {
+            per_prompt[i] += n;
+        }
+    }
+    let total: u64 = per_prompt.iter().sum();
+    assert_eq!(total, (THREADS * ROUNDS) as u64);
+
+    let usage = svc.usage();
+    let stats = svc.cache_stats();
+
+    // Laws 1-5: the books balance call-for-call.
+    assert_eq!(total, usage.calls + usage.cached_calls, "every call billed or saved");
+    assert_eq!(usage.cached_calls, stats.hits + stats.coalesced, "savings are hits + coalesces");
+    assert_eq!(stats.misses, usage.calls + stats.coalesced, "misses led or coalesced");
+    assert_eq!(stats.insertions + stats.updates, usage.calls, "every billed call inserted");
+    assert_eq!(stats.insertions, stats.len as u64 + stats.evictions, "resident or evicted");
+    assert!(svc.cache_len() <= CAPACITY, "capacity bound holds under contention");
+    assert_eq!(svc.cache_len(), stats.len);
+
+    // The workload really exercised all three interesting paths.
+    assert!(usage.cached_calls > 0, "overlapping strides must produce savings");
+    assert!(stats.evictions > 0, "a 24-slot cache over 40 prompts must evict");
+    assert!(usage.calls >= distinct as u64, "each distinct prompt was computed at least once");
+
+    // Law 6: token-exact (hence cent-exact) conservation against a same-seed
+    // uncached reference. Billed-vs-saved split depends on thread
+    // interleaving; the sum never does.
+    let reference =
+        SimLlm::new(&world, SimLlmConfig { seed: 29, cache_enabled: false, ..Default::default() });
+    let mut expected_in = 0u64;
+    let mut expected_out = 0u64;
+    for (i, &n) in per_prompt.iter().enumerate() {
+        let text = prompt(i);
+        let response = reference.complete(&CompletionRequest::new(text.clone()));
+        expected_in += n * count_tokens(&text) as u64;
+        expected_out += n * count_tokens(&response) as u64;
+    }
+    assert_eq!(usage.tokens_in + usage.tokens_in_saved, expected_in, "input tokens conserve");
+    assert_eq!(usage.tokens_out + usage.tokens_out_saved, expected_out, "output tokens conserve");
+
+    // Billed + saved dollars equal the dollars of the would-be-uncached run,
+    // to well below a cent (the tallies are integer-token-exact; only the
+    // final float multiplication differs in association order).
+    let pricing = svc.pricing();
+    let would_be = lingua_llm_sim::Usage {
+        tokens_in: expected_in,
+        tokens_out: expected_out,
+        ..Default::default()
+    };
+    let actual_usd = usage.cost_usd(pricing) + usage.saved_usd(pricing);
+    assert!(
+        (actual_usd - would_be.cost_usd(pricing)).abs() < 5e-3,
+        "bill + savings ({actual_usd}) must match the uncached cost to the cent"
+    );
+}
+
+/// Same laws under a coalescing storm: every thread asks for the *same*
+/// prompt at the same instant, repeatedly. Exactly one flight per generation
+/// computes; everyone else hits or coalesces.
+#[test]
+fn coalescing_storm_books_every_call() {
+    let world = WorldSpec::generate(31);
+    let svc = Arc::new(SimLlm::new(
+        &world,
+        SimLlmConfig { seed: 31, cache_enabled: true, cache_capacity: 8, ..Default::default() },
+    ));
+    let storms = 12usize;
+    for storm in 0..storms {
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let request = prompt(1000 + storm);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let barrier = Arc::clone(&barrier);
+                let request = request.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    svc.complete(&CompletionRequest::new(request))
+                })
+            })
+            .collect();
+        let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(
+            responses.windows(2).all(|w| w[0] == w[1]),
+            "coalesced and hit responses are byte-identical to the leader's"
+        );
+    }
+
+    let usage = svc.usage();
+    let stats = svc.cache_stats();
+    let total = (storms * THREADS) as u64;
+    assert_eq!(total, usage.calls + usage.cached_calls);
+    assert_eq!(usage.cached_calls, stats.hits + stats.coalesced);
+    assert_eq!(stats.misses, usage.calls + stats.coalesced);
+    assert_eq!(stats.insertions + stats.updates, usage.calls);
+    // One storm = one distinct prompt: at least one billed call each, and
+    // with 8 threads racing, the saved calls dominate the bill.
+    assert!(usage.calls >= storms as u64);
+    assert!(usage.cached_calls >= usage.calls, "storms must mostly coalesce or hit");
+}

@@ -9,45 +9,19 @@
 use lingua_core::Data;
 use std::collections::BTreeMap;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// The workspace-wide incremental FNV-1a 64 hasher, re-exported from the LLM
+/// hot path so serve, gateway, and the simulator agree on one fingerprint
+/// function (see `lingua_llm_sim::hotpath`).
+pub use lingua_llm_sim::Fnv1a;
 
-/// Incremental FNV-1a 64-bit hasher.
-#[derive(Debug, Clone)]
-pub struct Fnv1a(u64);
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a(FNV_OFFSET)
-    }
-}
-
-impl Fnv1a {
-    pub fn new() -> Fnv1a {
-        Fnv1a::default()
-    }
-
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    pub fn write_u64(&mut self, value: u64) {
-        self.write(&value.to_le_bytes());
-    }
-
-    /// Hash a length-prefixed string (prefixing prevents concatenation
-    /// ambiguity: `("ab","c")` must differ from `("a","bc")`).
-    pub fn write_str(&mut self, s: &str) {
-        self.write_u64(s.len() as u64);
-        self.write(s.as_bytes());
-    }
-
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
+/// Combine a pipeline id and an input fingerprint into the single `u64` key
+/// the sharded result cache is addressed by. Length-prefixing the id keeps
+/// `("ab", fp)` and `("a", fp)` from aliasing.
+pub fn job_key(pipeline: &str, fingerprint: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str(pipeline);
+    h.write_u64(fingerprint);
+    h.finish()
 }
 
 /// Fingerprint a job's input environment.
@@ -154,6 +128,17 @@ mod tests {
         let a = env(&[("ab", Data::Str("c".into()))]);
         let b = env(&[("a", Data::Str("bc".into()))]);
         assert_ne!(fingerprint_inputs(&a), fingerprint_inputs(&b));
+    }
+
+    #[test]
+    fn job_keys_separate_pipelines_and_fingerprints() {
+        let fp = fingerprint_inputs(&env(&[("x", Data::Int(1))]));
+        assert_eq!(job_key("summ", fp), job_key("summ", fp));
+        assert_ne!(job_key("summ", fp), job_key("other", fp));
+        assert_ne!(job_key("summ", fp), job_key("summ", fp ^ 1));
+        // Length-prefixing: moving a byte across the id/fp boundary changes
+        // the hash input, not just its framing.
+        assert_ne!(job_key("ab", fp), job_key("a", fp));
     }
 
     #[test]

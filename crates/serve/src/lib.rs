@@ -67,7 +67,7 @@ pub mod registry;
 pub mod server;
 
 pub use error::ServeError;
-pub use fingerprint::fingerprint_inputs;
+pub use fingerprint::{fingerprint_inputs, job_key};
 pub use job::{JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{Metrics, MetricsSnapshot, UsageMeter};
 pub use registry::PipelineRegistry;

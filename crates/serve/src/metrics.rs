@@ -107,6 +107,7 @@ impl Metrics {
             failed: inner.failed,
             timed_out: inner.timed_out,
             queue_depth: inner.queue_depth,
+            workers: 0,
             p50_latency_ms: percentile(&sorted, 0.50),
             p95_latency_ms: percentile(&sorted, 0.95),
             latency_samples: sorted.len(),
@@ -144,6 +145,10 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: u64,
+    /// Size of the worker pool serving this snapshot — the resolved value
+    /// when `ServeConfig.workers` was left unset (filled in by
+    /// `PipelineServer::metrics`; zero when a bare `Metrics` is snapshotted).
+    pub workers: usize,
     /// Median end-to-end latency (submit → result) over the sample window.
     pub p50_latency_ms: f64,
     /// 95th-percentile end-to-end latency over the sample window.
@@ -186,6 +191,7 @@ impl MetricsSnapshot {
              \x20 failed          {}\n\
              \x20 timed out       {}\n\
              \x20 queue depth     {}\n\
+             \x20 workers         {}\n\
              \x20 latency p50/p95 {:.2} ms / {:.2} ms ({} samples)\n\
              \x20 llm usage       {} call(s), {} tokens in, {} tokens out ({:.2} calls/job)\n",
             self.accepted,
@@ -197,6 +203,7 @@ impl MetricsSnapshot {
             self.failed,
             self.timed_out,
             self.queue_depth,
+            self.workers,
             self.p50_latency_ms,
             self.p95_latency_ms,
             self.latency_samples,

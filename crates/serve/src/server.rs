@@ -15,17 +15,18 @@
 //!    records metrics.
 
 use crate::error::ServeError;
-use crate::fingerprint::fingerprint_inputs;
+use crate::fingerprint::{fingerprint_inputs, job_key};
 use crate::job::{JobCore, JobHandle, JobId, JobOutput};
 use crate::metrics::{Metrics, MetricsSnapshot, UsageMeter};
 use crate::registry::PipelineRegistry;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use lingua_core::{Compiler, ContextFactory, Data, Executor, PhysicalPipeline};
 use lingua_gateway::Gateway;
-use lingua_llm_sim::LlmService;
+use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
+use lingua_llm_sim::{LlmService, ShardedLru};
 use lingua_trace::{ManualSpan, SpanKind};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,15 +35,18 @@ use std::time::{Duration, Instant};
 /// Serving knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads executing pipelines.
-    pub workers: usize,
+    /// Worker threads executing pipelines. `None` sizes the pool to
+    /// [`std::thread::available_parallelism`]; the resolved count is surfaced
+    /// in [`MetricsSnapshot::workers`].
+    pub workers: Option<usize>,
     /// Bounded capacity of each queue lane; submissions beyond it are
     /// rejected with [`ServeError::Full`].
     pub queue_capacity: usize,
     /// Coalesce identical in-flight submissions onto one execution.
     pub dedup_inflight: bool,
-    /// Completed results cached by (pipeline, fingerprint), FIFO-evicted
-    /// beyond this many entries. `0` disables the result cache.
+    /// Completed results cached in a sharded LRU keyed by
+    /// `job_key(pipeline, input fingerprint)`, capped at this many entries.
+    /// `0` disables the result cache.
     pub result_cache_capacity: usize,
     /// Default queue timeout applied to jobs that don't set their own.
     pub default_timeout: Option<Duration>,
@@ -51,7 +55,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 4,
+            workers: None,
             queue_capacity: 256,
             dedup_inflight: true,
             result_cache_capacity: 1024,
@@ -61,11 +65,18 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
+    /// The worker-pool size this config resolves to: the explicit setting,
+    /// else the machine's available parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        self.workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(4))
+    }
+
     /// Reject unusable configurations up front: zero workers would hang
     /// every job, a zero-capacity queue would reject every submission, and a
     /// zero default deadline would time every job out before it ran.
     pub fn validate(&self) -> Result<(), ServeError> {
-        if self.workers == 0 {
+        if self.workers == Some(0) {
             return Err(ServeError::InvalidConfig {
                 reason: "workers must be > 0 (no worker would ever dequeue a job)".into(),
             });
@@ -133,24 +144,18 @@ impl SubmitRequest {
     }
 }
 
-type DedupKey = (String, u64);
-
-#[derive(Default)]
-struct DedupState {
-    /// Jobs admitted but not yet finished, by dedup key. Later identical
-    /// submissions attach to the same completion cell.
-    in_flight: HashMap<DedupKey, Arc<JobCore>>,
-    /// Completed outputs, FIFO-evicted at `result_cache_capacity`.
-    results: HashMap<DedupKey, Arc<JobOutput>>,
-    order: VecDeque<DedupKey>,
-}
-
 /// State shared between the submitter and every worker.
 struct Shared {
     factory: ContextFactory,
     registry: Arc<PipelineRegistry>,
     metrics: Arc<Metrics>,
-    dedup: Mutex<DedupState>,
+    /// Jobs admitted but not yet finished, by `job_key(pipeline, inputs)`.
+    /// Later identical submissions attach to the same completion cell.
+    in_flight: Mutex<HashMap<u64, Arc<JobCore>>>,
+    /// Completed outputs: the same lock-striped sharded LRU as the LLM hot
+    /// path, keyed by the combined job key — hits never touch the in-flight
+    /// mutex.
+    results: ShardedLru<Arc<JobOutput>>,
     config: ServeConfig,
     /// Gateway backing the factory's LLM service, when one is attached; its
     /// resilience counters are folded into [`MetricsSnapshot`].
@@ -161,7 +166,7 @@ struct QueueItem {
     core: Arc<JobCore>,
     pipeline: String,
     inputs: BTreeMap<String, Data>,
-    key: Option<DedupKey>,
+    key: Option<u64>,
     enqueued: Instant,
     deadline: Option<Instant>,
     /// The job's `serve_job` span, begun at submission; the worker (or the
@@ -193,13 +198,14 @@ impl PipelineServer {
             factory,
             registry,
             metrics,
-            dedup: Mutex::new(DedupState::default()),
+            in_flight: Mutex::new(HashMap::new()),
+            results: ShardedLru::new(config.result_cache_capacity, DEFAULT_SHARDS),
             config: config.clone(),
             gateway: Mutex::new(None),
         });
         let (high_tx, high_rx) = bounded(config.queue_capacity);
         let (normal_tx, normal_rx) = bounded(config.queue_capacity);
-        let workers = (0..config.workers)
+        let workers = (0..config.resolved_workers())
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let high_rx = high_rx.clone();
@@ -267,6 +273,7 @@ impl PipelineServer {
     /// when a gateway is attached).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.shared.metrics.snapshot();
+        snapshot.workers = self.workers.len();
         if let Some(gateway) = self.shared.gateway.lock().as_ref() {
             snapshot.gateway = Some(gateway.snapshot());
         }
@@ -288,58 +295,62 @@ impl PipelineServer {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let dedup_enabled =
             self.shared.config.dedup_inflight || self.shared.config.result_cache_capacity > 0;
-        let key =
-            dedup_enabled.then(|| (request.pipeline.clone(), fingerprint_inputs(&request.inputs)));
+        // Fingerprint the inputs once; the combined job key addresses both
+        // the in-flight table and the sharded result cache.
+        let fp = dedup_enabled.then(|| fingerprint_inputs(&request.inputs));
+        let key = fp.map(|fp| job_key(&request.pipeline, fp));
 
         let now = Instant::now();
         let timeout = request.timeout.or(self.shared.config.default_timeout);
         let tracer = self.shared.factory.tracer();
-        let item =
-            |core: Arc<JobCore>, key: Option<DedupKey>, span: Option<ManualSpan>| QueueItem {
-                core,
-                pipeline: request.pipeline.clone(),
-                inputs: request.inputs.clone(),
-                key,
-                enqueued: now,
-                deadline: timeout.map(|t| now + t),
-                span,
-            };
+        let item = |core: Arc<JobCore>, key: Option<u64>, span: Option<ManualSpan>| QueueItem {
+            core,
+            pipeline: request.pipeline.clone(),
+            inputs: request.inputs.clone(),
+            key,
+            enqueued: now,
+            deadline: timeout.map(|t| now + t),
+            span,
+        };
         let lane = match request.priority {
             Priority::High => high_tx,
             Priority::Normal => normal_tx,
         };
 
-        // The dedup lock is held across the (non-blocking) try_send so that
-        // reservation + admission are atomic: workers can't complete-and-
-        // remove a key between our lookup and our reservation.
         if let Some(key) = key {
-            let mut dedup = self.shared.dedup.lock();
-            if let Some(output) = dedup.results.get(&key) {
-                let core = JobCore::finished(Ok(Arc::clone(output)));
+            // Result-cache hits resolve against the sharded LRU without ever
+            // touching the in-flight mutex.
+            if let Some(output) = self.shared.results.get(key) {
+                let core = JobCore::finished(Ok(output));
                 metrics.cache_hit();
-                let span = tracer
-                    .begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(key.1)));
+                let span =
+                    tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, fp));
                 tracer.end(span, || vec![("path".into(), "cache_hit".into())]);
                 return Ok(JobHandle::new(id, core));
             }
+            // The in-flight lock is held across the (non-blocking) try_send
+            // so that reservation + admission are atomic: workers can't
+            // complete-and-remove a key between our lookup and our
+            // reservation. (A job finishing between the cache probe above and
+            // this lock re-executes at worst — the result cache is fed before
+            // the reservation is released, so the window is the probe itself.)
+            let mut in_flight = self.shared.in_flight.lock();
             if self.shared.config.dedup_inflight {
-                if let Some(core) = dedup.in_flight.get(&key) {
+                if let Some(core) = in_flight.get(&key) {
                     metrics.coalesce();
-                    let span = tracer.begin(SpanKind::ServeJob, &request.pipeline, || {
-                        job_attrs(id, Some(key.1))
-                    });
+                    let span =
+                        tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, fp));
                     tracer.end(span, || vec![("path".into(), "dedup_hit".into())]);
                     return Ok(JobHandle::new(id, Arc::clone(core)));
                 }
             }
             let core = JobCore::new();
-            let span =
-                tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(key.1)));
+            let span = tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, fp));
             tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
-            match lane.try_send(item(Arc::clone(&core), Some(key.clone()), Some(span))) {
+            match lane.try_send(item(Arc::clone(&core), Some(key), Some(span))) {
                 Ok(()) => {
                     if self.shared.config.dedup_inflight {
-                        dedup.in_flight.insert(key, Arc::clone(&core));
+                        in_flight.insert(key, Arc::clone(&core));
                     }
                     metrics.accept();
                     metrics.enqueue();
@@ -525,25 +536,16 @@ fn process(
     }
 }
 
-/// Completion bookkeeping: release the in-flight reservation, feed the
-/// result cache, wake every waiter.
+/// Completion bookkeeping: feed the result cache, release the in-flight
+/// reservation, wake every waiter. The cache is fed *before* the reservation
+/// is dropped so a concurrent duplicate always finds the job in one of the
+/// two tables.
 fn finish(shared: &Shared, item: &QueueItem, result: Result<Arc<JobOutput>, ServeError>) {
-    if let Some(key) = &item.key {
-        let mut dedup = shared.dedup.lock();
-        dedup.in_flight.remove(key);
+    if let Some(key) = item.key {
         if let Ok(output) = &result {
-            let capacity = shared.config.result_cache_capacity;
-            if capacity > 0 && dedup.results.insert(key.clone(), Arc::clone(output)).is_none() {
-                dedup.order.push_back(key.clone());
-                while dedup.results.len() > capacity {
-                    if let Some(oldest) = dedup.order.pop_front() {
-                        dedup.results.remove(&oldest);
-                    } else {
-                        break;
-                    }
-                }
-            }
+            shared.results.insert(key, Arc::clone(output));
         }
+        shared.in_flight.lock().remove(&key);
     }
     item.core.finish(result);
 }
@@ -575,7 +577,7 @@ mod tests {
 
     #[test]
     fn submit_wait_roundtrip() {
-        let server = summarize_server(ServeConfig { workers: 2, ..Default::default() });
+        let server = summarize_server(ServeConfig { workers: Some(2), ..Default::default() });
         let request = SubmitRequest::new("summ")
             .input("text", Data::Str("a quick brown fox jumps over the lazy dog".into()));
         let output = server.run(request).unwrap();
@@ -589,14 +591,14 @@ mod tests {
 
     #[test]
     fn unknown_pipeline_is_rejected_at_submit() {
-        let server = summarize_server(ServeConfig { workers: 1, ..Default::default() });
+        let server = summarize_server(ServeConfig { workers: Some(1), ..Default::default() });
         let err = server.submit(SubmitRequest::new("ghost")).unwrap_err();
         assert!(matches!(err, ServeError::UnknownPipeline(id) if id == "ghost"));
     }
 
     #[test]
     fn result_cache_serves_repeats_without_llm_calls() {
-        let mut server = summarize_server(ServeConfig { workers: 1, ..Default::default() });
+        let mut server = summarize_server(ServeConfig { workers: Some(1), ..Default::default() });
         let request = SubmitRequest::new("summ")
             .input("text", Data::Str("the same document every time".into()));
         let first = server.run(request.clone()).unwrap();
@@ -610,7 +612,7 @@ mod tests {
 
     #[test]
     fn distinct_inputs_do_not_dedup() {
-        let server = summarize_server(ServeConfig { workers: 2, ..Default::default() });
+        let server = summarize_server(ServeConfig { workers: Some(2), ..Default::default() });
         let a = server
             .run(SubmitRequest::new("summ").input("text", Data::Str("first text".into())))
             .unwrap();
@@ -625,7 +627,7 @@ mod tests {
 
     #[test]
     fn submissions_after_shutdown_are_refused() {
-        let mut server = summarize_server(ServeConfig { workers: 1, ..Default::default() });
+        let mut server = summarize_server(ServeConfig { workers: Some(1), ..Default::default() });
         server.shutdown();
         let err = server
             .submit(SubmitRequest::new("summ").input("text", Data::Str("late".into())))
@@ -638,7 +640,7 @@ mod tests {
     #[test]
     fn shutdown_drains_queued_jobs() {
         let mut server = summarize_server(ServeConfig {
-            workers: 1,
+            workers: Some(1),
             dedup_inflight: false,
             result_cache_capacity: 0,
             ..Default::default()
@@ -664,7 +666,7 @@ mod tests {
     fn unusable_configurations_are_rejected_at_start() {
         let start_err =
             |config: ServeConfig| PipelineServer::start(factory(), config).map(|_| ()).unwrap_err();
-        let err = start_err(ServeConfig { workers: 0, ..Default::default() });
+        let err = start_err(ServeConfig { workers: Some(0), ..Default::default() });
         assert!(matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("workers")));
 
         let err = start_err(ServeConfig { queue_capacity: 0, ..Default::default() });
@@ -685,6 +687,21 @@ mod tests {
     }
 
     #[test]
+    fn unset_workers_default_to_available_parallelism() {
+        let expected = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+        assert_eq!(ServeConfig::default().resolved_workers(), expected);
+        assert_eq!(ServeConfig { workers: Some(3), ..Default::default() }.resolved_workers(), 3);
+
+        let server = summarize_server(ServeConfig::default());
+        assert_eq!(server.worker_count(), expected);
+        assert_eq!(server.metrics().workers, expected, "resolved pool size surfaces in snapshots");
+        assert!(server.metrics().report().contains("workers"));
+
+        let sized = summarize_server(ServeConfig { workers: Some(2), ..Default::default() });
+        assert_eq!(sized.metrics().workers, 2);
+    }
+
+    #[test]
     fn attached_gateway_metrics_surface_in_snapshot() {
         let world = WorldSpec::generate(33);
         let sim = Arc::new(SimLlm::with_seed(&world, 33));
@@ -694,7 +711,7 @@ mod tests {
             Arc::new(Gateway::over(Arc::new(transport) as Arc<dyn lingua_gateway::LlmTransport>));
         let factory = ContextFactory::new(Arc::clone(&gateway) as Arc<dyn LlmService>);
         let server =
-            PipelineServer::start(factory, ServeConfig { workers: 1, ..Default::default() })
+            PipelineServer::start(factory, ServeConfig { workers: Some(1), ..Default::default() })
                 .unwrap();
         server
             .register_dsl(
@@ -723,9 +740,11 @@ mod tests {
 
     #[test]
     fn run_reports_execution_errors() {
-        let server =
-            PipelineServer::start(factory(), ServeConfig { workers: 1, ..Default::default() })
-                .unwrap();
+        let server = PipelineServer::start(
+            factory(),
+            ServeConfig { workers: Some(1), ..Default::default() },
+        )
+        .unwrap();
         // `load_csv` on a nonexistent path fails inside the worker.
         let mut ctx = server.shared.factory.build();
         server

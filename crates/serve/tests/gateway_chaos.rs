@@ -45,7 +45,7 @@ fn run_chaos_workload(rate: f64, jobs: usize, workers: usize) {
     let factory = ContextFactory::new(Arc::clone(&gateway) as Arc<dyn LlmService>);
     let server = PipelineServer::start(
         factory,
-        ServeConfig { workers, queue_capacity: jobs + 8, ..Default::default() },
+        ServeConfig { workers: Some(workers), queue_capacity: jobs + 8, ..Default::default() },
     )
     .unwrap();
     server.attach_gateway(Arc::clone(&gateway));

@@ -97,8 +97,11 @@ fn run_traced(
     let llm: Arc<SimLlm> = Arc::new(SimLlm::with_seed(&world, LLM_SEED));
     let (tracer, sink) = ring_tracer(1 << 14);
     let factory = ContextFactory::new(llm).with_tracer(tracer.clone());
-    let server =
-        PipelineServer::start(factory, ServeConfig { workers, ..Default::default() }).unwrap();
+    let server = PipelineServer::start(
+        factory,
+        ServeConfig { workers: Some(workers), ..Default::default() },
+    )
+    .unwrap();
     server.register_dsl(name, source, &Compiler::with_builtins()).unwrap();
 
     let request = |job: &[(&'static str, String)]| {

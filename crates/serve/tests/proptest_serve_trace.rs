@@ -28,7 +28,7 @@ proptest! {
         let (tracer, sink) = ring_tracer(1 << 14);
         let factory = ContextFactory::new(llm).with_tracer(tracer.clone());
         let server =
-            PipelineServer::start(factory, ServeConfig { workers, ..Default::default() }).unwrap();
+            PipelineServer::start(factory, ServeConfig { workers: Some(workers), ..Default::default() }).unwrap();
         let source = r#"pipeline summ {
             out = summarize(text) using llm with { desc: "summarize the following document" };
         }"#;

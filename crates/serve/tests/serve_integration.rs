@@ -78,7 +78,7 @@ fn concurrent_identical_submissions_execute_once() {
     let compiler = test_compiler(Arc::clone(&gate), log);
     let server = PipelineServer::start(
         ContextFactory::new(llm.clone()),
-        ServeConfig { workers: 2, ..Default::default() },
+        ServeConfig { workers: Some(2), ..Default::default() },
     )
     .unwrap();
     server.register_dsl("gated", GATED_LLM_PIPELINE, &compiler).unwrap();
@@ -132,7 +132,7 @@ fn bounded_queue_rejects_overflow_with_typed_full() {
     let compiler = test_compiler(Arc::clone(&gate), log);
     let server = PipelineServer::start(
         ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 32))),
-        ServeConfig { workers: 1, queue_capacity: 2, ..Default::default() },
+        ServeConfig { workers: Some(1), queue_capacity: 2, ..Default::default() },
     )
     .unwrap();
     server.register_dsl("hold", r#"pipeline hold { out = gate(text); }"#, &compiler).unwrap();
@@ -166,7 +166,7 @@ fn high_priority_jobs_jump_the_queue() {
     let compiler = test_compiler(Arc::clone(&gate), Arc::clone(&log));
     let server = PipelineServer::start(
         ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 33))),
-        ServeConfig { workers: 1, ..Default::default() },
+        ServeConfig { workers: Some(1), ..Default::default() },
     )
     .unwrap();
     server
@@ -210,7 +210,7 @@ fn queue_timeouts_cancel_stale_jobs() {
     let compiler = test_compiler(Arc::clone(&gate), log);
     let server = PipelineServer::start(
         ContextFactory::new(Arc::new(SimLlm::with_seed(&world, 34))),
-        ServeConfig { workers: 1, ..Default::default() },
+        ServeConfig { workers: Some(1), ..Default::default() },
     )
     .unwrap();
     server.register_dsl("hold", r#"pipeline hold { out = gate(text); }"#, &compiler).unwrap();
@@ -262,7 +262,7 @@ fn multi_worker_results_match_direct_execution() {
     let server = PipelineServer::start(
         factory,
         ServeConfig {
-            workers: 4,
+            workers: Some(4),
             dedup_inflight: false,
             result_cache_capacity: 0,
             ..Default::default()

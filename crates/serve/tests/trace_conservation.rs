@@ -114,7 +114,7 @@ fn every_submission_path_balances_counters_against_the_trace() {
     let factory = ContextFactory::new(llm).with_tracer(tracer.clone());
     let server = PipelineServer::start(
         factory,
-        ServeConfig { workers: 1, queue_capacity: 3, ..Default::default() },
+        ServeConfig { workers: Some(1), queue_capacity: 3, ..Default::default() },
     )
     .unwrap();
     server.register_dsl("gated", GATED_LLM_PIPELINE, &compiler).unwrap();
