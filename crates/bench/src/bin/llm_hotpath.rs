@@ -18,9 +18,12 @@
 //! identical compute for a cold prompt; only the cache layer differs.
 //!
 //! Writes `results/llm_hotpath.json`. With `--check-baseline <path>` the run
-//! compares the gated metric (sharded hit-heavy ops/sec at 8 threads)
-//! against a previously committed results file and exits nonzero on a >2x
-//! regression. `--smoke` shrinks iteration counts for CI.
+//! compares the gated metric — the sharded/legacy hit-heavy *speedup ratio*
+//! at 8 threads, measured between the two engines in this same process so
+//! host speed cancels out — against a previously committed results file and
+//! exits nonzero if the ratio fell more than 2x (absolute ops/sec from a
+//! different machine would make the gate flap on shared CI runners).
+//! `--smoke` shrinks iteration counts for CI.
 
 use lingua_bench::{arg_usize, mean, write_json, TextTable};
 use lingua_dataset::world::WorldSpec;
@@ -243,10 +246,10 @@ fn flag_value(name: &str) -> Option<String> {
 }
 
 /// Pull the gated metric out of a previously committed results file without
-/// needing a JSON parser: the writer emits `"gate_ops_per_sec": <value>`.
+/// needing a JSON parser: the writer emits `"gate_speedup": <value>`.
 fn read_baseline_gate(path: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
-    let idx = text.find("\"gate_ops_per_sec\"")?;
+    let idx = text.find("\"gate_speedup\"")?;
     let rest = &text[idx..];
     let colon = rest.find(':')?;
     let tail = rest[colon + 1..].trim_start();
@@ -274,6 +277,7 @@ fn main() {
     let mut table = TextTable::new(["Arm", "Threads", "Legacy ops/s", "Sharded ops/s", "Speedup"]);
     let mut rows = Vec::new();
     let mut gate_ops = 0.0f64;
+    let mut gate_speedup = 0.0f64;
 
     for &threads in &THREAD_COUNTS {
         let mut legacy_rates = Vec::with_capacity(reps);
@@ -287,6 +291,7 @@ fn main() {
         let (legacy_ops, sharded_ops) = (mean(&legacy_rates), mean(&sharded_rates));
         if threads == GATE_THREADS {
             gate_ops = sharded_ops;
+            gate_speedup = sharded_ops / legacy_ops;
         }
         table.row([
             "hit-heavy".into(),
@@ -362,8 +367,9 @@ fn main() {
         &serde_json::json!({
             "smoke": smoke, "reps": reps, "pool": pool, "capacity": capacity,
             "hit_iters": hit_iters, "miss_iters": miss_iters, "storm_rounds": storm_rounds,
-            "gate_metric": "hit_heavy sharded ops/sec at 8 threads",
+            "gate_metric": "hit_heavy sharded/legacy speedup at 8 threads (same-run, machine-relative)",
             "gate_ops_per_sec": gate_ops,
+            "gate_speedup": gate_speedup,
             "rows": rows,
         }),
     );
@@ -371,14 +377,18 @@ fn main() {
     if let Some(path) = flag_value("--check-baseline") {
         match read_baseline_gate(&path) {
             Some(baseline) => {
+                // Gate on the same-run sharded/legacy ratio, not absolute
+                // ops/sec: both engines ran on this host in this process, so
+                // the ratio is machine-relative and survives the severalfold
+                // throughput spread across shared CI runners.
                 println!(
-                    "\nRegression gate: sharded hit-heavy @{GATE_THREADS}t = {gate_ops:.0} \
-                     ops/s vs baseline {baseline:.0} ops/s"
+                    "\nRegression gate: sharded/legacy hit-heavy speedup @{GATE_THREADS}t = \
+                     {gate_speedup:.2}x vs baseline {baseline:.2}x"
                 );
-                if gate_ops < baseline / 2.0 {
+                if gate_speedup < baseline / 2.0 {
                     eprintln!(
-                        "REGRESSION: contended hit-path throughput fell more than 2x \
-                         below the committed baseline"
+                        "REGRESSION: contended hit-path speedup over the single-mutex \
+                         baseline engine fell more than 2x below the committed ratio"
                     );
                     std::process::exit(1);
                 }

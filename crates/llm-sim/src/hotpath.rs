@@ -166,15 +166,15 @@ impl<V> LruShard<V> {
         }
     }
 
-    /// Insert or refresh `key`. Returns `(was_update, evicted)`.
-    fn insert(&mut self, key: u64, value: V) -> (bool, bool) {
+    /// Insert or refresh `key`.
+    fn insert(&mut self, key: u64, value: V) -> InsertOutcome {
         if self.capacity == 0 {
-            return (false, false);
+            return InsertOutcome::Noop;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.slots[idx].value = value;
             self.touch(idx);
-            return (true, false);
+            return InsertOutcome::Updated;
         }
         let mut evicted = false;
         if self.map.len() >= self.capacity {
@@ -197,8 +197,20 @@ impl<V> LruShard<V> {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
-        (false, evicted)
+        InsertOutcome::Inserted { evicted }
     }
+}
+
+/// What an [`LruShard::insert`] actually did, so the owning [`ShardedLru`]
+/// only counts events that happened (a zero-capacity shard stores nothing
+/// and must report nothing, or `insertions == len + evictions` breaks).
+enum InsertOutcome {
+    /// Capacity is zero: nothing was stored.
+    Noop,
+    /// The key was live; its value was refreshed in place.
+    Updated,
+    /// A new entry was stored, displacing the shard's LRU entry if full.
+    Inserted { evicted: bool },
 }
 
 struct Shard<V> {
@@ -282,17 +294,24 @@ impl<V: Clone> ShardedLru<V> {
     pub fn insert(&self, key: u64, value: V) {
         let shard = self.shard(key);
         let mut lru = shard.lru.lock();
-        let (updated, evicted) = lru.insert(key, value);
-        let len = lru.map.len();
+        let outcome = lru.insert(key, value);
+        // The len mirror must be stored while the shard lock is still held:
+        // publishing it after unlock would let two racing inserts land their
+        // stores out of lock order, leaving a stale (smaller) len visible
+        // forever and breaking `insertions == len + evictions`.
+        shard.len.store(lru.map.len(), Ordering::Relaxed);
         drop(lru);
-        shard.len.store(len, Ordering::Relaxed);
-        if updated {
-            self.updates.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.insertions.fetch_add(1, Ordering::Relaxed);
-        }
-        if evicted {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            InsertOutcome::Noop => {}
+            InsertOutcome::Updated => {
+                self.updates.fetch_add(1, Ordering::Relaxed);
+            }
+            InsertOutcome::Inserted { evicted } => {
+                self.insertions.fetch_add(1, Ordering::Relaxed);
+                if evicted {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -452,11 +471,17 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_stores_nothing() {
+    fn zero_capacity_stores_nothing_and_counts_nothing() {
         let cache: ShardedLru<u32> = ShardedLru::new(0, 8);
         cache.insert(1, 10);
+        cache.insert(1, 11);
         assert_eq!(cache.get(1), None);
         assert_eq!(cache.len(), 0);
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 0, "a no-op insert must not be counted");
+        assert_eq!(stats.updates, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.insertions, stats.len as u64 + stats.evictions, "conservation holds");
     }
 
     #[test]

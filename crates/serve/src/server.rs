@@ -149,12 +149,18 @@ struct Shared {
     factory: ContextFactory,
     registry: Arc<PipelineRegistry>,
     metrics: Arc<Metrics>,
-    /// Jobs admitted but not yet finished, by `job_key(pipeline, inputs)`.
-    /// Later identical submissions attach to the same completion cell.
-    in_flight: Mutex<HashMap<u64, Arc<JobCore>>>,
+    /// Jobs admitted but not yet finished, keyed by the exact
+    /// `(pipeline id, input fingerprint)` pair — the pipeline string is kept
+    /// verbatim so a fingerprint collision across pipelines can never attach
+    /// a submission to the wrong in-flight job. Later identical submissions
+    /// attach to the same completion cell.
+    in_flight: Mutex<HashMap<(String, u64), Arc<JobCore>>>,
     /// Completed outputs: the same lock-striped sharded LRU as the LLM hot
-    /// path, keyed by the combined job key — hits never touch the in-flight
-    /// mutex.
+    /// path, keyed by the combined 64-bit `job_key(pipeline, fingerprint)` —
+    /// hits never touch the in-flight mutex. The u64 key accepts a
+    /// birthday-bound (~2^-64 per pair) collision risk in exchange for the
+    /// compact sharded layout; the input fingerprint itself is already a
+    /// 64-bit hash, so the cache key adds no new failure mode beyond it.
     results: ShardedLru<Arc<JobOutput>>,
     config: ServeConfig,
     /// Gateway backing the factory's LLM service, when one is attached; its
@@ -166,7 +172,9 @@ struct QueueItem {
     core: Arc<JobCore>,
     pipeline: String,
     inputs: BTreeMap<String, Data>,
-    key: Option<u64>,
+    /// Input fingerprint, when dedup/result caching is on; combined with
+    /// `pipeline` it addresses both the in-flight table and the result cache.
+    fingerprint: Option<u64>,
     enqueued: Instant,
     deadline: Option<Instant>,
     /// The job's `serve_job` span, begun at submission; the worker (or the
@@ -295,36 +303,37 @@ impl PipelineServer {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let dedup_enabled =
             self.shared.config.dedup_inflight || self.shared.config.result_cache_capacity > 0;
-        // Fingerprint the inputs once; the combined job key addresses both
-        // the in-flight table and the sharded result cache.
+        // Fingerprint the inputs once; the result cache hashes it with the
+        // pipeline id into a compact u64 job key, while the in-flight table
+        // keeps the pipeline id exact.
         let fp = dedup_enabled.then(|| fingerprint_inputs(&request.inputs));
-        let key = fp.map(|fp| job_key(&request.pipeline, fp));
 
         let now = Instant::now();
         let timeout = request.timeout.or(self.shared.config.default_timeout);
         let tracer = self.shared.factory.tracer();
-        let item = |core: Arc<JobCore>, key: Option<u64>, span: Option<ManualSpan>| QueueItem {
-            core,
-            pipeline: request.pipeline.clone(),
-            inputs: request.inputs.clone(),
-            key,
-            enqueued: now,
-            deadline: timeout.map(|t| now + t),
-            span,
-        };
+        let item =
+            |core: Arc<JobCore>, fingerprint: Option<u64>, span: Option<ManualSpan>| QueueItem {
+                core,
+                pipeline: request.pipeline.clone(),
+                inputs: request.inputs.clone(),
+                fingerprint,
+                enqueued: now,
+                deadline: timeout.map(|t| now + t),
+                span,
+            };
         let lane = match request.priority {
             Priority::High => high_tx,
             Priority::Normal => normal_tx,
         };
 
-        if let Some(key) = key {
+        if let Some(fp) = fp {
             // Result-cache hits resolve against the sharded LRU without ever
             // touching the in-flight mutex.
-            if let Some(output) = self.shared.results.get(key) {
+            if let Some(output) = self.shared.results.get(job_key(&request.pipeline, fp)) {
                 let core = JobCore::finished(Ok(output));
                 metrics.cache_hit();
                 let span =
-                    tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, fp));
+                    tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(fp)));
                 tracer.end(span, || vec![("path".into(), "cache_hit".into())]);
                 return Ok(JobHandle::new(id, core));
             }
@@ -334,29 +343,36 @@ impl PipelineServer {
             // reservation. (A job finishing between the cache probe above and
             // this lock re-executes at worst — the result cache is fed before
             // the reservation is released, so the window is the probe itself.)
+            let flight_key = (request.pipeline.clone(), fp);
             let mut in_flight = self.shared.in_flight.lock();
             if self.shared.config.dedup_inflight {
-                if let Some(core) = in_flight.get(&key) {
+                if let Some(core) = in_flight.get(&flight_key) {
                     metrics.coalesce();
-                    let span =
-                        tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, fp));
+                    let span = tracer
+                        .begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(fp)));
                     tracer.end(span, || vec![("path".into(), "dedup_hit".into())]);
                     return Ok(JobHandle::new(id, Arc::clone(core)));
                 }
             }
             let core = JobCore::new();
-            let span = tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, fp));
+            let span =
+                tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(fp)));
             tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
-            match lane.try_send(item(Arc::clone(&core), Some(key), Some(span))) {
+            // queue_depth is incremented *before* the send: a worker can pop
+            // and dequeue() the item the instant try_send returns, and with a
+            // saturating decrement an enqueue() landing after it would leave
+            // the depth stuck one too high. Rejections undo the increment.
+            metrics.enqueue();
+            match lane.try_send(item(Arc::clone(&core), Some(fp), Some(span))) {
                 Ok(()) => {
                     if self.shared.config.dedup_inflight {
-                        in_flight.insert(key, Arc::clone(&core));
+                        in_flight.insert(flight_key, Arc::clone(&core));
                     }
                     metrics.accept();
-                    metrics.enqueue();
                     Ok(JobHandle::new(id, core))
                 }
                 Err(err) => {
+                    metrics.dequeue();
                     metrics.reject();
                     let (TrySendError::Full(returned) | TrySendError::Disconnected(returned)) = err;
                     if let Some(span) = returned.span {
@@ -369,13 +385,16 @@ impl PipelineServer {
             let core = JobCore::new();
             let span = tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, None));
             tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
+            // Same ordering as the fingerprinted branch: enqueue before the
+            // send so a racing worker's dequeue can never precede it.
+            metrics.enqueue();
             match lane.try_send(item(Arc::clone(&core), None, Some(span))) {
                 Ok(()) => {
                     metrics.accept();
-                    metrics.enqueue();
                     Ok(JobHandle::new(id, core))
                 }
                 Err(err) => {
+                    metrics.dequeue();
                     metrics.reject();
                     let (TrySendError::Full(returned) | TrySendError::Disconnected(returned)) = err;
                     if let Some(span) = returned.span {
@@ -541,11 +560,11 @@ fn process(
 /// is dropped so a concurrent duplicate always finds the job in one of the
 /// two tables.
 fn finish(shared: &Shared, item: &QueueItem, result: Result<Arc<JobOutput>, ServeError>) {
-    if let Some(key) = item.key {
+    if let Some(fp) = item.fingerprint {
         if let Ok(output) = &result {
-            shared.results.insert(key, Arc::clone(output));
+            shared.results.insert(job_key(&item.pipeline, fp), Arc::clone(output));
         }
-        shared.in_flight.lock().remove(&key);
+        shared.in_flight.lock().remove(&(item.pipeline.clone(), fp));
     }
     item.core.finish(result);
 }
