@@ -7,7 +7,7 @@ use crate::error::CoreError;
 use crate::modules::Module;
 use crate::stats::ExecStats;
 use crate::tools::ToolRegistry;
-use lingua_llm_sim::{CompletionRequest, LlmService};
+use lingua_llm_sim::{CancelToken, CompletionRequest, LlmService};
 use lingua_script::{Host, Value as ScriptValue};
 use lingua_trace::{SpanKind, TracedLlm, Tracer};
 use parking_lot::Mutex;
@@ -60,6 +60,11 @@ pub struct ExecContext {
     pub stats: ExecStats,
     /// Trace emitter (disabled by default — every emit is one branch).
     pub tracer: Tracer,
+    /// Cooperative cancellation: the job's deadline / cancel flag, checked by
+    /// the executor between ops and by `invoke_module`. Unbounded by default,
+    /// in which case every check is a no-op. Doubles as the worker heartbeat
+    /// (each check bumps a logical progress counter the watchdog reads).
+    pub cancel: CancelToken,
 }
 
 /// Builds fresh per-run [`ExecContext`]s over shared services.
@@ -140,11 +145,19 @@ impl ExecContext {
             registry: ModuleRegistry::new(),
             stats,
             tracer: Tracer::disabled(),
+            cancel: CancelToken::unbounded(),
         }
     }
 
     pub fn with_tools(mut self, tools: ToolRegistry) -> ExecContext {
         self.tools = tools;
+        self
+    }
+
+    /// Install the job's cancel token (deadline + explicit cancel). Serve
+    /// workers call this with the token minted at admission.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ExecContext {
+        self.cancel = cancel;
         self
     }
 
@@ -163,6 +176,11 @@ impl ExecContext {
     /// Note: a module invoking *itself* through the registry would deadlock
     /// on its own mutex; recursion must go through script functions instead.
     pub fn invoke_module(&mut self, name: &str, input: Data) -> Result<Data, CoreError> {
+        // Cooperative cancellation: stop before starting new work once the
+        // job's deadline passed (also the heartbeat for the watchdog).
+        if let Err(reason) = self.cancel.check() {
+            return Err(CoreError::Cancelled { reason });
+        }
         let module = self
             .registry
             .get(name)

@@ -1,6 +1,35 @@
 //! The crate-wide error type.
 
+use lingua_llm_sim::CancelReason;
 use std::fmt;
+
+/// The runtime traps a supervised script execution can hit. Each kind is a
+/// *bounded-resource* stop — distinct from a bug in the program — and serve
+/// counts them separately in its metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// The program exhausted its own fuel budget (a runaway loop).
+    OutOfFuel,
+    /// The program exceeded the interpreter's call-depth limit (runaway
+    /// recursion, stopped before it can overflow the host thread's stack —
+    /// a stack overflow aborts the process and cannot be caught).
+    Recursion,
+    /// The program ran out of fuel because the *job's deadline* cut the
+    /// budget below the program's own allowance — the job was too slow, not
+    /// the program too hungry.
+    DeadlineFuel,
+}
+
+impl TrapKind {
+    /// Stable lowercase label (used in trace attributes and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrapKind::OutOfFuel => "out_of_fuel",
+            TrapKind::Recursion => "recursion",
+            TrapKind::DeadlineFuel => "deadline_fuel",
+        }
+    }
+}
 
 /// Errors from compiling or executing pipelines.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +55,12 @@ pub enum CoreError {
     /// A module holds state that cannot be replicated for concurrent serving
     /// (see `Module::fresh_instance`).
     NotReplicable { module: String },
+    /// Execution stopped cooperatively: the job's deadline passed or it was
+    /// cancelled. Carries whatever the run produced so far only in the form
+    /// of already-metered usage — the data output is discarded.
+    Cancelled { reason: CancelReason },
+    /// A script execution hit a bounded-resource trap (see [`TrapKind`]).
+    Trap { module: String, trap: TrapKind },
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +90,12 @@ impl fmt::Display for CoreError {
                  serving; build it with `CustomModule::stateless` (or another replicable \
                  module class) to serve it from a worker pool"
             ),
+            CoreError::Cancelled { reason } => {
+                write!(f, "execution cancelled: {}", reason.label())
+            }
+            CoreError::Trap { module, trap } => {
+                write!(f, "module `{module}` trapped: {}", trap.label())
+            }
         }
     }
 }

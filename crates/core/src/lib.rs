@@ -71,7 +71,7 @@ pub mod validation;
 pub use compiler::{Compiler, PhysicalPipeline};
 pub use context::{ContextFactory, ExecContext};
 pub use data::Data;
-pub use error::CoreError;
+pub use error::{CoreError, TrapKind};
 pub use executor::Executor;
 pub use modules::{Module, ModuleKind};
 pub use pipeline::{LogicalOp, Pipeline};

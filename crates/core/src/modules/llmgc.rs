@@ -4,13 +4,20 @@
 
 use crate::context::{ExecContext, HostBridge};
 use crate::data::Data;
-use crate::error::CoreError;
+use crate::error::{CoreError, TrapKind};
 use crate::modules::{Module, ModuleKind};
 use lingua_llm_sim::{CodeGenSpec, GeneratedCode};
-use lingua_script::{parse, Interpreter, Program};
+use lingua_script::{parse, Interpreter, Program, ScriptError};
 
 /// Default interpreter fuel for one module invocation.
 pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+/// Deadline→fuel conversion: how many interpreter ticks one millisecond of
+/// remaining job deadline buys. Ticks are tens of nanoseconds of pure
+/// interpretation, so 20k ticks/ms is conservative — a program cut by this
+/// cap was going to blow its deadline anyway; the cap just stops it from
+/// burning a worker for the rest of its (dead) allowance.
+pub const FUEL_PER_MS: u64 = 20_000;
 
 /// A module whose body is LLM-generated code.
 pub struct LlmgcModule {
@@ -120,11 +127,37 @@ impl Module for LlmgcModule {
 
     fn invoke(&mut self, input: Data, ctx: &mut ExecContext) -> Result<Data, CoreError> {
         let script_input = input.to_script();
-        let mut interpreter = Interpreter::new(&self.program).with_fuel(self.fuel);
+        // Map the job's remaining deadline onto the fuel budget: a runaway
+        // generated program cannot outlive its job. When the cap bites and
+        // the program runs dry, that is a DeadlineFuel trap (the job was too
+        // slow) — distinct from OutOfFuel (the program too hungry).
+        let mut fuel = self.fuel;
+        let mut deadline_capped = false;
+        if let Some(remaining) = ctx.cancel.remaining() {
+            let cap = (remaining.as_millis() as u64).saturating_mul(FUEL_PER_MS).max(1);
+            if cap < fuel {
+                fuel = cap;
+                deadline_capped = true;
+            }
+        }
+        let mut interpreter = Interpreter::new(&self.program).with_fuel(fuel);
         let mut bridge = HostBridge { ctx };
-        let result = interpreter
-            .call(&mut bridge, &self.entry, vec![script_input])
-            .map_err(|e| CoreError::Module { module: self.name.clone(), message: e.to_string() })?;
+        let result = interpreter.call(&mut bridge, &self.entry, vec![script_input]).map_err(
+            |e| match e {
+                ScriptError::OutOfFuel if deadline_capped => {
+                    CoreError::Trap { module: self.name.clone(), trap: TrapKind::DeadlineFuel }
+                }
+                ScriptError::OutOfFuel => {
+                    CoreError::Trap { module: self.name.clone(), trap: TrapKind::OutOfFuel }
+                }
+                ScriptError::RecursionLimit { .. } => {
+                    CoreError::Trap { module: self.name.clone(), trap: TrapKind::Recursion }
+                }
+                other => {
+                    CoreError::Module { module: self.name.clone(), message: other.to_string() }
+                }
+            },
+        )?;
         Ok(Data::from_script(&result))
     }
 
@@ -235,6 +268,64 @@ mod tests {
         .with_fuel(5_000);
         let err = module.invoke(Data::Null, &mut ctx).unwrap_err();
         assert!(err.to_string().contains("fuel"), "{err}");
+    }
+
+    #[test]
+    fn runaway_scripts_trap_as_out_of_fuel() {
+        let mut ctx = ctx();
+        let mut module = LlmgcModule::from_source(
+            "loopy2",
+            spec("loop forever"),
+            "fn process(x) { while true { } return x; }",
+        )
+        .unwrap()
+        .with_fuel(5_000);
+        let err = module.invoke(Data::Null, &mut ctx).unwrap_err();
+        assert_eq!(err, CoreError::Trap { module: "loopy2".into(), trap: TrapKind::OutOfFuel });
+    }
+
+    #[test]
+    fn runaway_recursion_traps_without_overflowing() {
+        let mut ctx = ctx();
+        let mut module = LlmgcModule::from_source(
+            "deep",
+            spec("recurse forever"),
+            "fn process(x) { return process(x); }",
+        )
+        .unwrap();
+        let err = module.invoke(Data::Null, &mut ctx).unwrap_err();
+        assert_eq!(err, CoreError::Trap { module: "deep".into(), trap: TrapKind::Recursion });
+    }
+
+    #[test]
+    fn deadline_caps_fuel_and_traps_as_deadline_fuel() {
+        use lingua_llm_sim::CancelToken;
+        use std::time::Duration;
+        let mut ctx = ctx();
+        // ~1ms of deadline left buys ~FUEL_PER_MS ticks — far below the
+        // default 2M budget, so the cap engages; the infinite loop then runs
+        // the capped budget dry.
+        ctx.cancel = CancelToken::after(Duration::from_millis(1));
+        let mut module = LlmgcModule::from_source(
+            "slow",
+            spec("loop forever"),
+            "fn process(x) { while true { } return x; }",
+        )
+        .unwrap();
+        let err = module.invoke(Data::Null, &mut ctx).unwrap_err();
+        assert_eq!(err, CoreError::Trap { module: "slow".into(), trap: TrapKind::DeadlineFuel });
+    }
+
+    #[test]
+    fn generous_deadline_leaves_the_fuel_budget_alone() {
+        use lingua_llm_sim::CancelToken;
+        use std::time::Duration;
+        let mut ctx = ctx();
+        ctx.cancel = CancelToken::after(Duration::from_secs(3600));
+        let mut module =
+            LlmgcModule::from_source("fine", spec("identity"), "fn process(x) { return x; }")
+                .unwrap();
+        assert_eq!(module.invoke(Data::Int(9), &mut ctx).unwrap(), Data::Int(9));
     }
 
     #[test]

@@ -23,10 +23,12 @@ use crate::{
     BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, GatewayMetrics, GatewaySnapshot,
     LlmTransport, TokenBudget, TokenBudgetConfig, TransportError,
 };
+use lingua_llm_sim::cancel;
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
 use lingua_llm_sim::{
     AtomicUsage, CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, ShardedLru, Usage,
+    CANCELLED_NOTICE,
 };
 use lingua_trace::{SpanKind, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,6 +64,16 @@ impl Default for GatewayConfig {
             stale_cache_capacity: 1_024,
         }
     }
+}
+
+/// Outcome of the resilient call loop. `Cancelled` is distinct from
+/// `Exhausted` so a job whose deadline fired mid-retry does not fall through
+/// to the degraded ladder (stale cache / fallback / static notice) — the
+/// caller is gone, so serving a degraded answer would only distort metrics.
+enum Resilient<T> {
+    Served(T),
+    Exhausted,
+    Cancelled,
 }
 
 struct Backend {
@@ -214,15 +226,23 @@ impl Gateway {
     }
 
     /// Run `op` against the backends with retry, breaking, and failover.
-    /// `Some` carries the first success; `None` means every backend was
-    /// exhausted and the caller should degrade.
+    /// `Served` carries the first success; `Exhausted` means every backend
+    /// was exhausted and the caller should degrade; `Cancelled` means the
+    /// calling job's deadline passed (or it was cancelled) and the loop
+    /// stopped burning attempts and backoff on it. The cancellation checks
+    /// consult the thread-local [`cancel::CancelScope`]; with no scope
+    /// entered they are strict no-ops, so standalone gateway behavior (and
+    /// every deterministic counter walk in the chaos tests) is unchanged.
     fn call_resilient<T>(
         &self,
         key: u64,
         est_tokens: u64,
         op: impl Fn(&dyn LlmTransport) -> Result<T, TransportError>,
-    ) -> Option<T> {
+    ) -> Resilient<T> {
         for (idx, backend) in self.backends.iter().enumerate() {
+            if cancel::current_cancelled().is_some() {
+                return Resilient::Cancelled;
+            }
             if idx > 0 {
                 self.metrics.failover();
                 self.tracer.instant(SpanKind::Gateway, "failover", || {
@@ -240,6 +260,9 @@ impl Gateway {
             }
             let mut attempt: u32 = 0;
             loop {
+                if attempt > 0 && cancel::current_cancelled().is_some() {
+                    return Resilient::Cancelled;
+                }
                 if !backend.breaker.acquire() {
                     self.metrics.breaker_denied(idx);
                     self.tracer.instant(SpanKind::Gateway, "breaker_denied", || {
@@ -268,7 +291,7 @@ impl Gateway {
                             }
                             attrs
                         });
-                        return Some(value);
+                        return Resilient::Served(value);
                     }
                     Err(err) => {
                         let before = backend.breaker.state();
@@ -289,6 +312,11 @@ impl Gateway {
                         if !err.is_retryable() || attempt >= self.config.backoff.max_attempts {
                             break;
                         }
+                        // A job past its deadline must not be charged backoff
+                        // it will never wait out.
+                        if cancel::current_cancelled().is_some() {
+                            return Resilient::Cancelled;
+                        }
                         let mut delay = self.config.backoff.delay_ms(key, attempt);
                         if let Some(hint) = err.retry_after_ms() {
                             delay = delay.max(hint);
@@ -305,7 +333,14 @@ impl Gateway {
                 }
             }
         }
-        None
+        Resilient::Exhausted
+    }
+
+    /// Book a cancelled request: counter, trace instant, span path.
+    fn note_cancelled(&self, span: &mut lingua_trace::SpanGuard) {
+        self.metrics.cancelled();
+        self.tracer.instant(SpanKind::Gateway, "cancelled", Vec::new);
+        span.attr("path", "cancelled");
     }
 
     /// The backend the infallible code-generation endpoints route to: the
@@ -326,12 +361,17 @@ impl LlmService for Gateway {
         // the simulator, or this call — every later layer reuses the value.
         let key = request.fingerprint();
         let est_tokens = count_tokens(&request.prompt) as u64;
-        if let Some(response) =
-            self.call_resilient(key, est_tokens, |transport| transport.complete(request))
-        {
-            span.attr("path", "served");
-            self.remember(key, &response);
-            return response;
+        match self.call_resilient(key, est_tokens, |transport| transport.complete(request)) {
+            Resilient::Served(response) => {
+                span.attr("path", "served");
+                self.remember(key, &response);
+                return response;
+            }
+            Resilient::Cancelled => {
+                self.note_cancelled(&mut span);
+                return CANCELLED_NOTICE.to_string();
+            }
+            Resilient::Exhausted => {}
         }
         // Degraded mode: stale cache, then fallback backend, then notice.
         if let Some(stale) = self.recall(key) {
@@ -361,11 +401,16 @@ impl LlmService for Gateway {
         let mut span = self.tracer.span(SpanKind::Gateway, "embed");
         let key = prompt_key(text);
         let est_tokens = count_tokens(text) as u64;
-        if let Some(embedding) =
-            self.call_resilient(key, est_tokens, |transport| transport.embed(text))
-        {
-            span.attr("path", "served");
-            return embedding;
+        match self.call_resilient(key, est_tokens, |transport| transport.embed(text)) {
+            Resilient::Served(embedding) => {
+                span.attr("path", "served");
+                return embedding;
+            }
+            Resilient::Cancelled => {
+                self.note_cancelled(&mut span);
+                return vec![0.0; DEGRADED_EMBED_DIM];
+            }
+            Resilient::Exhausted => {}
         }
         if let Some(fallback) = &self.fallback {
             if let Ok(embedding) = fallback.embed(text) {
@@ -606,6 +651,82 @@ mod tests {
         let usage = gateway.usage();
         assert_eq!(usage.calls, primary.usage().calls + standby.usage().calls);
         assert!(gateway.simulated_latency_ms() >= primary.simulated_latency_ms());
+    }
+
+    #[test]
+    fn cancelled_scope_short_circuits_before_any_attempt() {
+        use lingua_llm_sim::{CancelScope, CancelToken};
+        let service = sim(12);
+        let injector = Arc::new(FaultInjector::new("down", service, FaultPlan::transient(1.0, 17)));
+        let gateway = Gateway::over(injector);
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let _scope = CancelScope::enter(&token);
+        assert_eq!(gateway.complete(&prompt(0)), CANCELLED_NOTICE);
+        let snap = gateway.snapshot();
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.backends[0].counters.attempts, 0, "no attempt for a dead job");
+        assert_eq!(snap.added_backoff_ms(), 0);
+        assert_eq!(snap.degraded(), 0, "cancellation must not fall into degraded mode");
+        // Nothing was billed for the short-circuited request.
+        assert_eq!(gateway.usage().calls, 0);
+    }
+
+    #[test]
+    fn deadline_firing_mid_retry_stops_backoff_and_attempts() {
+        use lingua_llm_sim::{CancelScope, CancelToken};
+
+        /// Faults every call, and cancels the current scope's token on the
+        /// first — modelling a deadline that fires while the gateway is in
+        /// its retry loop.
+        struct CancelOnFirstCall {
+            token: CancelToken,
+        }
+        impl LlmTransport for CancelOnFirstCall {
+            fn name(&self) -> &str {
+                "cancel-on-first"
+            }
+            fn complete(&self, _request: &CompletionRequest) -> Result<String, TransportError> {
+                self.token.cancel();
+                Err(TransportError::TransientServer { message: "boom".into() })
+            }
+            fn embed(&self, _text: &str) -> Result<Vec<f64>, TransportError> {
+                self.token.cancel();
+                Err(TransportError::TransientServer { message: "boom".into() })
+            }
+            fn usage(&self) -> Usage {
+                Usage::default()
+            }
+            fn simulated_latency_ms(&self) -> u64 {
+                0
+            }
+            fn generate_code(&self, _spec: &CodeGenSpec) -> GeneratedCode {
+                unreachable!("not exercised")
+            }
+            fn suggest_fix(&self, _source: &str, _failures: &[String]) -> String {
+                unreachable!("not exercised")
+            }
+            fn repair_code(
+                &self,
+                _spec: &CodeGenSpec,
+                _previous: &GeneratedCode,
+                _suggestion: &str,
+            ) -> GeneratedCode {
+                unreachable!("not exercised")
+            }
+        }
+
+        let token = CancelToken::unbounded();
+        let gateway = Gateway::over(Arc::new(CancelOnFirstCall { token: token.clone() }));
+        let _scope = CancelScope::enter(&token);
+        assert_eq!(gateway.complete(&prompt(0)), CANCELLED_NOTICE);
+        let snap = gateway.snapshot();
+        let primary = &snap.backends[0].counters;
+        assert_eq!(primary.attempts, 1, "exactly the in-flight attempt");
+        assert_eq!(primary.faults(), 1);
+        assert_eq!(primary.backoff_ms, 0, "no backoff charged past the deadline");
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.degraded(), 0);
     }
 
     #[test]

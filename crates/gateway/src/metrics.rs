@@ -52,6 +52,7 @@ struct MetricsInner {
     backends: Vec<BackendCounters>,
     requests: u64,
     failovers: u64,
+    cancelled: u64,
     degraded_cache_hits: u64,
     degraded_fallbacks: u64,
     degraded_static: u64,
@@ -108,6 +109,10 @@ impl GatewayMetrics {
         self.inner.lock().failovers += 1;
     }
 
+    pub(crate) fn cancelled(&self) {
+        self.inner.lock().cancelled += 1;
+    }
+
     pub(crate) fn degraded_cache_hit(&self) {
         self.inner.lock().degraded_cache_hits += 1;
     }
@@ -141,6 +146,7 @@ impl GatewayMetrics {
         GatewaySnapshot {
             requests: inner.requests,
             failovers: inner.failovers,
+            cancelled: inner.cancelled,
             degraded_cache_hits: inner.degraded_cache_hits,
             degraded_fallbacks: inner.degraded_fallbacks,
             degraded_static: inner.degraded_static,
@@ -165,6 +171,9 @@ pub struct GatewaySnapshot {
     pub requests: u64,
     /// Requests that moved past an attempted or shielded backend to the next.
     pub failovers: u64,
+    /// Requests abandoned because the caller's deadline passed or the job was
+    /// cancelled mid-flight; the gateway stops retrying and bills nothing.
+    pub cancelled: u64,
     /// Requests answered from the degraded-mode response cache.
     pub degraded_cache_hits: u64,
     /// Requests answered by the degraded-mode fallback backend.
@@ -201,9 +210,11 @@ impl GatewaySnapshot {
             "gateway metrics\n\
              \x20 requests        {}\n\
              \x20 failovers       {}\n\
+             \x20 cancelled       {}\n\
              \x20 degraded        {} ({} cached, {} fallback, {} static)\n",
             self.requests,
             self.failovers,
+            self.cancelled,
             self.degraded(),
             self.degraded_cache_hits,
             self.degraded_fallbacks,

@@ -1,0 +1,286 @@
+//! Cooperative cancellation: a shared [`CancelToken`] carrying a deadline
+//! and/or an explicit cancel flag, plus a thread-local [`CancelScope`] so
+//! layers behind the infallible [`LlmService`](crate::LlmService) trait
+//! (the simulator itself, the gateway's retry loop) can consult the token
+//! of the job currently executing on this thread without any signature
+//! changes.
+//!
+//! This crate is the bottom of the workspace dependency graph, so the token
+//! lives here and every layer above (core's executor, the gateway, the serve
+//! worker pool) shares one type.
+//!
+//! Semantics:
+//!
+//! * A token is cheap to clone (an `Arc` bump); all clones observe the same
+//!   state. Cancellation is **cooperative and monotonic** — once a token
+//!   reports cancelled it never un-cancels.
+//! * [`CancelToken::status`] reports `DeadlineExceeded` in preference to
+//!   `Cancelled` when both hold: a watchdog nudging a stuck job with
+//!   [`CancelToken::cancel`] must not mask the fact that the job's deadline
+//!   already passed.
+//! * The token doubles as the worker **heartbeat**: [`CancelToken::check`]
+//!   and [`CancelToken::touch`] bump a logical progress counter that the
+//!   serve watchdog reads to distinguish "slow but advancing" from "wedged".
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Response text returned by cancellation-aware LLM layers (the simulator,
+/// the gateway) when the calling job's token is already cancelled: the call
+/// is never placed and **nothing is billed** at any layer, so per-job meters
+/// and the shared service ledger stay reconciled to the cent.
+pub const CANCELLED_NOTICE: &str =
+    "[cancelled] job deadline passed or job was cancelled before this LLM call was placed";
+
+/// Why a token reports cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The token's deadline passed.
+    DeadlineExceeded,
+    /// Someone called [`CancelToken::cancel`] (a client, or the watchdog).
+    Cancelled,
+}
+
+impl CancelReason {
+    /// Stable lowercase label (used in trace attributes and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CancelReason::DeadlineExceeded => "deadline_exceeded",
+            CancelReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TokenInner {
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+    /// Logical heartbeat: bumped on every cooperative check-in.
+    progress: AtomicU64,
+}
+
+/// Shared deadline + explicit-cancel flag + heartbeat. Clone freely; all
+/// clones share state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::unbounded()
+    }
+}
+
+impl CancelToken {
+    fn with_inner(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                deadline,
+                cancelled: AtomicBool::new(false),
+                progress: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    pub fn unbounded() -> CancelToken {
+        CancelToken::with_inner(None)
+    }
+
+    /// A token that reports `DeadlineExceeded` once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken::with_inner(Some(deadline))
+    }
+
+    /// A token whose deadline is `timeout` from now.
+    pub fn after(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left before the deadline (`None` = unbounded; zero = expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True if [`CancelToken::cancel`] was called (independent of deadline).
+    pub fn explicitly_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Current cancellation state. Deadline expiry wins over explicit cancel
+    /// so a watchdog nudge cannot mask a deadline overrun.
+    pub fn status(&self) -> Option<CancelReason> {
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Some(CancelReason::DeadlineExceeded);
+            }
+        }
+        if self.explicitly_cancelled() {
+            return Some(CancelReason::Cancelled);
+        }
+        None
+    }
+
+    /// True if the token is cancelled for any reason.
+    pub fn is_cancelled(&self) -> bool {
+        self.status().is_some()
+    }
+
+    /// Cooperative check-in: bumps the heartbeat, then reports state.
+    /// Call sites treat `Err` as "stop what you are doing".
+    pub fn check(&self) -> Result<(), CancelReason> {
+        self.touch();
+        match self.status() {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
+    }
+
+    /// Bump the heartbeat without checking state.
+    pub fn touch(&self) {
+        self.inner.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Logical heartbeat value (monotonic count of cooperative check-ins).
+    pub fn progress(&self) -> u64 {
+        self.inner.progress.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard installing a token as the current thread's cancel scope.
+/// Layers that cannot thread a token through their signatures (anything
+/// behind `LlmService`) read it back via [`current`]. Scopes nest; the
+/// innermost wins. The guard is `!Send` by construction (it must drop on
+/// the thread that entered it) — unwinding drops it correctly, so a panic
+/// inside a scope cannot leak a stale token onto the worker thread.
+pub struct CancelScope {
+    /// Keeps the type `!Send`/`!Sync` so the scope cannot migrate threads.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl CancelScope {
+    /// Push `token` as the innermost scope for this thread.
+    pub fn enter(token: &CancelToken) -> CancelScope {
+        CURRENT.with(|stack| stack.borrow_mut().push(token.clone()));
+        CancelScope { _not_send: std::marker::PhantomData }
+    }
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost token entered on this thread, if any.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Cancellation state of the innermost scope (`None` when no scope is
+/// entered or the scope's token is live). This is the single hook the
+/// simulator and gateway consult: with no scope entered it is a few
+/// nanoseconds and changes nothing, so code paths outside serve (unit
+/// tests, benches, chaos replays) behave bit-identically.
+pub fn current_cancelled() -> Option<CancelReason> {
+    CURRENT.with(|stack| stack.borrow().last().and_then(|token| token.status()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_token_never_cancels_until_asked() {
+        let token = CancelToken::unbounded();
+        assert_eq!(token.status(), None);
+        assert!(token.check().is_ok());
+        token.cancel();
+        assert_eq!(token.status(), Some(CancelReason::Cancelled));
+        assert_eq!(token.check(), Err(CancelReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_expiry_reports_deadline_exceeded_even_after_explicit_cancel() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        token.cancel();
+        // Deadline wins: a watchdog nudge must not mask the overrun.
+        assert_eq!(token.status(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn clones_share_state_and_heartbeat() {
+        let token = CancelToken::unbounded();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+        token.touch();
+        clone.touch();
+        assert_eq!(token.progress(), 2);
+    }
+
+    #[test]
+    fn remaining_saturates_at_zero() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+        assert!(CancelToken::unbounded().remaining().is_none());
+    }
+
+    #[test]
+    fn scope_stack_nests_and_unwinds() {
+        assert!(current().is_none());
+        let outer = CancelToken::unbounded();
+        let inner = CancelToken::after(Duration::from_secs(60));
+        {
+            let _outer = CancelScope::enter(&outer);
+            assert!(current().unwrap().deadline().is_none());
+            {
+                let _inner = CancelScope::enter(&inner);
+                assert!(current().unwrap().deadline().is_some());
+            }
+            assert!(current().unwrap().deadline().is_none());
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scope_survives_unwind() {
+        let token = CancelToken::unbounded();
+        let result = std::panic::catch_unwind(|| {
+            let _scope = CancelScope::enter(&token);
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // The guard dropped during unwind; no stale token remains.
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn current_cancelled_reflects_innermost_scope() {
+        assert_eq!(current_cancelled(), None);
+        let token = CancelToken::unbounded();
+        let _scope = CancelScope::enter(&token);
+        assert_eq!(current_cancelled(), None);
+        token.cancel();
+        assert_eq!(current_cancelled(), Some(CancelReason::Cancelled));
+    }
+}

@@ -352,8 +352,17 @@ pub enum Flight<V> {
     Coalesced(V),
 }
 
+enum FlightState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published; followers clone this.
+    Published(V),
+    /// The leader unwound before publishing; followers retry as leaders.
+    Aborted,
+}
+
 struct FlightCell<V> {
-    result: Mutex<Option<V>>,
+    result: Mutex<FlightState<V>>,
     ready: Condvar,
 }
 
@@ -364,12 +373,39 @@ struct FlightCell<V> {
 /// block until the leader publishes. Followers of a deterministic service
 /// receive exactly the bytes they would have computed, so coalescing is
 /// invisible except in the bill. A leader publishes before it unregisters,
-/// so a follower can never be stranded by a completed flight; `compute` must
-/// not panic (followers of a panicked leader would wait forever) — the
-/// simulator's response path is total.
+/// so a follower can never be stranded by a completed flight.
+///
+/// Panic safety: a leader whose `compute` unwinds (a panicking module
+/// somewhere beneath the LLM call) marks the flight `Aborted` and wakes
+/// every follower on its way out, via a drop guard that runs during
+/// unwinding. Followers of an aborted flight loop back and re-contend —
+/// one becomes the new leader and recomputes. The panic itself propagates
+/// to the leader's caller (serve's `catch_unwind` isolation); no thread is
+/// ever left blocked on a dead flight.
 pub struct Singleflight<V> {
     inflight: Mutex<HashMap<u64, Arc<FlightCell<V>>>>,
     coalesced: AtomicU64,
+}
+
+/// Unregisters a leader's flight and wakes followers if the leader unwinds
+/// before publishing. Disarmed on the successful path.
+struct AbortGuard<'a, V> {
+    flights: &'a Singleflight<V>,
+    key: u64,
+    armed: bool,
+}
+
+impl<V> Drop for AbortGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let cell = self.flights.inflight.lock().remove(&self.key);
+        if let Some(cell) = cell {
+            *cell.result.lock() = FlightState::Aborted;
+            cell.ready.notify_all();
+        }
+    }
 }
 
 impl<V> Default for Singleflight<V> {
@@ -389,41 +425,59 @@ impl<V: Clone> Singleflight<V> {
     }
 
     pub fn join(&self, key: u64, compute: impl FnOnce() -> V) -> Flight<V> {
-        let existing = {
-            let mut inflight = self.inflight.lock();
-            match inflight.entry(key) {
-                std::collections::hash_map::Entry::Occupied(cell) => Some(Arc::clone(cell.get())),
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(Arc::new(FlightCell {
-                        result: Mutex::new(None),
-                        ready: Condvar::new(),
-                    }));
-                    None
+        let mut compute = Some(compute);
+        loop {
+            let existing = {
+                let mut inflight = self.inflight.lock();
+                match inflight.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(cell) => {
+                        Some(Arc::clone(cell.get()))
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(Arc::new(FlightCell {
+                            result: Mutex::new(FlightState::Pending),
+                            ready: Condvar::new(),
+                        }));
+                        None
+                    }
                 }
-            }
-        };
-        if let Some(cell) = existing {
-            let mut result = cell.result.lock();
-            while result.is_none() {
-                cell.ready.wait(&mut result);
-            }
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
-            return Flight::Coalesced(result.as_ref().expect("published above").clone());
-        }
-        let value = compute();
-        // Publish to waiting followers *before* unregistering, so a follower
-        // holding the cell always finds a result; unregistering only affects
-        // later arrivals, which become fresh leaders (and likely cache-hit).
-        {
-            let cell = {
-                let inflight = self.inflight.lock();
-                Arc::clone(inflight.get(&key).expect("leader's flight is registered"))
             };
-            *cell.result.lock() = Some(value.clone());
-            cell.ready.notify_all();
+            if let Some(cell) = existing {
+                let mut state = cell.result.lock();
+                loop {
+                    match &*state {
+                        FlightState::Pending => cell.ready.wait(&mut state),
+                        FlightState::Published(value) => {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            return Flight::Coalesced(value.clone());
+                        }
+                        FlightState::Aborted => break,
+                    }
+                }
+                // The leader unwound before publishing: re-contend. Whoever
+                // wins the next registration recomputes.
+                continue;
+            }
+            // Leader. If `compute` unwinds, the guard aborts the flight so
+            // followers retry instead of waiting forever.
+            let mut guard = AbortGuard { flights: self, key, armed: true };
+            let value = (compute.take().expect("leader path runs at most once"))();
+            // Publish to waiting followers *before* unregistering, so a
+            // follower holding the cell always finds a result; unregistering
+            // only affects later arrivals, which become fresh leaders (and
+            // likely cache-hit).
+            {
+                let cell = {
+                    let inflight = self.inflight.lock();
+                    Arc::clone(inflight.get(&key).expect("leader's flight is registered"))
+                };
+                *cell.result.lock() = FlightState::Published(value.clone());
+                cell.ready.notify_all();
+            }
+            self.inflight.lock().remove(&key);
+            guard.armed = false;
+            return Flight::Led(value);
         }
-        self.inflight.lock().remove(&key);
-        Flight::Led(value)
     }
 }
 
@@ -535,6 +589,45 @@ mod tests {
         let led = computes.load(Ordering::Relaxed);
         assert!(led >= 1, "someone computed");
         assert_eq!(flights.coalesced() + led, 8, "every call either led or coalesced");
+    }
+
+    #[test]
+    fn singleflight_panicked_leader_does_not_strand_followers() {
+        let flights: Arc<Singleflight<u64>> = Arc::new(Singleflight::new());
+        let attached = Arc::new(Barrier::new(2));
+        let leader = {
+            let flights = Arc::clone(&flights);
+            let attached = Arc::clone(&attached);
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    flights.join(7, || {
+                        attached.wait();
+                        // Give the follower time to block on the flight.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("leader dies mid-flight");
+                    })
+                }));
+                assert!(result.is_err(), "the panic propagates to the leader's caller");
+            })
+        };
+        let follower = {
+            let flights = Arc::clone(&flights);
+            let attached = Arc::clone(&attached);
+            std::thread::spawn(move || {
+                attached.wait();
+                // Either attaches to the doomed flight, observes the abort,
+                // and retries as the new leader — or arrives after the abort
+                // and leads directly. Both terminate with the recomputed
+                // value; pre-fix, this wait never woke.
+                match flights.join(7, || 42u64) {
+                    Flight::Led(v) | Flight::Coalesced(v) => v,
+                }
+            })
+        };
+        leader.join().unwrap();
+        assert_eq!(follower.join().unwrap(), 42);
+        // The aborted flight left no residue: the next call leads cleanly.
+        assert!(matches!(flights.join(7, || 9u64), Flight::Led(9)));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod behaviors;
 pub mod calibration;
+pub mod cancel;
 pub mod codegen;
 pub mod cost;
 pub mod embeddings;
@@ -41,6 +42,7 @@ pub mod prompt;
 pub mod service;
 
 pub use calibration::Calibration;
+pub use cancel::{CancelReason, CancelScope, CancelToken, CANCELLED_NOTICE};
 pub use codegen::{BugKind, CodeGenSpec, GeneratedCode, TemplateKind};
 pub use cost::{AtomicUsage, TokenPricing, Usage};
 pub use hotpath::{fingerprint, CacheStats, Flight, Fnv1a, ShardedLru, Singleflight};

@@ -7,6 +7,7 @@
 
 use crate::behaviors;
 use crate::calibration::Calibration;
+use crate::cancel::{self, CANCELLED_NOTICE};
 use crate::codegen::{self, CodeGenSpec, GeneratedCode};
 use crate::cost::{count_tokens, AtomicUsage, TokenPricing, Usage};
 use crate::hotpath::{fingerprint, CacheStats, Flight, ShardedLru, Singleflight, DEFAULT_SHARDS};
@@ -303,6 +304,14 @@ impl LlmService for SimLlm {
     }
 
     fn complete_shared(&self, request: &CompletionRequest) -> Arc<str> {
+        // Cooperative cancellation: if the job driving this thread is already
+        // past its deadline (or explicitly cancelled), the call is never
+        // placed and nothing bills — at this layer or any wrapper (meters and
+        // tracers recognise the notice). With no scope entered this is a
+        // thread-local read and the path is byte-identical to before.
+        if cancel::current_cancelled().is_some() {
+            return Arc::from(CANCELLED_NOTICE);
+        }
         if !self.config.cache_enabled {
             let response = self.respond(&request.prompt);
             self.meter(&request.prompt, &response);
@@ -542,6 +551,37 @@ mod tests {
         // Different texts embed differently.
         let c = svc.embed("completely different words");
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cancelled_scope_short_circuits_and_bills_nothing() {
+        use crate::cancel::{CancelScope, CancelToken};
+        let world = WorldSpec::generate(5);
+        let svc = SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 5, cache_enabled: true, ..Default::default() },
+        );
+        let req = CompletionRequest::new("Summarize. Text: a document worth billing for");
+        let live = svc.complete(&req);
+        assert_ne!(live, CANCELLED_NOTICE);
+        let usage_before = svc.usage();
+        let latency_before = svc.simulated_latency_ms();
+        let token = CancelToken::unbounded();
+        token.cancel();
+        {
+            let _scope = CancelScope::enter(&token);
+            // Even a cacheable repeat prompt returns the notice: the job is
+            // dead, so no savings are booked either.
+            assert_eq!(svc.complete(&req), CANCELLED_NOTICE);
+            assert_eq!(
+                svc.complete(&CompletionRequest::new("Summarize. Text: never placed")),
+                CANCELLED_NOTICE
+            );
+        }
+        assert_eq!(svc.usage(), usage_before, "cancelled calls bill nothing");
+        assert_eq!(svc.simulated_latency_ms(), latency_before);
+        // Scope dropped: the service answers normally again.
+        assert_eq!(svc.complete(&req), live);
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum ScriptError {
     },
     /// The fuel budget was exhausted — the Validator's "timeout".
     OutOfFuel,
+    /// The call stack exceeded the interpreter's depth limit. Runaway
+    /// recursion must trap *inside* the interpreter: letting it recurse on
+    /// the host stack would abort the whole process with a stack overflow,
+    /// which no supervisor can catch.
+    RecursionLimit {
+        depth: usize,
+    },
     /// A host call (`call_llm` / `call_module` / `call_tool`) failed.
     Host {
         message: String,
@@ -67,6 +74,7 @@ impl ScriptError {
             ScriptError::Parse { .. } => "parse",
             ScriptError::Runtime { .. } => "runtime",
             ScriptError::OutOfFuel => "timeout",
+            ScriptError::RecursionLimit { .. } => "recursion",
             ScriptError::Host { .. } => "host",
         }
     }
@@ -81,6 +89,9 @@ impl fmt::Display for ScriptError {
                 write!(f, "runtime error at {span}: {message}")
             }
             ScriptError::OutOfFuel => write!(f, "execution exceeded its fuel budget"),
+            ScriptError::RecursionLimit { depth } => {
+                write!(f, "call depth {depth} exceeded the recursion limit")
+            }
             ScriptError::Host { message } => write!(f, "host call failed: {message}"),
         }
     }

@@ -39,6 +39,15 @@ impl Host for NoHost {
 /// accidental `while true {}` fails fast.
 pub const DEFAULT_FUEL: u64 = 1_000_000;
 
+/// Default call-depth limit. Each interpreter call frame recurses on the
+/// *host* stack (`call_function` → `run_block` → … → `call_function`), so
+/// unbounded script recursion would overflow the host thread's stack and
+/// abort the process — unwinding never happens and `catch_unwind` isolation
+/// upstream is useless against it. 64 frames is far deeper than any
+/// generated module calls and far shallower than what a default thread
+/// stack can absorb.
+pub const DEFAULT_MAX_DEPTH: usize = 64;
+
 /// Control flow signal threaded through statement execution.
 enum Flow {
     Normal,
@@ -52,18 +61,33 @@ pub struct Interpreter<'p> {
     program: &'p Program,
     fuel_budget: u64,
     fuel: u64,
+    max_depth: usize,
+    depth: usize,
     /// Lines produced by `print(...)` during the last call.
     pub output: Vec<String>,
 }
 
 impl<'p> Interpreter<'p> {
     pub fn new(program: &'p Program) -> Self {
-        Interpreter { program, fuel_budget: DEFAULT_FUEL, fuel: DEFAULT_FUEL, output: Vec::new() }
+        Interpreter {
+            program,
+            fuel_budget: DEFAULT_FUEL,
+            fuel: DEFAULT_FUEL,
+            max_depth: DEFAULT_MAX_DEPTH,
+            depth: 0,
+            output: Vec::new(),
+        }
     }
 
     /// Override the fuel budget (per `call`).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel_budget = fuel;
+        self
+    }
+
+    /// Override the call-depth limit (per `call`).
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth.max(1);
         self
     }
 
@@ -80,6 +104,7 @@ impl<'p> Interpreter<'p> {
         args: Vec<Value>,
     ) -> Result<Value, ScriptError> {
         self.fuel = self.fuel_budget;
+        self.depth = 0;
         self.output.clear();
         self.call_function(host, name, args, Span::default())
     }
@@ -93,6 +118,24 @@ impl<'p> Interpreter<'p> {
     }
 
     fn call_function(
+        &mut self,
+        host: &mut dyn Host,
+        name: &str,
+        args: Vec<Value>,
+        span: Span,
+    ) -> Result<Value, ScriptError> {
+        // Trap runaway recursion before it overflows the host stack (an
+        // abort, not an unwind — nothing upstream could catch it).
+        if self.depth >= self.max_depth {
+            return Err(ScriptError::RecursionLimit { depth: self.depth });
+        }
+        self.depth += 1;
+        let result = self.call_function_frame(host, name, args, span);
+        self.depth -= 1;
+        result
+    }
+
+    fn call_function_frame(
         &mut self,
         host: &mut dyn Host,
         name: &str,
@@ -804,6 +847,38 @@ mod tests {
         let err = interp.call(&mut NoHost, "main", vec![]);
         assert_eq!(err, Err(ScriptError::OutOfFuel));
         assert_eq!(interp.fuel_used(), 10_000);
+    }
+
+    #[test]
+    fn unbounded_recursion_traps_instead_of_overflowing_the_stack() {
+        // `f` never consumes enough fuel per frame for OutOfFuel to fire
+        // before the host stack would blow; the depth limit must trap first.
+        let program = parse("fn f(n) { return f(n + 1); } fn main() { return f(0); }").unwrap();
+        let mut interp = Interpreter::new(&program);
+        let err = interp.call(&mut NoHost, "main", vec![]);
+        assert_eq!(err, Err(ScriptError::RecursionLimit { depth: DEFAULT_MAX_DEPTH }));
+        assert_eq!(err.unwrap_err().kind(), "recursion");
+    }
+
+    #[test]
+    fn depth_resets_between_calls_and_legal_recursion_fits() {
+        let src = r#"
+            fn down(n) { if n == 0 { return 0; } return down(n - 1); }
+            fn main() { return down(40); }
+        "#;
+        let program = parse(src).unwrap();
+        let mut interp = Interpreter::new(&program);
+        for _ in 0..5 {
+            // 41 frames fit under the 64 limit; the depth counter resets so
+            // repeated calls do not accumulate toward the trap.
+            assert_eq!(interp.call(&mut NoHost, "main", vec![]).unwrap(), Value::Int(0));
+        }
+        // A tightened limit turns the same program into a trap.
+        let mut tight = Interpreter::new(&program).with_max_depth(16);
+        assert_eq!(
+            tight.call(&mut NoHost, "main", vec![]),
+            Err(ScriptError::RecursionLimit { depth: 16 })
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod value;
 
 pub use ast::{BinOp, Expr, FnDecl, Program, Stmt, UnOp};
 pub use error::{ScriptError, Span};
-pub use interp::{Host, Interpreter, NoHost};
+pub use interp::{Host, Interpreter, NoHost, DEFAULT_FUEL, DEFAULT_MAX_DEPTH};
 pub use value::Value;
 
 /// Parse MangaScript source into a [`Program`].

@@ -17,10 +17,27 @@ pub enum ServeError {
     /// The job spent longer than its timeout waiting in the queue and was
     /// cancelled before execution.
     Timeout { waited: Duration },
+    /// The job started executing but its deadline passed before it finished.
+    /// Distinct from [`ServeError::Timeout`] (which never ran): partial LLM
+    /// usage was billed and is reconciled into the server's `llm_partial`
+    /// meter.
+    DeadlineExceeded { elapsed: Duration },
+    /// The job was cancelled — by its [`crate::JobHandle`], or by the
+    /// watchdog nudging a stuck job.
+    Cancelled,
+    /// The pipeline panicked inside a worker. The panic was isolated: the
+    /// worker discarded its (possibly poisoned) pipeline instance, other
+    /// in-flight jobs were unaffected, and the payload is preserved here.
+    Panicked { pipeline: String, payload: String },
     /// No pipeline is registered under the requested id.
     UnknownPipeline(String),
     /// Compilation or execution failed inside the core system.
     Core(CoreError),
+    /// A worker (or supervisor) thread could not be spawned.
+    Spawn { reason: String },
+    /// A serving-layer invariant was violated. Jobs fail with this instead
+    /// of unwinding the worker on a broken internal assumption.
+    Internal { reason: String },
     /// The server has been shut down; no further submissions are accepted.
     Shutdown,
 }
@@ -37,8 +54,19 @@ impl fmt::Display for ServeError {
             ServeError::Timeout { waited } => {
                 write!(f, "job timed out after waiting {waited:?} in the queue")
             }
+            ServeError::DeadlineExceeded { elapsed } => {
+                write!(f, "job exceeded its deadline after {elapsed:?} of execution")
+            }
+            ServeError::Cancelled => write!(f, "job was cancelled"),
+            ServeError::Panicked { pipeline, payload } => {
+                write!(f, "pipeline `{pipeline}` panicked in a worker: {payload}")
+            }
             ServeError::UnknownPipeline(id) => write!(f, "no pipeline registered as `{id}`"),
             ServeError::Core(err) => write!(f, "pipeline error: {err}"),
+            ServeError::Spawn { reason } => write!(f, "could not spawn a server thread: {reason}"),
+            ServeError::Internal { reason } => {
+                write!(f, "internal serving invariant violated: {reason}")
+            }
             ServeError::Shutdown => write!(f, "server is shut down"),
         }
     }
@@ -75,6 +103,16 @@ mod tests {
         assert!(ServeError::Timeout { waited: Duration::from_millis(5) }
             .to_string()
             .contains("timed out"));
+        assert!(ServeError::DeadlineExceeded { elapsed: Duration::from_millis(51) }
+            .to_string()
+            .contains("deadline"));
+        let panic = ServeError::Panicked { pipeline: "p".into(), payload: "boom".into() };
+        assert!(panic.to_string().contains("boom"));
+        assert!(ServeError::Spawn { reason: "EAGAIN".into() }.to_string().contains("EAGAIN"));
+        assert!(ServeError::Internal { reason: "no instance".into() }
+            .to_string()
+            .contains("no instance"));
+        assert!(ServeError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

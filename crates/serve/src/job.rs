@@ -2,7 +2,7 @@
 
 use crate::error::ServeError;
 use lingua_core::Data;
-use lingua_llm_sim::Usage;
+use lingua_llm_sim::{CancelToken, Usage};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -60,13 +60,24 @@ struct JobState {
 pub(crate) struct JobCore {
     state: Mutex<JobState>,
     done: Condvar,
+    /// The job's cancellation token: deadline (set at admission from the
+    /// request timeout) plus the explicit flag behind [`JobHandle::cancel`].
+    /// Propagated into the worker's `ExecContext` for the duration of the
+    /// run, and read by the watchdog as the job's heartbeat.
+    pub(crate) cancel: CancelToken,
 }
 
 impl JobCore {
     pub(crate) fn new() -> Arc<JobCore> {
+        JobCore::with_cancel(CancelToken::unbounded())
+    }
+
+    /// A core whose execution is governed by `cancel`.
+    pub(crate) fn with_cancel(cancel: CancelToken) -> Arc<JobCore> {
         Arc::new(JobCore {
             state: Mutex::new(JobState { status: JobStatus::Queued, result: None }),
             done: Condvar::new(),
+            cancel,
         })
     }
 
@@ -81,12 +92,22 @@ impl JobCore {
         self.state.lock().status = JobStatus::Running;
     }
 
+    /// Publish the result and wake every waiter. Idempotent: the first
+    /// completion wins, so the worker's normal path and the supervisor's
+    /// crash-cleanup path can never double-publish or clobber each other.
     pub(crate) fn finish(&self, result: Result<Arc<JobOutput>, ServeError>) {
         let mut state = self.state.lock();
+        if state.result.is_some() {
+            return;
+        }
         state.status = JobStatus::Done;
         state.result = Some(result);
         drop(state);
         self.done.notify_all();
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        self.state.lock().result.is_some()
     }
 
     fn status(&self) -> JobStatus {
@@ -152,6 +173,16 @@ impl JobHandle {
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Arc<JobOutput>, ServeError>> {
         self.core.wait_timeout(timeout)
     }
+
+    /// Request cancellation of this job's execution. Cooperative: the
+    /// executor stops at its next check-in and the job fails with
+    /// [`ServeError::Cancelled`] (or [`ServeError::DeadlineExceeded`] if the
+    /// deadline passed first). A job that already finished is unaffected.
+    /// Deduplicated submissions share one execution, so cancelling any
+    /// attached handle cancels it for every waiter.
+    pub fn cancel(&self) {
+        self.core.cancel.cancel();
+    }
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -215,5 +246,27 @@ mod tests {
     fn finished_cores_are_born_done() {
         let handle = JobHandle::new(JobId(6), JobCore::finished(Ok(output())));
         assert_eq!(handle.status(), JobStatus::Done);
+    }
+
+    #[test]
+    fn finish_is_idempotent_first_completion_wins() {
+        let core = JobCore::new();
+        core.finish(Ok(output()));
+        core.finish(Err(ServeError::Shutdown));
+        assert!(core.is_finished());
+        let handle = JobHandle::new(JobId(7), core);
+        assert!(handle.wait().is_ok(), "the second finish must not clobber the first");
+    }
+
+    #[test]
+    fn handle_cancel_flags_the_shared_token() {
+        let core = JobCore::new();
+        let a = JobHandle::new(JobId(8), core.clone());
+        let b = JobHandle::new(JobId(9), core.clone());
+        assert!(core.cancel.status().is_none());
+        a.cancel();
+        // Deduplicated handles share one execution, so either cancels both.
+        assert!(core.cancel.explicitly_cancelled());
+        assert_eq!(b.status(), JobStatus::Queued, "cancel is cooperative, not a completion");
     }
 }

@@ -32,6 +32,14 @@
 //!   from a FIFO-bounded cache.
 //! * [`Metrics`] / [`MetricsSnapshot`] — accepted/rejected/deduplicated
 //!   counters, queue depth, p50/p95 latency, per-job LLM usage.
+//! * Supervised execution (see `DESIGN.md` §"Supervised execution") — jobs
+//!   run under `catch_unwind`, so a panicking pipeline fails *one job*
+//!   ([`ServeError::Panicked`]) instead of the pool; a supervisor thread
+//!   resurrects crashed workers within a restart budget; every job carries a
+//!   [`lingua_llm_sim::CancelToken`] whose deadline flows through the
+//!   executor, gateway, and script fuel cap ([`ServeError::DeadlineExceeded`],
+//!   [`ServeError::Cancelled`]); and a watchdog flags stuck jobs in
+//!   [`HealthSnapshot`].
 //!
 //! ## Quick start
 //!
@@ -65,10 +73,12 @@ pub mod job;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod supervisor;
 
 pub use error::ServeError;
 pub use fingerprint::{fingerprint_inputs, job_key};
 pub use job::{JobHandle, JobId, JobOutput, JobStatus};
-pub use metrics::{Metrics, MetricsSnapshot, UsageMeter};
+pub use metrics::{HealthSnapshot, Metrics, MetricsSnapshot, TrapCounters, UsageMeter};
 pub use registry::PipelineRegistry;
 pub use server::{PipelineServer, Priority, ServeConfig, SubmitRequest};
+pub use supervisor::EscapePanic;

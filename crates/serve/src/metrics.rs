@@ -7,9 +7,12 @@
 //! service with job-local counters so each job's usage is exact under
 //! concurrency, and [`Metrics`] aggregates the server-wide view.
 
+use lingua_core::TrapKind;
 use lingua_gateway::GatewaySnapshot;
 use lingua_llm_sim::cost::count_tokens;
-use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use lingua_llm_sim::{
+    CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage, CANCELLED_NOTICE,
+};
 use lingua_trace::TraceSummary;
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -36,9 +39,20 @@ struct Inner {
     completed: u64,
     failed: u64,
     timed_out: u64,
+    panicked: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    traps: TrapCounters,
+    workers_restarted: u64,
+    stuck_jobs: u64,
     queue_depth: u64,
     latencies_ms: VecDeque<f64>,
     llm: Usage,
+    /// Usage billed by jobs that did *not* complete (deadline-exceeded,
+    /// cancelled, failed, panicked). Kept separate from `llm` so completed
+    /// cost-per-job stays meaningful, while `llm + llm_partial` reconciles
+    /// against the shared service ledger to the token.
+    llm_partial: Usage,
 }
 
 impl Metrics {
@@ -85,12 +99,49 @@ impl Metrics {
         inner.llm.merge(&llm);
     }
 
-    pub(crate) fn fail(&self) {
-        self.inner.lock().failed += 1;
+    pub(crate) fn fail(&self, partial: Usage) {
+        let mut inner = self.inner.lock();
+        inner.failed += 1;
+        inner.llm_partial.merge(&partial);
     }
 
     pub(crate) fn time_out(&self) {
         self.inner.lock().timed_out += 1;
+    }
+
+    pub(crate) fn panic_job(&self, partial: Usage) {
+        let mut inner = self.inner.lock();
+        inner.panicked += 1;
+        inner.llm_partial.merge(&partial);
+    }
+
+    pub(crate) fn cancel_job(&self, partial: Usage) {
+        let mut inner = self.inner.lock();
+        inner.cancelled += 1;
+        inner.llm_partial.merge(&partial);
+    }
+
+    pub(crate) fn deadline_exceed(&self, partial: Usage) {
+        let mut inner = self.inner.lock();
+        inner.deadline_exceeded += 1;
+        inner.llm_partial.merge(&partial);
+    }
+
+    pub(crate) fn trap(&self, kind: TrapKind) {
+        let mut inner = self.inner.lock();
+        match kind {
+            TrapKind::OutOfFuel => inner.traps.out_of_fuel += 1,
+            TrapKind::Recursion => inner.traps.recursion += 1,
+            TrapKind::DeadlineFuel => inner.traps.deadline_fuel += 1,
+        }
+    }
+
+    pub(crate) fn worker_restarted(&self) {
+        self.inner.lock().workers_restarted += 1;
+    }
+
+    pub(crate) fn stuck_job(&self) {
+        self.inner.lock().stuck_jobs += 1;
     }
 
     /// A consistent point-in-time snapshot.
@@ -106,12 +157,24 @@ impl Metrics {
             completed: inner.completed,
             failed: inner.failed,
             timed_out: inner.timed_out,
+            panicked: inner.panicked,
+            cancelled: inner.cancelled,
+            deadline_exceeded: inner.deadline_exceeded,
+            traps: inner.traps,
             queue_depth: inner.queue_depth,
             workers: 0,
             p50_latency_ms: percentile(&sorted, 0.50),
             p95_latency_ms: percentile(&sorted, 0.95),
             latency_samples: sorted.len(),
             llm: inner.llm,
+            llm_partial: inner.llm_partial,
+            health: HealthSnapshot {
+                live_workers: 0,
+                workers_restarted: inner.workers_restarted,
+                workers_gave_up: 0,
+                stuck_jobs: inner.stuck_jobs,
+                breaker_states: Vec::new(),
+            },
             gateway: None,
             trace: None,
         }
@@ -124,6 +187,42 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-kind counts of bounded-resource script traps (see
+/// [`lingua_core::TrapKind`]). Traps are a *flavor* of failed job — each trap
+/// also increments `failed` — broken out so operators can tell a runaway loop
+/// from runaway recursion from a deadline-starved budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TrapCounters {
+    /// Scripts that exhausted their own fuel budget (runaway loops).
+    pub out_of_fuel: u64,
+    /// Scripts that exceeded the interpreter's call-depth limit.
+    pub recursion: u64,
+    /// Scripts whose fuel was cut by the job deadline and ran out.
+    pub deadline_fuel: u64,
+}
+
+impl TrapCounters {
+    pub fn total(&self) -> u64 {
+        self.out_of_fuel + self.recursion + self.deadline_fuel
+    }
+}
+
+/// Supervision health: the worker pool's vital signs, folded into
+/// [`MetricsSnapshot`] by `PipelineServer::metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HealthSnapshot {
+    /// Workers currently alive and serving (after any panics/restarts).
+    pub live_workers: usize,
+    /// Worker threads the supervisor restarted after a crash.
+    pub workers_restarted: u64,
+    /// Worker slots permanently abandoned (restart budget exhausted).
+    pub workers_gave_up: usize,
+    /// Jobs the watchdog flagged as stuck (and nudged with a cancel).
+    pub stuck_jobs: u64,
+    /// Circuit-breaker state per gateway backend, when one is attached.
+    pub breaker_states: Vec<(String, String)>,
 }
 
 /// A point-in-time view of the server's counters.
@@ -143,6 +242,14 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Jobs cancelled after exceeding their queue timeout.
     pub timed_out: u64,
+    /// Jobs that panicked inside a worker (panic isolated, payload kept).
+    pub panicked: u64,
+    /// Jobs cancelled during execution (handle or watchdog).
+    pub cancelled: u64,
+    /// Jobs whose deadline passed mid-execution.
+    pub deadline_exceeded: u64,
+    /// Script traps by kind (each also counted in `failed`).
+    pub traps: TrapCounters,
     /// Jobs currently waiting in the queue.
     pub queue_depth: u64,
     /// Size of the worker pool serving this snapshot — the resolved value
@@ -157,6 +264,12 @@ pub struct MetricsSnapshot {
     pub latency_samples: usize,
     /// LLM usage summed over completed jobs (per-job metered).
     pub llm: Usage,
+    /// LLM usage billed by jobs that did not complete. `llm + llm_partial`
+    /// reconciles with the shared service's ledger to the token.
+    pub llm_partial: Usage,
+    /// Worker-pool vital signs (live workers filled in by
+    /// `PipelineServer::metrics`; counter fields always populated).
+    pub health: HealthSnapshot,
     /// Resilience counters of the attached [`lingua_gateway::Gateway`], when
     /// one backs the LLM service (see `PipelineServer::attach_gateway`).
     pub gateway: Option<GatewaySnapshot>,
@@ -169,6 +282,19 @@ impl MetricsSnapshot {
     /// Executions avoided by deduplication, in-flight or cached.
     pub fn deduped(&self) -> u64 {
         self.coalesced + self.cache_hits
+    }
+
+    /// Jobs that reached a terminal state through a worker (every accepted
+    /// job that was neither deduplicated nor still in flight). The serving
+    /// conservation law is
+    /// `accepted == finished() + deduped() + still-in-flight`.
+    pub fn finished(&self) -> u64 {
+        self.completed
+            + self.failed
+            + self.timed_out
+            + self.panicked
+            + self.cancelled
+            + self.deadline_exceeded
     }
 
     /// Mean LLM calls per completed job.
@@ -188,12 +314,16 @@ impl MetricsSnapshot {
              \x20 rejected (full) {}\n\
              \x20 deduplicated    {} ({} in-flight, {} cached)\n\
              \x20 completed       {}\n\
-             \x20 failed          {}\n\
+             \x20 failed          {} ({} traps: {} fuel, {} recursion, {} deadline-fuel)\n\
              \x20 timed out       {}\n\
+             \x20 panicked        {}\n\
+             \x20 cancelled       {}\n\
+             \x20 deadline miss   {}\n\
              \x20 queue depth     {}\n\
-             \x20 workers         {}\n\
+             \x20 workers         {} ({} live, {} restarted, {} gave up, {} stuck jobs)\n\
              \x20 latency p50/p95 {:.2} ms / {:.2} ms ({} samples)\n\
-             \x20 llm usage       {} call(s), {} tokens in, {} tokens out ({:.2} calls/job)\n",
+             \x20 llm usage       {} call(s), {} tokens in, {} tokens out ({:.2} calls/job)\n\
+             \x20 llm partial     {} call(s), {} tokens in, {} tokens out (unfinished jobs)\n",
             self.accepted,
             self.rejected,
             self.deduped(),
@@ -201,9 +331,20 @@ impl MetricsSnapshot {
             self.cache_hits,
             self.completed,
             self.failed,
+            self.traps.total(),
+            self.traps.out_of_fuel,
+            self.traps.recursion,
+            self.traps.deadline_fuel,
             self.timed_out,
+            self.panicked,
+            self.cancelled,
+            self.deadline_exceeded,
             self.queue_depth,
             self.workers,
+            self.health.live_workers,
+            self.health.workers_restarted,
+            self.health.workers_gave_up,
+            self.health.stuck_jobs,
             self.p50_latency_ms,
             self.p95_latency_ms,
             self.latency_samples,
@@ -211,6 +352,9 @@ impl MetricsSnapshot {
             self.llm.tokens_in,
             self.llm.tokens_out,
             self.llm_calls_per_job(),
+            self.llm_partial.calls,
+            self.llm_partial.tokens_in,
+            self.llm_partial.tokens_out,
         );
         if let Some(gateway) = &self.gateway {
             out.push_str(&gateway.report());
@@ -250,7 +394,12 @@ impl UsageMeter {
 impl LlmService for UsageMeter {
     fn complete(&self, request: &CompletionRequest) -> String {
         let response = self.inner.complete(request);
-        self.record(&request.prompt, &response);
+        // The cancellation notice means no call was placed and nothing was
+        // billed downstream; metering it here would make the per-job total
+        // diverge from the shared ledger.
+        if response != CANCELLED_NOTICE {
+            self.record(&request.prompt, &response);
+        }
         response
     }
 
@@ -334,7 +483,7 @@ mod tests {
         metrics.enqueue();
         metrics.enqueue();
         metrics.dequeue();
-        metrics.fail();
+        metrics.fail(Usage::default());
         metrics.time_out();
         let snap = metrics.snapshot();
         assert_eq!(snap.accepted, 3);
@@ -343,6 +492,75 @@ mod tests {
         assert_eq!(snap.queue_depth, 1);
         assert_eq!(snap.failed, 1);
         assert_eq!(snap.timed_out, 1);
+    }
+
+    #[test]
+    fn supervision_counters_and_partial_usage_accumulate() {
+        let metrics = Metrics::new();
+        let mut partial = Usage::default();
+        partial.record(10, 0);
+        metrics.panic_job(Usage::default());
+        metrics.cancel_job(partial);
+        metrics.deadline_exceed(partial);
+        metrics.fail(partial);
+        metrics.trap(TrapKind::OutOfFuel);
+        metrics.trap(TrapKind::Recursion);
+        metrics.trap(TrapKind::DeadlineFuel);
+        metrics.trap(TrapKind::OutOfFuel);
+        metrics.worker_restarted();
+        metrics.stuck_job();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.panicked, 1);
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.traps.out_of_fuel, 2);
+        assert_eq!(snap.traps.recursion, 1);
+        assert_eq!(snap.traps.deadline_fuel, 1);
+        assert_eq!(snap.traps.total(), 4);
+        assert_eq!(snap.health.workers_restarted, 1);
+        assert_eq!(snap.health.stuck_jobs, 1);
+        assert_eq!(snap.llm_partial.calls, 3);
+        assert_eq!(snap.llm_partial.tokens_in, 30);
+        assert_eq!(snap.finished(), 4);
+        assert!(snap.report().contains("panicked"));
+        assert!(snap.report().contains("llm partial"));
+    }
+
+    #[test]
+    fn usage_meter_skips_the_cancellation_notice() {
+        struct AlwaysCancelled;
+        impl LlmService for AlwaysCancelled {
+            fn complete(&self, _request: &CompletionRequest) -> String {
+                CANCELLED_NOTICE.to_string()
+            }
+            fn embed(&self, _text: &str) -> Vec<f64> {
+                Vec::new()
+            }
+            fn usage(&self) -> Usage {
+                Usage::default()
+            }
+            fn simulated_latency_ms(&self) -> u64 {
+                0
+            }
+            fn generate_code(&self, _spec: &CodeGenSpec) -> GeneratedCode {
+                unreachable!()
+            }
+            fn suggest_fix(&self, _source: &str, _failures: &[String]) -> String {
+                unreachable!()
+            }
+            fn repair_code(
+                &self,
+                _spec: &CodeGenSpec,
+                _previous: &GeneratedCode,
+                _suggestion: &str,
+            ) -> GeneratedCode {
+                unreachable!()
+            }
+        }
+        let meter = UsageMeter::new(Arc::new(AlwaysCancelled));
+        assert_eq!(meter.complete(&CompletionRequest::new("prompt")), CANCELLED_NOTICE);
+        assert_eq!(meter.usage().calls, 0, "nothing billed for a short-circuited call");
     }
 
     #[test]

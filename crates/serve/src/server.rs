@@ -19,14 +19,16 @@ use crate::fingerprint::{fingerprint_inputs, job_key};
 use crate::job::{JobCore, JobHandle, JobId, JobOutput};
 use crate::metrics::{Metrics, MetricsSnapshot, UsageMeter};
 use crate::registry::PipelineRegistry;
+use crate::supervisor::{supervisor_loop, EscapePanic, SupervisePolicy, Supervision, WorkerGuard};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
-use lingua_core::{Compiler, ContextFactory, Data, Executor, PhysicalPipeline};
+use lingua_core::{Compiler, ContextFactory, CoreError, Data, Executor, PhysicalPipeline};
 use lingua_gateway::Gateway;
 use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
-use lingua_llm_sim::{LlmService, ShardedLru};
+use lingua_llm_sim::{CancelReason, CancelScope, CancelToken, LlmService, ShardedLru, Usage};
 use lingua_trace::{ManualSpan, SpanKind};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -50,6 +52,18 @@ pub struct ServeConfig {
     pub result_cache_capacity: usize,
     /// Default queue timeout applied to jobs that don't set their own.
     pub default_timeout: Option<Duration>,
+    /// Times the supervisor will restart any one crashed worker slot before
+    /// abandoning it (see `DESIGN.md` §"Supervised execution").
+    pub max_worker_restarts: u32,
+    /// Base delay before a crashed worker is restarted; doubles per restart
+    /// of that slot.
+    pub restart_backoff: Duration,
+    /// Supervisor tick interval (watchdog + restart passes).
+    pub supervisor_tick: Duration,
+    /// A job is "stuck" once it has run this many times its deadline budget
+    /// without heartbeat progress; the watchdog then nudges it with a
+    /// cooperative cancel. Jobs without a deadline are never flagged.
+    pub stuck_multiplier: u32,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +74,10 @@ impl Default for ServeConfig {
             dedup_inflight: true,
             result_cache_capacity: 1024,
             default_timeout: None,
+            max_worker_restarts: 8,
+            restart_backoff: Duration::from_millis(2),
+            supervisor_tick: Duration::from_millis(2),
+            stuck_multiplier: 4,
         }
     }
 }
@@ -92,7 +110,28 @@ impl ServeConfig {
                     .into(),
             });
         }
+        if self.supervisor_tick.is_zero() {
+            return Err(ServeError::InvalidConfig {
+                reason: "supervisor_tick must be nonzero (the supervisor would spin)".into(),
+            });
+        }
+        if self.stuck_multiplier == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "stuck_multiplier must be > 0 (every deadlined job would be \
+                         flagged stuck immediately)"
+                    .into(),
+            });
+        }
         Ok(())
+    }
+
+    fn supervise_policy(&self) -> SupervisePolicy {
+        SupervisePolicy {
+            max_worker_restarts: self.max_worker_restarts,
+            restart_backoff: self.restart_backoff,
+            tick: self.supervisor_tick,
+            stuck_multiplier: self.stuck_multiplier,
+        }
     }
 }
 
@@ -187,8 +226,33 @@ pub struct PipelineServer {
     shared: Arc<Shared>,
     high_tx: Option<Sender<QueueItem>>,
     normal_tx: Option<Sender<QueueItem>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Receiver clones kept for the shutdown drain: if the whole pool died
+    /// (every slot crashed past its restart budget), leftover queue items
+    /// are failed here instead of hanging their waiters.
+    high_rx: Receiver<QueueItem>,
+    normal_rx: Receiver<QueueItem>,
+    supervision: Arc<Supervision>,
+    supervisor: Option<JoinHandle<()>>,
     next_id: AtomicU64,
+}
+
+/// Spawn the worker thread for `index`. Used for the initial pool and by the
+/// supervisor for restarts; failures surface as [`ServeError::Spawn`].
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    supervision: &Arc<Supervision>,
+    high_rx: &Receiver<QueueItem>,
+    normal_rx: &Receiver<QueueItem>,
+    index: usize,
+) -> Result<JoinHandle<()>, ServeError> {
+    let shared = Arc::clone(shared);
+    let supervision = Arc::clone(supervision);
+    let high_rx = high_rx.clone();
+    let normal_rx = normal_rx.clone();
+    std::thread::Builder::new()
+        .name(format!("lingua-serve-{index}"))
+        .spawn(move || worker_loop(&shared, &supervision, index, &high_rx, &normal_rx))
+        .map_err(|err| ServeError::Spawn { reason: err.to_string() })
 }
 
 impl PipelineServer {
@@ -213,22 +277,64 @@ impl PipelineServer {
         });
         let (high_tx, high_rx) = bounded(config.queue_capacity);
         let (normal_tx, normal_rx) = bounded(config.queue_capacity);
-        let workers = (0..config.resolved_workers())
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let high_rx = high_rx.clone();
-                let normal_rx = normal_rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("lingua-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, &high_rx, &normal_rx))
-                    .expect("spawn worker thread")
+        let workers = config.resolved_workers();
+        let supervision = Arc::new(Supervision::new(workers));
+        // If any spawn fails, unwind what was started: stop the supervisor
+        // loop from ever restarting anything, close the queues, and join the
+        // workers already running — then report the failure instead of
+        // panicking with a half-built pool.
+        let abort = |supervision: &Arc<Supervision>, err: ServeError| {
+            supervision.shutdown.store(true, Ordering::Release);
+            for handle in supervision.take_handles() {
+                let _ = handle.join();
+            }
+            Err(err)
+        };
+        let mut spawn_err = None;
+        for index in 0..workers {
+            match spawn_worker(&shared, &supervision, &high_rx, &normal_rx, index) {
+                Ok(handle) => supervision.install(index, handle),
+                Err(err) => {
+                    spawn_err = Some(err);
+                    break;
+                }
+            }
+        }
+        if let Some(err) = spawn_err {
+            drop(high_tx);
+            drop(normal_tx);
+            return abort(&supervision, err);
+        }
+        let supervisor = {
+            let shared_sup = Arc::clone(&shared);
+            let supervision_sup = Arc::clone(&supervision);
+            let high_rx_sup = high_rx.clone();
+            let normal_rx_sup = normal_rx.clone();
+            let policy = config.supervise_policy();
+            let tracer = shared.factory.tracer().clone();
+            let metrics = Arc::clone(&shared.metrics);
+            std::thread::Builder::new().name("lingua-serve-supervisor".into()).spawn(move || {
+                supervisor_loop(&supervision_sup, &metrics, &tracer, policy, |index| {
+                    spawn_worker(&shared_sup, &supervision_sup, &high_rx_sup, &normal_rx_sup, index)
+                })
             })
-            .collect();
+        };
+        let supervisor = match supervisor {
+            Ok(handle) => handle,
+            Err(err) => {
+                drop(high_tx);
+                drop(normal_tx);
+                return abort(&supervision, ServeError::Spawn { reason: err.to_string() });
+            }
+        };
         Ok(PipelineServer {
             shared,
             high_tx: Some(high_tx),
             normal_tx: Some(normal_tx),
-            workers,
+            high_rx,
+            normal_rx,
+            supervision,
+            supervisor: Some(supervisor),
             next_id: AtomicU64::new(1),
         })
     }
@@ -273,17 +379,32 @@ impl PipelineServer {
         self.shared.registry.register_dsl(id, source, compiler, &mut ctx)
     }
 
+    /// Size of the worker pool (slots, whether currently alive or not; see
+    /// [`MetricsSnapshot::health`] for liveness).
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.supervision.slot_count()
+    }
+
+    /// Workers currently alive and serving.
+    pub fn live_worker_count(&self) -> usize {
+        self.supervision.live_workers()
     }
 
     /// Point-in-time serving metrics (including gateway resilience counters
-    /// when a gateway is attached).
+    /// when a gateway is attached, and worker-pool health).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.shared.metrics.snapshot();
-        snapshot.workers = self.workers.len();
+        snapshot.workers = self.supervision.slot_count();
+        snapshot.health.live_workers = self.supervision.live_workers();
+        snapshot.health.workers_gave_up = self.supervision.gave_up_count();
         if let Some(gateway) = self.shared.gateway.lock().as_ref() {
-            snapshot.gateway = Some(gateway.snapshot());
+            let gw = gateway.snapshot();
+            snapshot.health.breaker_states = gw
+                .backends
+                .iter()
+                .map(|backend| (backend.name.clone(), backend.breaker_state.to_string()))
+                .collect();
+            snapshot.gateway = Some(gw);
         }
         snapshot.trace = self.shared.factory.tracer().summary();
         snapshot
@@ -310,6 +431,16 @@ impl PipelineServer {
 
         let now = Instant::now();
         let timeout = request.timeout.or(self.shared.config.default_timeout);
+        let deadline = timeout.map(|t| now + t);
+        // The job's cancel token carries the same deadline the queue enforces,
+        // so once execution starts the executor, gateway, and script fuel cap
+        // all race the identical instant.
+        let new_core = || {
+            JobCore::with_cancel(match deadline {
+                Some(at) => CancelToken::with_deadline(at),
+                None => CancelToken::unbounded(),
+            })
+        };
         let tracer = self.shared.factory.tracer();
         let item =
             |core: Arc<JobCore>, fingerprint: Option<u64>, span: Option<ManualSpan>| QueueItem {
@@ -318,7 +449,7 @@ impl PipelineServer {
                 inputs: request.inputs.clone(),
                 fingerprint,
                 enqueued: now,
-                deadline: timeout.map(|t| now + t),
+                deadline,
                 span,
             };
         let lane = match request.priority {
@@ -354,7 +485,7 @@ impl PipelineServer {
                     return Ok(JobHandle::new(id, Arc::clone(core)));
                 }
             }
-            let core = JobCore::new();
+            let core = new_core();
             let span =
                 tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(fp)));
             tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
@@ -382,7 +513,7 @@ impl PipelineServer {
                 }
             }
         } else {
-            let core = JobCore::new();
+            let core = new_core();
             let span = tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, None));
             tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
             // Same ordering as the fingerprinted branch: enqueue before the
@@ -411,14 +542,35 @@ impl PipelineServer {
         self.submit(request)?.wait()
     }
 
-    /// Graceful shutdown: stop admitting, drain queued jobs, join workers.
-    /// Idempotent; also invoked on drop.
+    /// Graceful shutdown: stop admitting, stop the supervisor (no restarts
+    /// during teardown), drain queued jobs, join workers. Any job still
+    /// queued after the pool exits — possible only if every worker crashed
+    /// past its restart budget — is failed with [`ServeError::Shutdown`]
+    /// rather than left hanging. Idempotent; also invoked on drop.
     pub fn shutdown(&mut self) {
+        self.supervision.shutdown.store(true, Ordering::Release);
         self.high_tx.take();
         self.normal_tx.take();
-        for worker in self.workers.drain(..) {
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // Join with the slots lock released — a dying worker's guard takes it.
+        for worker in self.supervision.take_handles() {
             let _ = worker.join();
         }
+        let tracer = self.shared.factory.tracer();
+        let drain = |rx: &Receiver<QueueItem>| {
+            while let Ok(mut item) = rx.try_recv() {
+                self.shared.metrics.dequeue();
+                self.shared.metrics.fail(Usage::default());
+                if let Some(span) = item.span.take() {
+                    tracer.end(span, || vec![("path".into(), "shutdown".into())]);
+                }
+                finish(&self.shared, &item, Err(ServeError::Shutdown));
+            }
+        };
+        drain(&self.high_rx);
+        drain(&self.normal_rx);
     }
 }
 
@@ -475,30 +627,64 @@ fn next_item(high: &Receiver<QueueItem>, normal: &Receiver<QueueItem>) -> Option
     }
 }
 
-fn worker_loop(shared: &Shared, high: &Receiver<QueueItem>, normal: &Receiver<QueueItem>) {
+fn worker_loop(
+    shared: &Arc<Shared>,
+    supervision: &Arc<Supervision>,
+    index: usize,
+    high: &Receiver<QueueItem>,
+    normal: &Receiver<QueueItem>,
+) {
+    // Dropped on every exit — clean drain or escaping panic — marking the
+    // slot dead for the supervisor and failing any orphaned job.
+    let _guard = WorkerGuard::new(Arc::clone(supervision), Arc::clone(&shared.metrics), index);
     // Per-worker instance cache: (generation, executable pipeline copy).
     let mut instances: HashMap<String, (u64, PhysicalPipeline)> = HashMap::new();
     while let Some(item) = next_item(high, normal) {
         shared.metrics.dequeue();
-        process(shared, &mut instances, item);
+        process(shared, supervision, index, &mut instances, item);
+    }
+}
+
+/// Render a caught panic payload for [`ServeError::Panicked`].
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else if let Some(text) = payload.downcast_ref::<&'static str>() {
+        (*text).to_string()
+    } else if payload.downcast_ref::<EscapePanic>().is_some() {
+        "EscapePanic (deliberate worker-kill sentinel)".into()
+    } else {
+        "opaque panic payload".into()
     }
 }
 
 fn process(
     shared: &Shared,
+    supervision: &Supervision,
+    worker: usize,
     instances: &mut HashMap<String, (u64, PhysicalPipeline)>,
     mut item: QueueItem,
 ) {
     let tracer = shared.factory.tracer();
+    let end_span = |item: &mut QueueItem, path: &str| {
+        if let Some(span) = item.span.take() {
+            tracer.end(span, || vec![("path".into(), path.to_string())]);
+        }
+    };
     if let Some(deadline) = item.deadline {
         if Instant::now() > deadline {
             shared.metrics.time_out();
-            if let Some(span) = item.span.take() {
-                tracer.end(span, || vec![("path".into(), "timeout".into())]);
-            }
+            end_span(&mut item, "timeout");
             finish(shared, &item, Err(ServeError::Timeout { waited: item.enqueued.elapsed() }));
             return;
         }
+    }
+    // Cancelled while queued: fail it before spending any execution.
+    if item.core.cancel.explicitly_cancelled() {
+        shared.metrics.cancel_job(Usage::default());
+        end_span(&mut item, "cancelled");
+        finish(shared, &item, Err(ServeError::Cancelled));
+        return;
     }
     item.core.set_running();
 
@@ -512,45 +698,113 @@ fn process(
                 instances.insert(item.pipeline.clone(), (generation, instance));
             }
             Err(err) => {
-                shared.metrics.fail();
-                if let Some(span) = item.span.take() {
-                    tracer.end(span, || vec![("path".into(), "failed".into())]);
-                }
+                shared.metrics.fail(Usage::default());
+                end_span(&mut item, "failed");
                 finish(shared, &item, Err(err));
                 return;
             }
         }
     }
-    let (_, pipeline) = instances.get_mut(&item.pipeline).expect("instance just ensured");
+    let (_, pipeline) = match instances.get_mut(&item.pipeline) {
+        Some(entry) => entry,
+        None => {
+            // Unreachable after a successful refresh; fail the job rather
+            // than unwind the worker on a broken internal assumption.
+            shared.metrics.fail(Usage::default());
+            end_span(&mut item, "failed");
+            finish(
+                shared,
+                &item,
+                Err(ServeError::Internal {
+                    reason: format!(
+                        "worker {worker} holds no instance of `{}` after refreshing it",
+                        item.pipeline
+                    ),
+                }),
+            );
+            return;
+        }
+    };
 
-    // Fresh context per run: shared LLM + tools behind a per-job meter.
+    // Fresh context per run: shared LLM + tools behind a per-job meter, the
+    // job's cancel token threaded in so the executor, `parallel_map`, the
+    // script fuel cap, and the LLM layers all observe the same deadline.
     let meter = Arc::new(UsageMeter::new(shared.factory.llm()));
-    let mut ctx =
-        shared.factory.build_with_llm(Arc::clone(&meter) as Arc<dyn lingua_llm_sim::LlmService>);
+    let token = item.core.cancel.clone();
+    let mut ctx = shared
+        .factory
+        .build_with_llm(Arc::clone(&meter) as Arc<dyn lingua_llm_sim::LlmService>)
+        .with_cancel(token.clone());
     // Nest the execution under the job span begun at submission.
     let enter = item.span.as_ref().map(|span| {
         tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "dequeued", Vec::new);
         tracer.enter(span)
     });
+    supervision.begin_job(worker, &item.core, &item.pipeline, token.remaining());
     let start = Instant::now();
-    let result = Executor::run(pipeline, &mut ctx, item.inputs.clone());
+    // Contain pipeline panics at the job boundary: the job fails, the worker
+    // survives. The context and pipeline instance are only touched inside;
+    // both are discarded on unwind (the instance cache entry explicitly), so
+    // no torn state is observed afterwards and AssertUnwindSafe is sound.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _scope = CancelScope::enter(&token);
+        Executor::run(pipeline, &mut ctx, item.inputs.clone())
+    }));
     let wall = start.elapsed();
+    supervision.end_job(worker);
     drop(enter);
     match result {
-        Ok(report) => {
+        Ok(Ok(report)) => {
             let output = Arc::new(JobOutput { env: report.env, llm: meter.usage(), wall });
             shared.metrics.complete(item.enqueued.elapsed(), output.llm);
-            if let Some(span) = item.span.take() {
-                tracer.end(span, || vec![("path".into(), "executed".into())]);
-            }
+            end_span(&mut item, "executed");
             finish(shared, &item, Ok(output));
         }
-        Err(err) => {
-            shared.metrics.fail();
-            if let Some(span) = item.span.take() {
-                tracer.end(span, || vec![("path".into(), "failed".into())]);
+        Ok(Err(CoreError::Cancelled { reason: CancelReason::DeadlineExceeded })) => {
+            // Partial usage was billed before the deadline fired; route it to
+            // the `llm_partial` meter so ledgers still reconcile to the cent.
+            shared.metrics.deadline_exceed(meter.usage());
+            end_span(&mut item, "deadline_exceeded");
+            finish(shared, &item, Err(ServeError::DeadlineExceeded { elapsed: wall }));
+        }
+        Ok(Err(CoreError::Cancelled { reason: CancelReason::Cancelled })) => {
+            shared.metrics.cancel_job(meter.usage());
+            end_span(&mut item, "cancelled");
+            finish(shared, &item, Err(ServeError::Cancelled));
+        }
+        Ok(Err(err)) => {
+            if let CoreError::Trap { trap, .. } = &err {
+                shared.metrics.trap(*trap);
             }
+            shared.metrics.fail(meter.usage());
+            end_span(&mut item, "failed");
             finish(shared, &item, Err(ServeError::Core(err)));
+        }
+        Err(payload) => {
+            // The instance may be poisoned mid-mutation: discard it so the
+            // next job replicates a fresh copy from the registry.
+            instances.remove(&item.pipeline);
+            shared.metrics.panic_job(meter.usage());
+            end_span(&mut item, "panicked");
+            tracer.instant(SpanKind::Supervisor, "job_panicked", || {
+                vec![
+                    ("worker".into(), worker.to_string()),
+                    ("pipeline".into(), item.pipeline.clone()),
+                ]
+            });
+            finish(
+                shared,
+                &item,
+                Err(ServeError::Panicked {
+                    pipeline: item.pipeline.clone(),
+                    payload: panic_text(payload.as_ref()),
+                }),
+            );
+            // The kill sentinel escapes containment on purpose — after the
+            // job is failed and counted — to exercise worker resurrection.
+            if payload.downcast_ref::<EscapePanic>().is_some() {
+                resume_unwind(payload);
+            }
         }
     }
 }
@@ -697,6 +951,16 @@ mod tests {
             start_err(ServeConfig { default_timeout: Some(Duration::ZERO), ..Default::default() });
         assert!(
             matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("default_timeout"))
+        );
+
+        let err = start_err(ServeConfig { supervisor_tick: Duration::ZERO, ..Default::default() });
+        assert!(
+            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("supervisor_tick"))
+        );
+
+        let err = start_err(ServeConfig { stuck_multiplier: 0, ..Default::default() });
+        assert!(
+            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("stuck_multiplier"))
         );
 
         // A nonzero deadline is fine.

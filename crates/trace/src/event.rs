@@ -35,6 +35,8 @@ pub enum SpanKind {
     Gateway,
     /// One call on an `LlmService` (tokens attributed on the end edge).
     LlmCall,
+    /// Serve-layer supervision: worker panics, restarts, watchdog nudges.
+    Supervisor,
 }
 
 impl SpanKind {
@@ -51,6 +53,7 @@ impl SpanKind {
             SpanKind::Connector => "connector",
             SpanKind::Gateway => "gateway",
             SpanKind::LlmCall => "llm_call",
+            SpanKind::Supervisor => "supervisor",
         }
     }
 }

@@ -10,7 +10,9 @@
 use crate::event::SpanKind;
 use crate::tracer::Tracer;
 use lingua_llm_sim::cost::count_tokens;
-use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use lingua_llm_sim::{
+    CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage, CANCELLED_NOTICE,
+};
 use std::sync::Arc;
 
 /// Wraps a shared LLM service, emitting an `LlmCall` span per call.
@@ -41,7 +43,17 @@ impl LlmService for TracedLlm {
     fn complete(&self, request: &CompletionRequest) -> String {
         let mut span = self.tracer.span(SpanKind::LlmCall, "complete");
         let response = self.inner.complete(request);
-        span.set_usage(Self::call_usage(count_tokens(&request.prompt), count_tokens(&response)));
+        if response == CANCELLED_NOTICE {
+            // The call was never placed and nothing was billed downstream;
+            // attributing usage here would desync the span rollup from the
+            // meters (which all skip the notice).
+            span.attr("cancelled", "true");
+        } else {
+            span.set_usage(Self::call_usage(
+                count_tokens(&request.prompt),
+                count_tokens(&response),
+            ));
+        }
         response
     }
 
