@@ -92,7 +92,7 @@ pub fn generate(world: &WorldSpec, dataset: ErDataset, seed: u64) -> PairSplit {
 
 pub const BEER_SCHEMA: [&str; 4] = ["beer_name", "brewery", "style", "abv"];
 
-fn beer_record(b: &BeerFact) -> Record {
+pub(crate) fn beer_record(b: &BeerFact) -> Record {
     Record::new(vec![
         Value::Str(b.name.clone()),
         Value::Str(b.brewery.clone()),
@@ -101,7 +101,7 @@ fn beer_record(b: &BeerFact) -> Record {
     ])
 }
 
-fn corrupt_beer(rng: &mut StdRng, b: &BeerFact, intensity: f64) -> Record {
+pub(crate) fn corrupt_beer(rng: &mut StdRng, b: &BeerFact, intensity: f64) -> Record {
     let mut name = corruption::corrupt(rng, &b.name, intensity);
     // RateBeer-style listing damage: heavy abbreviation and style suffixes
     // glued onto the name. Character-level features survive this; plain

@@ -7,6 +7,9 @@
 //!   `manufacturer` column.
 //! * [`names`] — a multilingual name-extraction corpus (the startup-company
 //!   workload of §4.2).
+//! * [`stream`] — unbounded seeded record streams (beer listings with
+//!   bounded-lag corrupted duplicates) feeding the streaming curation
+//!   engine.
 //! * [`corruption`] — the perturbation toolbox (typos, abbreviations, token
 //!   drop/reorder, case and format jitter) shared by the generators.
 
@@ -14,3 +17,4 @@ pub mod corruption;
 pub mod er;
 pub mod imputation;
 pub mod names;
+pub mod stream;

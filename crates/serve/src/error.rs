@@ -4,13 +4,91 @@ use lingua_core::CoreError;
 use std::fmt;
 use std::time::Duration;
 
+/// Machine-readable reasons a [`crate::ServeConfig`] is unusable.
+///
+/// Typed (rather than a free-form string) so callers — the streaming engine
+/// in particular — can branch on *which* knob is broken: a zero window and a
+/// slide wider than its window are both configuration bugs, but only the
+/// latter carries the two durations a caller needs to print a useful
+/// diagnostic or clamp the knob programmatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidConfig {
+    /// `workers == Some(0)`: no worker would ever dequeue a job.
+    ZeroWorkers,
+    /// `queue_capacity == 0`: every submission would be rejected.
+    ZeroQueueCapacity,
+    /// `default_timeout == Some(ZERO)`: every job would expire in the queue.
+    ZeroDefaultTimeout,
+    /// `supervisor_tick == ZERO`: the supervisor would spin.
+    ZeroSupervisorTick,
+    /// `stuck_multiplier == 0`: every deadlined job would be flagged stuck
+    /// immediately.
+    ZeroStuckMultiplier,
+    /// Streaming: `window == 0` event-time ticks — no record could ever land
+    /// in a window, so the stream would ingest forever and emit nothing.
+    ZeroWindow,
+    /// Streaming: `slide == 0` — window assignment divides event time by the
+    /// slide, and a zero slide would put every record in unboundedly many
+    /// windows.
+    ZeroSlide,
+    /// Streaming: the slide is wider than the window, leaving event-time
+    /// gaps that silently drop every record falling between windows.
+    SlideExceedsWindow { slide: u64, window: u64 },
+    /// Streaming: `watermark_interval == 0` — the watermark would never
+    /// advance, so no window would ever close.
+    ZeroWatermarkInterval,
+}
+
+impl fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidConfig::ZeroWorkers => {
+                write!(f, "workers must be > 0 (no worker would ever dequeue a job)")
+            }
+            InvalidConfig::ZeroQueueCapacity => {
+                write!(f, "queue_capacity must be > 0 (every submission would be rejected)")
+            }
+            InvalidConfig::ZeroDefaultTimeout => {
+                write!(f, "default_timeout must be nonzero (every job would expire in the queue)")
+            }
+            InvalidConfig::ZeroSupervisorTick => {
+                write!(f, "supervisor_tick must be nonzero (the supervisor would spin)")
+            }
+            InvalidConfig::ZeroStuckMultiplier => {
+                write!(
+                    f,
+                    "stuck_multiplier must be > 0 (every deadlined job would be \
+                     flagged stuck immediately)"
+                )
+            }
+            InvalidConfig::ZeroWindow => {
+                write!(f, "stream window must be > 0 ticks (no record could land in a window)")
+            }
+            InvalidConfig::ZeroSlide => {
+                write!(f, "stream slide must be > 0 ticks (window assignment would not terminate)")
+            }
+            InvalidConfig::SlideExceedsWindow { slide, window } => {
+                write!(
+                    f,
+                    "stream slide ({slide} ticks) exceeds the window ({window} ticks); \
+                     records falling in the gaps would be dropped silently"
+                )
+            }
+            InvalidConfig::ZeroWatermarkInterval => {
+                write!(f, "stream watermark_interval must be > 0 (no window would ever close)")
+            }
+        }
+    }
+}
+
 /// Errors from submitting to or running jobs on a [`crate::PipelineServer`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// The server configuration is unusable (zero workers, zero queue
-    /// capacity, zero deadline); rejected at construction instead of
-    /// panicking or hanging later.
-    InvalidConfig { reason: String },
+    /// capacity, zero deadline, broken streaming knobs); rejected at
+    /// construction instead of panicking or hanging later. The payload says
+    /// exactly which knob.
+    InvalidConfig(InvalidConfig),
     /// Admission control rejected the submission: the job queue is at
     /// capacity. Callers should back off and retry.
     Full { capacity: usize },
@@ -45,8 +123,8 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::InvalidConfig { reason } => {
-                write!(f, "invalid serve configuration: {reason}")
+            ServeError::InvalidConfig(which) => {
+                write!(f, "invalid serve configuration: {which}")
             }
             ServeError::Full { capacity } => {
                 write!(f, "job queue is full (capacity {capacity}); back off and retry")
@@ -92,8 +170,31 @@ mod tests {
     use super::*;
 
     #[test]
+    fn invalid_config_names_the_knob() {
+        // Every variant's message names the offending knob, so `start()`
+        // failures stay actionable even when only the string is logged.
+        let cases: [(InvalidConfig, &str); 9] = [
+            (InvalidConfig::ZeroWorkers, "workers"),
+            (InvalidConfig::ZeroQueueCapacity, "queue_capacity"),
+            (InvalidConfig::ZeroDefaultTimeout, "default_timeout"),
+            (InvalidConfig::ZeroSupervisorTick, "supervisor_tick"),
+            (InvalidConfig::ZeroStuckMultiplier, "stuck_multiplier"),
+            (InvalidConfig::ZeroWindow, "window"),
+            (InvalidConfig::ZeroSlide, "slide"),
+            (InvalidConfig::SlideExceedsWindow { slide: 9, window: 4 }, "slide"),
+            (InvalidConfig::ZeroWatermarkInterval, "watermark_interval"),
+        ];
+        for (which, knob) in cases {
+            assert!(which.to_string().contains(knob), "{which:?} should mention {knob}");
+            assert!(ServeError::InvalidConfig(which).to_string().contains(knob));
+        }
+        let gap = InvalidConfig::SlideExceedsWindow { slide: 9, window: 4 }.to_string();
+        assert!(gap.contains('9') && gap.contains('4'), "carries both durations: {gap}");
+    }
+
+    #[test]
     fn display_is_informative() {
-        assert!(ServeError::InvalidConfig { reason: "workers must be > 0".into() }
+        assert!(ServeError::InvalidConfig(InvalidConfig::ZeroWorkers)
             .to_string()
             .contains("workers"));
         assert!(ServeError::Full { capacity: 8 }.to_string().contains('8'));

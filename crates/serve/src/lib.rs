@@ -75,10 +75,10 @@ pub mod registry;
 pub mod server;
 pub mod supervisor;
 
-pub use error::ServeError;
+pub use error::{InvalidConfig, ServeError};
 pub use fingerprint::{fingerprint_inputs, job_key};
 pub use job::{JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{HealthSnapshot, Metrics, MetricsSnapshot, TrapCounters, UsageMeter};
 pub use registry::PipelineRegistry;
-pub use server::{PipelineServer, Priority, ServeConfig, SubmitRequest};
+pub use server::{PipelineServer, Priority, ServeConfig, StreamTuning, SubmitRequest};
 pub use supervisor::EscapePanic;

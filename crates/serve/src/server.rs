@@ -64,6 +64,59 @@ pub struct ServeConfig {
     /// without heartbeat progress; the watchdog then nudges it with a
     /// cooperative cancel. Jobs without a deadline are never flagged.
     pub stuck_multiplier: u32,
+    /// Streaming-engine knobs, when this server backs a `lingua-stream`
+    /// engine. Validated here so a misconfigured stream fails at `start()`
+    /// with a typed [`InvalidConfig`] instead of silently stalling (a window
+    /// that never closes looks exactly like a slow stream from the outside).
+    pub stream: Option<StreamTuning>,
+}
+
+/// Event-time knobs for a windowed streaming engine riding this server.
+///
+/// All quantities are in *event-time ticks* — the logical timestamps stamped
+/// on stream records — not wall time, so a seeded replay closes the same
+/// windows at the same points regardless of host speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTuning {
+    /// Window length in event-time ticks.
+    pub window: u64,
+    /// Slide between consecutive window starts; `slide == window` makes the
+    /// windows tumbling, `slide < window` sliding (records land in
+    /// `window / slide` windows). Must not exceed `window`.
+    pub slide: u64,
+    /// Ingests between watermark recomputations. `1` re-derives the
+    /// watermark on every record; larger values batch the (cheap) window
+    /// close scan.
+    pub watermark_interval: u64,
+}
+
+impl Default for StreamTuning {
+    fn default() -> Self {
+        StreamTuning { window: 64, slide: 32, watermark_interval: 8 }
+    }
+}
+
+impl StreamTuning {
+    /// Check the streaming knobs (see [`ServeConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        use crate::error::InvalidConfig;
+        if self.window == 0 {
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroWindow));
+        }
+        if self.slide == 0 {
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroSlide));
+        }
+        if self.slide > self.window {
+            return Err(ServeError::InvalidConfig(InvalidConfig::SlideExceedsWindow {
+                slide: self.slide,
+                window: self.window,
+            }));
+        }
+        if self.watermark_interval == 0 {
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroWatermarkInterval));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ServeConfig {
@@ -78,6 +131,7 @@ impl Default for ServeConfig {
             restart_backoff: Duration::from_millis(2),
             supervisor_tick: Duration::from_millis(2),
             stuck_multiplier: 4,
+            stream: None,
         }
     }
 }
@@ -91,36 +145,29 @@ impl ServeConfig {
     }
 
     /// Reject unusable configurations up front: zero workers would hang
-    /// every job, a zero-capacity queue would reject every submission, and a
-    /// zero default deadline would time every job out before it ran.
+    /// every job, a zero-capacity queue would reject every submission, a
+    /// zero default deadline would time every job out before it ran, and
+    /// broken streaming knobs would stall a stream forever. Each rejection
+    /// is a typed [`InvalidConfig`] naming the knob.
     pub fn validate(&self) -> Result<(), ServeError> {
+        use crate::error::InvalidConfig;
         if self.workers == Some(0) {
-            return Err(ServeError::InvalidConfig {
-                reason: "workers must be > 0 (no worker would ever dequeue a job)".into(),
-            });
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroWorkers));
         }
         if self.queue_capacity == 0 {
-            return Err(ServeError::InvalidConfig {
-                reason: "queue_capacity must be > 0 (every submission would be rejected)".into(),
-            });
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroQueueCapacity));
         }
         if self.default_timeout == Some(Duration::ZERO) {
-            return Err(ServeError::InvalidConfig {
-                reason: "default_timeout must be nonzero (every job would expire in the queue)"
-                    .into(),
-            });
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroDefaultTimeout));
         }
         if self.supervisor_tick.is_zero() {
-            return Err(ServeError::InvalidConfig {
-                reason: "supervisor_tick must be nonzero (the supervisor would spin)".into(),
-            });
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroSupervisorTick));
         }
         if self.stuck_multiplier == 0 {
-            return Err(ServeError::InvalidConfig {
-                reason: "stuck_multiplier must be > 0 (every deadlined job would be \
-                         flagged stuck immediately)"
-                    .into(),
-            });
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroStuckMultiplier));
+        }
+        if let Some(stream) = &self.stream {
+            stream.validate()?;
         }
         Ok(())
     }
@@ -937,36 +984,62 @@ mod tests {
 
     #[test]
     fn unusable_configurations_are_rejected_at_start() {
+        use crate::error::InvalidConfig;
         let start_err =
             |config: ServeConfig| PipelineServer::start(factory(), config).map(|_| ()).unwrap_err();
         let err = start_err(ServeConfig { workers: Some(0), ..Default::default() });
-        assert!(matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("workers")));
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroWorkers));
 
         let err = start_err(ServeConfig { queue_capacity: 0, ..Default::default() });
-        assert!(
-            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("queue_capacity"))
-        );
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroQueueCapacity));
 
         let err =
             start_err(ServeConfig { default_timeout: Some(Duration::ZERO), ..Default::default() });
-        assert!(
-            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("default_timeout"))
-        );
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroDefaultTimeout));
 
         let err = start_err(ServeConfig { supervisor_tick: Duration::ZERO, ..Default::default() });
-        assert!(
-            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("supervisor_tick"))
-        );
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroSupervisorTick));
 
         let err = start_err(ServeConfig { stuck_multiplier: 0, ..Default::default() });
-        assert!(
-            matches!(&err, ServeError::InvalidConfig { reason } if reason.contains("stuck_multiplier"))
-        );
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroStuckMultiplier));
 
         // A nonzero deadline is fine.
         let ok =
             ServeConfig { default_timeout: Some(Duration::from_secs(30)), ..Default::default() };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn broken_streaming_knobs_are_rejected_at_start() {
+        use crate::error::InvalidConfig;
+        let start_err = |tuning: StreamTuning| {
+            let config = ServeConfig { stream: Some(tuning), ..Default::default() };
+            PipelineServer::start(factory(), config).map(|_| ()).unwrap_err()
+        };
+        let err = start_err(StreamTuning { window: 0, ..Default::default() });
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroWindow));
+
+        let err = start_err(StreamTuning { slide: 0, ..Default::default() });
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroSlide));
+
+        let err = start_err(StreamTuning { window: 16, slide: 48, watermark_interval: 1 });
+        assert_eq!(
+            err,
+            ServeError::InvalidConfig(InvalidConfig::SlideExceedsWindow { slide: 48, window: 16 })
+        );
+
+        let err = start_err(StreamTuning { watermark_interval: 0, ..Default::default() });
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroWatermarkInterval));
+
+        // Tumbling (slide == window) and sliding (slide < window) both pass.
+        assert!(StreamTuning { window: 16, slide: 16, watermark_interval: 1 }.validate().is_ok());
+        assert!(StreamTuning::default().validate().is_ok());
+        let mut server = summarize_server(ServeConfig {
+            workers: Some(1),
+            stream: Some(StreamTuning::default()),
+            ..Default::default()
+        });
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,644 @@
+//! The streaming curation engine: windows, watermarks, incremental ER, and
+//! window-close jobs on the serving substrate.
+//!
+//! [`StreamEngine`] is deliberately thin. Event-time bookkeeping (which
+//! windows a record joins, when the watermark closes them) lives under one
+//! mutex and is pure arithmetic; everything expensive rides infrastructure
+//! the repo already hardened:
+//!
+//! - window-close work is submitted as **jobs to `lingua-serve`**, so it
+//!   gets panic isolation, deadlines, dedup, and the sharded result cache
+//!   for free;
+//! - candidate judgments go through the **LLM service the context factory
+//!   provides** (wrap it in a gateway for retries/hedging — the engine
+//!   doesn't care);
+//! - every window is a **cross-thread trace span** (`stream_window`), with
+//!   watermark advances and late drops as instants, so `lingua-trace` tools
+//!   reconstruct stream behavior the same way they do batch jobs.
+//!
+//! Work per record is O(window occupancy): the blocking probe only touches
+//! the record's own windows ([`WindowState::insert`]), never accumulated
+//! history. The conservation laws the metrics promise
+//! ([`StreamSnapshot::record_conservation_holds`]) are enforced by tests
+//! under sustained concurrent load.
+
+use crate::error::StreamError;
+use crate::incremental::WindowState;
+use crate::metrics::{StreamMetrics, StreamSnapshot};
+use crate::report::{ReportStrategy, WindowReport};
+use crate::window::{closed_through, windows_for, Watermark, WindowId};
+use lingua_core::modules::{CustomModule, Module};
+use lingua_core::validation::OutputValidator;
+use lingua_core::{Compiler, ContextFactory, CoreError, Data, LogicalOp, Pipeline};
+use lingua_dataset::generators::stream::StreamItem;
+use lingua_dataset::Schema;
+use lingua_llm_sim::{CompletionRequest, LlmService};
+use lingua_serve::{
+    JobHandle, MetricsSnapshot, PipelineServer, Priority, ServeConfig, ServeError, StreamTuning,
+    SubmitRequest, UsageMeter,
+};
+use lingua_trace::{SpanKind, Tracer};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pipeline id the engine registers for window-close reports.
+pub const WINDOW_PIPELINE: &str = "stream_window_report";
+
+/// Full engine configuration: event-time tuning plus execution knobs.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Window/slide/watermark-interval, validated by the serve layer at
+    /// [`StreamEngine::start`] (it is embedded into [`ServeConfig::stream`]).
+    pub tuning: StreamTuning,
+    /// How far (in event-time ticks) the watermark trails the frontier.
+    /// Records more out-of-order than this are dropped late.
+    pub allowed_lateness: u64,
+    pub strategy: ReportStrategy,
+    /// Schema column whose tokens drive window-scoped blocking.
+    pub key_column: String,
+    /// Stop-token threshold for the per-window blocking index.
+    pub max_block_size: usize,
+    /// Serving substrate configuration for window-close jobs.
+    pub serve: ServeConfig,
+    /// Backpressure: how many times a window-close submission retries after
+    /// [`ServeError::Full`] before giving up. Together with
+    /// `submit_backoff` this is the total stall budget ingest will absorb
+    /// before surfacing the overload to the source — the default tolerates
+    /// several seconds of saturated queue, which unoptimized debug builds
+    /// actually hit.
+    pub submit_retries: u32,
+    /// Pause between backpressure retries.
+    pub submit_backoff: Duration,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            tuning: StreamTuning::default(),
+            allowed_lateness: 8,
+            strategy: ReportStrategy::default(),
+            key_column: "beer_name".to_string(),
+            max_block_size: 24,
+            serve: ServeConfig::default(),
+            submit_retries: 10_000,
+            submit_backoff: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Event-time state, all under one mutex: which windows are open, where the
+/// watermark stands, and how far the frontier has advanced.
+struct EngineState {
+    open: BTreeMap<u64, WindowState>,
+    watermark: Watermark,
+    max_event_time: u64,
+    /// Ingests since the watermark was last recomputed.
+    since_advance: u64,
+}
+
+/// A closed window turned into a serve submission — built under the state
+/// lock, submitted outside it so backpressure retries never hold the lock.
+struct CloseJob {
+    window: WindowId,
+    start: u64,
+    end: u64,
+    records: usize,
+    candidate_pairs: usize,
+    comparisons: u64,
+    true_duplicates: usize,
+    inline_judged: u64,
+    inline_matched: u64,
+    inputs: BTreeMap<String, Data>,
+}
+
+/// A submitted window-close job awaiting its result.
+struct PendingWindow {
+    window: WindowId,
+    start: u64,
+    end: u64,
+    records: usize,
+    candidate_pairs: usize,
+    comparisons: u64,
+    true_duplicates: usize,
+    inline_judged: u64,
+    inline_matched: u64,
+    handle: JobHandle,
+}
+
+/// Windowed, incremental streaming curation over the serving substrate.
+///
+/// `ingest` is safe to call from many threads; `finish` must be called after
+/// every ingesting thread has quiesced (the natural shape: producers join,
+/// then the driver drains).
+pub struct StreamEngine {
+    tuning: StreamTuning,
+    allowed_lateness: u64,
+    strategy: ReportStrategy,
+    key_index: usize,
+    max_block_size: usize,
+    submit_retries: u32,
+    submit_backoff: Duration,
+    schema: Schema,
+    server: PipelineServer,
+    /// Meters inline (continuous-strategy) judgments separately from serve
+    /// jobs so the billing reconciliation can split the ledger exactly.
+    inline_llm: Arc<UsageMeter>,
+    tracer: Tracer,
+    metrics: StreamMetrics,
+    state: Mutex<EngineState>,
+    pending: Mutex<Vec<PendingWindow>>,
+}
+
+/// The canonical entity-match prompt (the exact shape `SimLlm`'s
+/// entity-match behavior parses and pins its answer format on).
+pub fn entity_prompt(a: &str, b: &str) -> String {
+    format!(
+        "Please determine if the following two records refer to the same entity.\n\
+         Record A: {a}\nRecord B: {b}\nAnswer yes or no."
+    )
+}
+
+/// Conservative verdict parse: anything the yes/no validator can't read with
+/// confidence is a non-match (same policy as the batch matcher).
+fn is_yes(response: &str) -> bool {
+    matches!(OutputValidator::YesNo.validate(response), Some(Data::Bool(true)))
+}
+
+fn int_field(map: &BTreeMap<String, Data>, key: &str) -> i64 {
+    match map.get(key) {
+        Some(Data::Int(n)) => *n,
+        _ => 0,
+    }
+}
+
+/// The window-close module: judges the payload's candidate pairs (if any)
+/// and returns `{judged, matched}` totals folded over any counts the
+/// continuous strategy already accumulated inline.
+fn window_report_module() -> CustomModule {
+    CustomModule::stateless("window_report", |input, ctx| {
+        let payload = input.as_map().ok_or(CoreError::DataShape {
+            expected: "map payload with pairs/judged/matched",
+            got: "non-map window payload".to_string(),
+        })?;
+        let mut judged = int_field(payload, "judged");
+        let mut matched = int_field(payload, "matched");
+        if let Some(pairs) = payload.get("pairs").and_then(Data::as_list) {
+            for pair in pairs {
+                // Cooperative cancellation between judgments, so a deadline
+                // on a window job stops the batch rather than finishing it.
+                ctx.cancel.check().map_err(|reason| CoreError::Cancelled { reason })?;
+                let Some(pair) = pair.as_map() else { continue };
+                let a = pair.get("a").and_then(Data::as_str).unwrap_or("");
+                let b = pair.get("b").and_then(Data::as_str).unwrap_or("");
+                let response = ctx.llm.complete(&CompletionRequest::new(entity_prompt(a, b)));
+                judged += 1;
+                if is_yes(&response) {
+                    matched += 1;
+                }
+            }
+        }
+        Ok(Data::map([
+            ("judged".to_string(), Data::Int(judged)),
+            ("matched".to_string(), Data::Int(matched)),
+        ]))
+    })
+}
+
+impl StreamEngine {
+    /// Start the engine: validate the tuning (through the serve layer, so a
+    /// zero window or slide > window fails *here*, typed), boot the server,
+    /// and register the window-report pipeline.
+    pub fn start(
+        factory: ContextFactory,
+        schema: Schema,
+        config: StreamConfig,
+    ) -> Result<StreamEngine, StreamError> {
+        let key_index = schema
+            .index_of(&config.key_column)
+            .ok_or_else(|| StreamError::UnknownKeyColumn { column: config.key_column.clone() })?;
+
+        let mut serve_config = config.serve.clone();
+        serve_config.stream = Some(config.tuning);
+
+        let tracer = factory.tracer().clone();
+        let inline_llm = Arc::new(UsageMeter::new(factory.llm()));
+
+        // Compile the window-report pipeline against the same factory the
+        // server will replicate contexts from.
+        let mut compiler = Compiler::with_builtins();
+        compiler.register("window_report", |_op, _ctx| {
+            Ok(Box::new(window_report_module()) as Box<dyn Module>)
+        });
+        let logical = Pipeline::new(WINDOW_PIPELINE)
+            .op(LogicalOp::new("window_report").output("report").input("payload"));
+        let mut ctx = factory.build();
+        let physical = compiler
+            .compile(&logical, &mut ctx)
+            .expect("window-report pipeline is statically well-formed");
+
+        let server = PipelineServer::start(factory, serve_config)?;
+        server.register_pipeline(WINDOW_PIPELINE, physical)?;
+
+        Ok(StreamEngine {
+            tuning: config.tuning,
+            allowed_lateness: config.allowed_lateness,
+            strategy: config.strategy,
+            key_index,
+            max_block_size: config.max_block_size,
+            submit_retries: config.submit_retries,
+            submit_backoff: config.submit_backoff,
+            schema,
+            server,
+            inline_llm,
+            tracer,
+            metrics: StreamMetrics::new(),
+            state: Mutex::new(EngineState {
+                open: BTreeMap::new(),
+                watermark: Watermark::new(),
+                max_event_time: 0,
+                since_advance: 0,
+            }),
+            pending: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Ingest one record: assign it to its windows, probe the window-scoped
+    /// blocking index, and — every `watermark_interval` ingests — advance
+    /// the watermark and close any window it passed.
+    pub fn ingest(&self, item: StreamItem) -> Result<(), StreamError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut closings = Vec::new();
+        {
+            let mut state = self.state.lock();
+            self.metrics.ingested.fetch_add(1, Relaxed);
+            if item.event_time > state.max_event_time {
+                state.max_event_time = item.event_time;
+                self.metrics.max_event_time.store(item.event_time, Relaxed);
+            }
+
+            let floor = closed_through(&self.tuning, state.watermark.get());
+            let mut landed = 0u64;
+            let mut missed = 0u64;
+            for k in windows_for(&self.tuning, item.event_time) {
+                if floor.is_some_and(|f| k <= f) {
+                    missed += 1;
+                    continue;
+                }
+                let window = state.open.entry(k).or_insert_with(|| {
+                    self.metrics.windows_opened.fetch_add(1, Relaxed);
+                    let mut w = WindowState::new(WindowId(k));
+                    let (start, end) = w.id.range(&self.tuning);
+                    w.span = Some(self.tracer.begin(SpanKind::StreamWindow, "window", || {
+                        vec![
+                            ("window".to_string(), k.to_string()),
+                            ("start".to_string(), start.to_string()),
+                            ("end".to_string(), end.to_string()),
+                        ]
+                    }));
+                    w
+                });
+                let outcome = window.insert(item.clone(), self.key_index, self.max_block_size);
+                self.metrics.comparisons.fetch_add(outcome.candidates.len() as u64, Relaxed);
+                landed += 1;
+                if self.strategy == ReportStrategy::Continuous {
+                    // Judge surfaced pairs immediately through the metered
+                    // inline path. SimLlm never sleeps, so holding the state
+                    // lock here is microseconds; serve jobs provide the
+                    // parallelism that matters.
+                    for &pair in &outcome.candidates {
+                        let (a, b) = window.describe_pair(pair, &self.schema);
+                        let response = self
+                            .inline_llm
+                            .complete(&CompletionRequest::new(entity_prompt(&a, &b)));
+                        window.judged_inline += 1;
+                        self.metrics.pairs_judged.fetch_add(1, Relaxed);
+                        if is_yes(&response) {
+                            window.matched_inline += 1;
+                            self.metrics.pairs_matched.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+            }
+            if landed > 0 {
+                self.metrics.assigned_records.fetch_add(1, Relaxed);
+                self.metrics.assignments.fetch_add(landed, Relaxed);
+                self.metrics.missed_assignments.fetch_add(missed, Relaxed);
+            } else {
+                self.metrics.late_dropped.fetch_add(1, Relaxed);
+                let t = item.event_time;
+                self.tracer.instant(SpanKind::StreamWindow, "late_drop", || {
+                    vec![("event_time".to_string(), t.to_string())]
+                });
+            }
+
+            state.since_advance += 1;
+            if state.since_advance >= self.tuning.watermark_interval {
+                state.since_advance = 0;
+                let candidate = state.max_event_time.saturating_sub(self.allowed_lateness);
+                closings = self.advance_watermark_locked(&mut state, candidate);
+            }
+        }
+        for job in closings {
+            self.submit_close(job)?;
+        }
+        Ok(())
+    }
+
+    /// Advance the watermark (monotone) and pull every window it passed out
+    /// of the open set. Must hold the state lock; returns jobs to submit
+    /// *after* releasing it.
+    fn advance_watermark_locked(&self, state: &mut EngineState, candidate: u64) -> Vec<CloseJob> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if !state.watermark.advance(candidate) {
+            return Vec::new();
+        }
+        let watermark = state.watermark.get();
+        self.metrics.watermark_advances.fetch_add(1, Relaxed);
+        self.metrics.watermark.store(watermark, Relaxed);
+        self.tracer.instant(SpanKind::StreamWindow, "watermark_advance", || {
+            vec![("watermark".to_string(), watermark.to_string())]
+        });
+        let Some(through) = closed_through(&self.tuning, watermark) else {
+            return Vec::new();
+        };
+        let ready: Vec<u64> = state.open.range(..=through).map(|(k, _)| *k).collect();
+        ready
+            .into_iter()
+            .map(|k| {
+                let window = state.open.remove(&k).expect("ready window is open");
+                self.close_window(window)
+            })
+            .collect()
+    }
+
+    /// Turn a closed window into a serve submission payload.
+    fn close_window(&self, mut window: WindowState) -> CloseJob {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.metrics.windows_closed.fetch_add(1, Relaxed);
+        let records = window.occupancy();
+        let candidate_pairs = window.candidates().len();
+        let comparisons = window.comparisons();
+        if let Some(span) = window.span.take() {
+            self.tracer.end(span, || {
+                vec![
+                    ("records".to_string(), records.to_string()),
+                    ("candidates".to_string(), candidate_pairs.to_string()),
+                ]
+            });
+        }
+        let (start, end) = window.id.range(&self.tuning);
+        let mut pairs = Vec::new();
+        if self.strategy == ReportStrategy::OnWindowClose {
+            for &pair in window.candidates() {
+                let (a, b) = window.describe_pair(pair, &self.schema);
+                pairs.push(Data::map([
+                    ("a".to_string(), Data::Str(a)),
+                    ("b".to_string(), Data::Str(b)),
+                ]));
+            }
+        }
+        let mut payload = BTreeMap::new();
+        payload.insert("window".to_string(), Data::Int(window.id.0 as i64));
+        payload.insert("pairs".to_string(), Data::List(pairs));
+        payload.insert("judged".to_string(), Data::Int(window.judged_inline as i64));
+        payload.insert("matched".to_string(), Data::Int(window.matched_inline as i64));
+        let mut inputs = BTreeMap::new();
+        inputs.insert("payload".to_string(), Data::Map(payload));
+        CloseJob {
+            window: window.id,
+            start,
+            end,
+            records,
+            candidate_pairs,
+            comparisons,
+            true_duplicates: window.true_duplicate_pairs(),
+            inline_judged: window.judged_inline,
+            inline_matched: window.matched_inline,
+            inputs,
+        }
+    }
+
+    /// Submit a window-close job, retrying through backpressure (a full
+    /// serve queue) up to the configured limit.
+    fn submit_close(&self, job: CloseJob) -> Result<(), StreamError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut attempts = 0u32;
+        let handle = loop {
+            let mut request = SubmitRequest::new(WINDOW_PIPELINE).priority(Priority::High);
+            request.inputs = job.inputs.clone();
+            match self.server.submit(request) {
+                Ok(handle) => break handle,
+                Err(ServeError::Full { .. }) if attempts < self.submit_retries => {
+                    attempts += 1;
+                    self.metrics.backpressure_stalls.fetch_add(1, Relaxed);
+                    std::thread::sleep(self.submit_backoff);
+                }
+                Err(err) => return Err(err.into()),
+            }
+        };
+        self.pending.lock().push(PendingWindow {
+            window: job.window,
+            start: job.start,
+            end: job.end,
+            records: job.records,
+            candidate_pairs: job.candidate_pairs,
+            comparisons: job.comparisons,
+            true_duplicates: job.true_duplicates,
+            inline_judged: job.inline_judged,
+            inline_matched: job.inline_matched,
+            handle,
+        });
+        Ok(())
+    }
+
+    /// Drain the stream: push the watermark past the frontier so every open
+    /// window closes, wait for every window job, and return the reports in
+    /// window order. Call after all ingesting threads have quiesced.
+    pub fn finish(&self) -> Result<Vec<WindowReport>, StreamError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let closings = {
+            let mut state = self.state.lock();
+            let horizon = state.max_event_time + self.tuning.window + self.allowed_lateness + 1;
+            self.advance_watermark_locked(&mut state, horizon)
+        };
+        for job in closings {
+            self.submit_close(job)?;
+        }
+        let pending = std::mem::take(&mut *self.pending.lock());
+        let mut reports = Vec::with_capacity(pending.len());
+        for p in pending {
+            let output = p.handle.wait()?;
+            let report = output.get("report")?;
+            let report = report.as_map().cloned().unwrap_or_default();
+            let judged = int_field(&report, "judged").max(0) as u64;
+            let matched = int_field(&report, "matched").max(0) as u64;
+            // Job-side judgments (beyond what ran inline) join the counters.
+            self.metrics.pairs_judged.fetch_add(judged.saturating_sub(p.inline_judged), Relaxed);
+            self.metrics.pairs_matched.fetch_add(matched.saturating_sub(p.inline_matched), Relaxed);
+            self.metrics.reports.fetch_add(1, Relaxed);
+            reports.push(WindowReport {
+                window: p.window,
+                start: p.start,
+                end: p.end,
+                records: p.records,
+                candidate_pairs: p.candidate_pairs,
+                comparisons: p.comparisons,
+                judged,
+                matched,
+                true_duplicates: p.true_duplicates,
+                llm: output.llm,
+            });
+        }
+        reports.sort_by_key(|r| r.window.0);
+        Ok(reports)
+    }
+
+    /// Streaming counters. The inline-LLM ledger is copied from the engine's
+    /// meter at snapshot time, so it is exact under quiescence.
+    pub fn metrics(&self) -> StreamSnapshot {
+        *self.metrics.inline_llm.lock() = self.inline_llm.usage();
+        self.metrics.snapshot()
+    }
+
+    /// The backing server's counters (job paths, cache, LLM usage billed by
+    /// window jobs).
+    pub fn server_metrics(&self) -> MetricsSnapshot {
+        self.server.metrics()
+    }
+
+    /// Current watermark position.
+    pub fn watermark(&self) -> u64 {
+        self.state.lock().watermark.get()
+    }
+
+    /// Stop the backing server (idempotent; also runs on drop).
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{StreamSource, SyntheticSource};
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::{SimLlm, SimLlmConfig};
+
+    fn engine(strategy: ReportStrategy) -> (StreamEngine, SyntheticSource) {
+        let world = WorldSpec::generate(5);
+        let llm = Arc::new(SimLlm::new(&world, SimLlmConfig::default()));
+        let factory = ContextFactory::new(llm);
+        let source = SyntheticSource::with_seed(5);
+        let schema = source.schema().clone();
+        let config = StreamConfig {
+            strategy,
+            serve: ServeConfig { workers: Some(2), ..ServeConfig::default() },
+            ..StreamConfig::default()
+        };
+        (StreamEngine::start(factory, schema, config).expect("engine starts"), source)
+    }
+
+    #[test]
+    fn unknown_key_column_fails_at_start() {
+        let world = WorldSpec::generate(1);
+        let llm = Arc::new(SimLlm::new(&world, SimLlmConfig::default()));
+        let factory = ContextFactory::new(llm);
+        let schema = SyntheticSource::with_seed(1).schema().clone();
+        let config = StreamConfig { key_column: "color".to_string(), ..StreamConfig::default() };
+        let err = match StreamEngine::start(factory, schema, config) {
+            Ok(_) => panic!("start must reject an unknown key column"),
+            Err(e) => e,
+        };
+        assert_eq!(err, StreamError::UnknownKeyColumn { column: "color".to_string() });
+    }
+
+    #[test]
+    fn broken_tuning_fails_at_start_typed() {
+        let world = WorldSpec::generate(1);
+        let llm = Arc::new(SimLlm::new(&world, SimLlmConfig::default()));
+        let factory = ContextFactory::new(llm);
+        let schema = SyntheticSource::with_seed(1).schema().clone();
+        let config = StreamConfig {
+            tuning: StreamTuning { window: 8, slide: 16, watermark_interval: 4 },
+            ..StreamConfig::default()
+        };
+        let err = match StreamEngine::start(factory, schema, config) {
+            Ok(_) => panic!("start must reject slide > window"),
+            Err(e) => e,
+        };
+        assert!(matches!(
+            err,
+            StreamError::Serve(ServeError::InvalidConfig(
+                lingua_serve::InvalidConfig::SlideExceedsWindow { slide: 16, window: 8 }
+            ))
+        ));
+    }
+
+    #[test]
+    fn end_to_end_close_reports_and_conserves() {
+        let (mut engine, mut source) = engine(ReportStrategy::OnWindowClose);
+        for item in source.take_records(800) {
+            engine.ingest(item).expect("ingest");
+        }
+        let reports = engine.finish().expect("finish");
+        assert!(!reports.is_empty(), "800 records over 64-tick windows close many windows");
+        let snap = engine.metrics();
+        assert!(snap.record_conservation_holds(), "{}", snap.report());
+        assert!(snap.window_conservation_holds(), "{}", snap.report());
+        assert_eq!(snap.windows_open, 0, "finish() closes every window");
+        assert_eq!(snap.reports, reports.len() as u64);
+        // Every landed membership ended up in exactly one closed window.
+        let closed_records: usize = reports.iter().map(|r| r.records).sum();
+        assert_eq!(closed_records as u64, snap.assignments);
+        // The matcher found real duplicates and judged every candidate.
+        let judged: u64 = reports.iter().map(|r| r.judged).sum();
+        let matched: u64 = reports.iter().map(|r| r.matched).sum();
+        assert_eq!(judged, snap.pairs_judged);
+        assert_eq!(matched, snap.pairs_matched);
+        assert!(matched > 0, "seeded duplicates must surface as matches");
+        // On-window-close bills through serve jobs, not the inline meter.
+        assert_eq!(snap.inline_llm.calls, 0);
+        assert!(engine.server_metrics().llm.calls >= judged);
+        // Window ids are sorted and unique.
+        for pair in reports.windows(2) {
+            assert!(pair[0].window.0 < pair[1].window.0);
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn continuous_strategy_bills_inline() {
+        let (mut engine, mut source) = engine(ReportStrategy::Continuous);
+        for item in source.take_records(400) {
+            engine.ingest(item).expect("ingest");
+        }
+        let reports = engine.finish().expect("finish");
+        let judged: u64 = reports.iter().map(|r| r.judged).sum();
+        let snap = engine.metrics();
+        assert_eq!(judged, snap.pairs_judged);
+        assert!(judged > 0);
+        assert_eq!(snap.inline_llm.calls, judged, "continuous judgments are metered inline");
+        // The window jobs themselves judge nothing.
+        assert_eq!(engine.server_metrics().llm.calls, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn same_seed_same_reports() {
+        let run = |n: usize| {
+            let (mut engine, mut source) = engine(ReportStrategy::OnWindowClose);
+            for item in source.take_records(n) {
+                engine.ingest(item).expect("ingest");
+            }
+            let reports = engine.finish().expect("finish");
+            engine.shutdown();
+            reports
+                .iter()
+                .map(|r| (r.window.0, r.records, r.candidate_pairs, r.judged, r.matched))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(500), run(500), "event-time replay is deterministic");
+    }
+}

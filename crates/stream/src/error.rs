@@ -1,0 +1,56 @@
+//! Streaming-engine errors.
+
+use lingua_serve::ServeError;
+use std::fmt;
+
+/// Everything that can go wrong starting or driving a [`crate::StreamEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The serving substrate rejected a configuration or a job. Misconfigured
+    /// streaming knobs surface here as
+    /// [`ServeError::InvalidConfig`](lingua_serve::InvalidConfig) at
+    /// `start()` — before any record is ingested.
+    Serve(ServeError),
+    /// The configured blocking-key column is not in the stream schema.
+    UnknownKeyColumn { column: String },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Serve(inner) => write!(f, "stream serving error: {inner}"),
+            StreamError::UnknownKeyColumn { column } => {
+                write!(f, "blocking key column {column:?} is not in the stream schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Serve(inner) => Some(inner),
+            StreamError::UnknownKeyColumn { .. } => None,
+        }
+    }
+}
+
+impl From<ServeError> for StreamError {
+    fn from(err: ServeError) -> StreamError {
+        StreamError::Serve(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_serve::InvalidConfig;
+
+    #[test]
+    fn displays_carry_context() {
+        let err = StreamError::UnknownKeyColumn { column: "color".into() };
+        assert!(err.to_string().contains("color"));
+        let err: StreamError = ServeError::InvalidConfig(InvalidConfig::ZeroWindow).into();
+        assert!(err.to_string().contains("window"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Cross-stream window joins: pair up records from two streams that share a
+//! key and fall in the same event-time window.
+//!
+//! The join is windowed for the same reason ER is: an unbounded equi-join
+//! must bound its build side, and the window is that bound. Each side keeps
+//! a per-window hash index from join key to record indices; when the shared
+//! watermark closes a window, the smaller side's index is probed by the
+//! other side's records and the matching pairs are emitted exactly once.
+
+use crate::window::{closed_through, windows_for, WindowId};
+use lingua_dataset::generators::stream::StreamItem;
+use lingua_serve::StreamTuning;
+use std::collections::BTreeMap;
+
+/// Which input stream a record arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Key extractor: maps a record to its (normalized) join key.
+pub type KeyFn = Box<dyn Fn(&StreamItem) -> String + Send>;
+
+/// One window's joined output.
+#[derive(Debug, Clone)]
+pub struct JoinedWindow {
+    pub window: WindowId,
+    /// `(left, right)` record pairs sharing a join key in this window.
+    pub pairs: Vec<(StreamItem, StreamItem)>,
+    pub left_records: usize,
+    pub right_records: usize,
+}
+
+struct SideState {
+    /// Per open window: join key → records carrying it.
+    windows: BTreeMap<u64, BTreeMap<String, Vec<StreamItem>>>,
+    ingested: u64,
+    late: u64,
+}
+
+impl SideState {
+    fn new() -> SideState {
+        SideState { windows: BTreeMap::new(), ingested: 0, late: 0 }
+    }
+}
+
+/// A two-stream windowed equi-join sharing one watermark.
+///
+/// Single-threaded by design: the streaming engine parallelizes across
+/// windows (via serve jobs), not inside the join bookkeeping.
+pub struct WindowJoin {
+    tuning: StreamTuning,
+    key_left: KeyFn,
+    key_right: KeyFn,
+    left: SideState,
+    right: SideState,
+    watermark: u64,
+    /// Windows at or below this index have been emitted (exactly-once).
+    emitted_through: Option<u64>,
+}
+
+impl WindowJoin {
+    pub fn new(tuning: StreamTuning, key_left: KeyFn, key_right: KeyFn) -> WindowJoin {
+        tuning.validate().expect("join built over validated tuning");
+        WindowJoin {
+            tuning,
+            key_left,
+            key_right,
+            left: SideState::new(),
+            right: SideState::new(),
+            watermark: 0,
+            emitted_through: None,
+        }
+    }
+
+    /// Ingest one record on `side`. Records whose every window has already
+    /// been emitted are counted late and dropped.
+    pub fn ingest(&mut self, side: Side, item: StreamItem) {
+        let key = match side {
+            Side::Left => (self.key_left)(&item),
+            Side::Right => (self.key_right)(&item),
+        };
+        let floor = self.emitted_through;
+        let state = match side {
+            Side::Left => &mut self.left,
+            Side::Right => &mut self.right,
+        };
+        state.ingested += 1;
+        let mut landed = false;
+        for k in windows_for(&self.tuning, item.event_time) {
+            if floor.is_some_and(|f| k <= f) {
+                continue; // window already emitted
+            }
+            state.windows.entry(k).or_default().entry(key.clone()).or_default().push(item.clone());
+            landed = true;
+        }
+        if !landed {
+            state.late += 1;
+        }
+    }
+
+    /// Advance the shared watermark (monotone) and emit every window whose
+    /// end it has passed. Each window is emitted exactly once, in index
+    /// order.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Vec<JoinedWindow> {
+        if watermark <= self.watermark {
+            return Vec::new();
+        }
+        self.watermark = watermark;
+        let Some(through) = closed_through(&self.tuning, watermark) else {
+            return Vec::new();
+        };
+        let from = match self.emitted_through {
+            Some(f) if f >= through => return Vec::new(),
+            Some(f) => f + 1,
+            None => 0,
+        };
+        self.emitted_through = Some(through);
+        let mut out = Vec::new();
+        for k in from..=through {
+            let left = self.left.windows.remove(&k).unwrap_or_default();
+            let right = self.right.windows.remove(&k).unwrap_or_default();
+            let left_records: usize = left.values().map(Vec::len).sum();
+            let right_records: usize = right.values().map(Vec::len).sum();
+            if left_records == 0 && right_records == 0 {
+                continue; // nothing landed; not an opened window
+            }
+            let mut pairs = Vec::new();
+            for (key, ls) in &left {
+                if let Some(rs) = right.get(key) {
+                    for l in ls {
+                        for r in rs {
+                            pairs.push((l.clone(), r.clone()));
+                        }
+                    }
+                }
+            }
+            out.push(JoinedWindow { window: WindowId(k), pairs, left_records, right_records });
+        }
+        out
+    }
+
+    /// `(ingested, late)` counters for one side.
+    pub fn side_counts(&self, side: Side) -> (u64, u64) {
+        let state = match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        };
+        (state.ingested, state.late)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::{Record, Value};
+
+    fn item(t: u64, entity: u64, key: &str) -> StreamItem {
+        StreamItem { event_time: t, entity, record: Record::new(vec![Value::Str(key.to_string())]) }
+    }
+
+    fn join(window: u64, slide: u64) -> WindowJoin {
+        let key = || Box::new(|i: &StreamItem| i.record.get(0).unwrap().render()) as KeyFn;
+        WindowJoin::new(StreamTuning { window, slide, watermark_interval: 1 }, key(), key())
+    }
+
+    #[test]
+    fn shared_keys_in_shared_windows_pair_up() {
+        let mut j = join(10, 10);
+        j.ingest(Side::Left, item(1, 1, "ale"));
+        j.ingest(Side::Right, item(3, 2, "ale"));
+        j.ingest(Side::Right, item(4, 3, "stout")); // no left partner
+        j.ingest(Side::Left, item(12, 4, "ale")); // next window
+        let closed = j.advance_watermark(10);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].window, WindowId(0));
+        assert_eq!(closed[0].pairs.len(), 1);
+        assert_eq!(closed[0].pairs[0].0.entity, 1);
+        assert_eq!(closed[0].pairs[0].1.entity, 2);
+        assert_eq!((closed[0].left_records, closed[0].right_records), (1, 2));
+    }
+
+    #[test]
+    fn windows_emit_exactly_once() {
+        let mut j = join(10, 10);
+        j.ingest(Side::Left, item(2, 1, "k"));
+        j.ingest(Side::Right, item(2, 2, "k"));
+        assert_eq!(j.advance_watermark(10).len(), 1);
+        assert!(j.advance_watermark(10).is_empty(), "same watermark re-emits nothing");
+        assert!(j.advance_watermark(15).is_empty(), "window 0 never re-emits");
+        // A record for the emitted window is late on both paths.
+        j.ingest(Side::Left, item(3, 3, "k"));
+        assert_eq!(j.side_counts(Side::Left), (2, 1));
+    }
+
+    #[test]
+    fn sliding_join_pairs_in_every_shared_window() {
+        let mut j = join(10, 5);
+        // t=7 lands in windows 0 and 1; t=9 likewise.
+        j.ingest(Side::Left, item(7, 1, "k"));
+        j.ingest(Side::Right, item(9, 2, "k"));
+        let closed = j.advance_watermark(30);
+        let with_pairs: Vec<u64> =
+            closed.iter().filter(|w| !w.pairs.is_empty()).map(|w| w.window.0).collect();
+        assert_eq!(with_pairs, vec![0, 1], "the pair appears once per shared window");
+    }
+
+    #[test]
+    fn watermark_is_monotone_for_joins() {
+        let mut j = join(10, 10);
+        j.ingest(Side::Left, item(2, 1, "k"));
+        j.ingest(Side::Right, item(2, 2, "k"));
+        assert_eq!(j.advance_watermark(20).len(), 1);
+        assert!(j.advance_watermark(12).is_empty(), "regressing watermark is ignored");
+    }
+}

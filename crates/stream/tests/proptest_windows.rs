@@ -1,0 +1,200 @@
+//! Property tests for the streaming engine's event-time semantics, checked
+//! against an independent pure model.
+//!
+//! The model below re-derives, from first principles, what the engine must
+//! do with each record: which windows take it (exactly the set
+//! `windows_for` promises, minus windows the watermark already closed),
+//! when the watermark moves (monotonically, every `watermark_interval`
+//! ingests), and which windows close (each exactly once). Any divergence —
+//! a record in a wrong window, a double close, a watermark regression — is
+//! a hard failure for arbitrary tunings and stream shapes.
+
+use lingua_core::ContextFactory;
+use lingua_dataset::world::WorldSpec;
+use lingua_llm_sim::{SimLlm, SimLlmConfig};
+use lingua_serve::{ServeConfig, StreamTuning};
+use lingua_stream::{
+    closed_through, windows_for, StreamConfig, StreamEngine, StreamSource, StreamSpec,
+    SyntheticSource,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Pure re-implementation of the engine's event-time bookkeeping: no locks,
+/// no serving, no blocking index — just window assignment, watermark
+/// advancement, and close tracking.
+struct Model {
+    tuning: StreamTuning,
+    lateness: u64,
+    watermark: u64,
+    max_event_time: u64,
+    since_advance: u64,
+    /// Records landed per (still-relevant) window.
+    counts: BTreeMap<u64, usize>,
+    closed: BTreeSet<u64>,
+    late: u64,
+    assigned: u64,
+    assignments: u64,
+}
+
+impl Model {
+    fn new(tuning: StreamTuning, lateness: u64) -> Model {
+        Model {
+            tuning,
+            lateness,
+            watermark: 0,
+            max_event_time: 0,
+            since_advance: 0,
+            counts: BTreeMap::new(),
+            closed: BTreeSet::new(),
+            late: 0,
+            assigned: 0,
+            assignments: 0,
+        }
+    }
+
+    fn ingest(&mut self, t: u64) {
+        self.max_event_time = self.max_event_time.max(t);
+        let floor = closed_through(&self.tuning, self.watermark);
+        let mut landed = 0u64;
+        for k in windows_for(&self.tuning, t) {
+            if floor.is_some_and(|f| k <= f) {
+                continue;
+            }
+            *self.counts.entry(k).or_default() += 1;
+            landed += 1;
+        }
+        if landed > 0 {
+            self.assigned += 1;
+            self.assignments += landed;
+        } else {
+            self.late += 1;
+        }
+        self.since_advance += 1;
+        if self.since_advance >= self.tuning.watermark_interval {
+            self.since_advance = 0;
+            self.advance(self.max_event_time.saturating_sub(self.lateness));
+        }
+    }
+
+    fn advance(&mut self, candidate: u64) {
+        if candidate <= self.watermark {
+            return;
+        }
+        self.watermark = candidate;
+        if let Some(through) = closed_through(&self.tuning, self.watermark) {
+            let ready: Vec<u64> = self.counts.range(..=through).map(|(k, _)| *k).collect();
+            for k in ready {
+                assert!(self.closed.insert(k), "model closed window {k} twice");
+            }
+        }
+    }
+
+    /// Close everything, mirroring `StreamEngine::finish`.
+    fn finish(&mut self) -> BTreeMap<u64, usize> {
+        self.advance(self.max_event_time + self.tuning.window + self.lateness + 1);
+        self.counts.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For arbitrary tunings, lateness allowances, and seeded streams, the
+    /// engine's per-window record counts, late drops, and close set match
+    /// the pure model; the watermark never regresses; every window closes
+    /// exactly once.
+    #[test]
+    fn engine_matches_the_pure_model(
+        seed in 0u64..500,
+        n in 64usize..200,
+        window in 8u64..96,
+        slide_num in 1u64..=4,
+        lateness in 0u64..24,
+        interval in 1u64..12,
+    ) {
+        // slide in (0, window], spread across tumbling and sliding shapes.
+        let slide = (window * slide_num / 4).max(1);
+        let tuning = StreamTuning { window, slide, watermark_interval: interval };
+        prop_assume!(tuning.validate().is_ok());
+
+        let world = WorldSpec::generate(seed);
+        let llm = Arc::new(SimLlm::new(&world, SimLlmConfig { seed, ..Default::default() }));
+        let mut source = SyntheticSource::new(&world, StreamSpec { seed, ..Default::default() });
+        let schema = source.schema().clone();
+        let config = StreamConfig {
+            tuning,
+            allowed_lateness: lateness,
+            serve: ServeConfig { workers: Some(2), ..ServeConfig::default() },
+            ..StreamConfig::default()
+        };
+        let engine = StreamEngine::start(ContextFactory::new(llm), schema, config).unwrap();
+        let mut model = Model::new(tuning, lateness);
+
+        let mut last_watermark = 0u64;
+        for item in source.take_records(n) {
+            model.ingest(item.event_time);
+            engine.ingest(item).unwrap();
+            let wm = engine.watermark();
+            prop_assert!(wm >= last_watermark, "watermark regressed: {last_watermark} -> {wm}");
+            prop_assert_eq!(wm, model.watermark, "watermark diverged from model");
+            last_watermark = wm;
+        }
+
+        let expected = model.finish();
+        let reports = engine.finish().unwrap();
+
+        // Exactly-once close: each opened window appears once, in order.
+        let mut seen = BTreeSet::new();
+        for report in &reports {
+            prop_assert!(seen.insert(report.window.0), "window {} reported twice", report.window.0);
+        }
+
+        // Every record landed in exactly the expected window set: per-window
+        // occupancy at close equals the model's count, for every window.
+        let got: BTreeMap<u64, usize> =
+            reports.iter().map(|r| (r.window.0, r.records)).collect();
+        prop_assert_eq!(&got, &expected, "per-window record counts diverged");
+
+        let snap = engine.metrics();
+        prop_assert!(snap.record_conservation_holds(), "{}", snap.report());
+        prop_assert!(snap.window_conservation_holds(), "{}", snap.report());
+        prop_assert_eq!(snap.windows_open, 0, "finish() must close every window");
+        prop_assert_eq!(snap.late_dropped, model.late);
+        prop_assert_eq!(snap.assigned_records, model.assigned);
+        prop_assert_eq!(snap.assignments, model.assignments);
+        prop_assert_eq!(snap.windows_closed as usize, reports.len());
+    }
+
+    /// Candidate generation stays O(window): for arbitrary streams, each
+    /// window's candidate pairs are bounded by what its own occupancy could
+    /// ever produce, regardless of how many records the stream carried.
+    #[test]
+    fn candidates_are_window_bounded(
+        seed in 0u64..200,
+        n in 100usize..240,
+    ) {
+        let world = WorldSpec::generate(seed);
+        let llm = Arc::new(SimLlm::new(&world, SimLlmConfig { seed, ..Default::default() }));
+        let mut source = SyntheticSource::new(&world, StreamSpec { seed, ..Default::default() });
+        let schema = source.schema().clone();
+        let config = StreamConfig {
+            serve: ServeConfig { workers: Some(2), ..ServeConfig::default() },
+            ..StreamConfig::default()
+        };
+        let engine = StreamEngine::start(ContextFactory::new(llm), schema, config).unwrap();
+        for item in source.take_records(n) {
+            engine.ingest(item).unwrap();
+        }
+        let reports = engine.finish().unwrap();
+        for report in &reports {
+            let cap = report.records * report.records.saturating_sub(1) / 2;
+            prop_assert!(
+                report.candidate_pairs <= cap,
+                "window {} produced {} candidates from {} records",
+                report.window.0, report.candidate_pairs, report.records
+            );
+        }
+    }
+}

@@ -37,6 +37,10 @@ pub enum SpanKind {
     LlmCall,
     /// Serve-layer supervision: worker panics, restarts, watchdog nudges.
     Supervisor,
+    /// One event-time window in the streaming engine: begins when the first
+    /// record lands, ends when the watermark closes it. Watermark advances
+    /// and late-record drops are instants of this kind.
+    StreamWindow,
 }
 
 impl SpanKind {
@@ -54,6 +58,7 @@ impl SpanKind {
             SpanKind::Gateway => "gateway",
             SpanKind::LlmCall => "llm_call",
             SpanKind::Supervisor => "supervisor",
+            SpanKind::StreamWindow => "stream_window",
         }
     }
 }
