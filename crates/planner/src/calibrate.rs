@@ -1,0 +1,113 @@
+//! Calibration: run a candidate physical implementation over a labeled
+//! sample (the paper's Validator machinery) and book what it measured —
+//! usage, latency, judged accuracy — into the [`CostEstimator`].
+//!
+//! This is the highest-fidelity evidence feed: unlike trace rollups it
+//! carries accuracy, and unlike priors it reflects the actual dataset and
+//! the actual module. The planner's accuracy floors are only as good as the
+//! calibration sample, so build it the way the paper builds Validator test
+//! cases: labeled examples drawn from the target workload.
+
+use crate::cost::CostEstimator;
+use crate::physical::PhysicalAlt;
+use lingua_core::modules::Module;
+use lingua_core::optimizer::{SampleMeasurement, TestCase, Validator};
+use lingua_core::{CurationStage, Data, ExecContext};
+use lingua_dataset::labels::LabeledPair;
+use lingua_dataset::Schema;
+
+/// A labeled sample plus the Validator that runs modules over it.
+pub struct Calibrator {
+    validator: Validator,
+}
+
+impl Calibrator {
+    pub fn new(cases: Vec<TestCase>) -> Calibrator {
+        Calibrator { validator: Validator::new(cases) }
+    }
+
+    /// Build a pair-matching sample from labeled ER pairs: each case feeds
+    /// the same `{a, b}` description map the LLM pair modules and
+    /// [`crate::MlPairModule`] consume, expecting a boolean verdict.
+    pub fn from_pairs(schema: &Schema, pairs: &[LabeledPair]) -> Calibrator {
+        let cases = pairs
+            .iter()
+            .map(|pair| {
+                TestCase::new(
+                    Data::map([
+                        ("a".to_string(), Data::Str(pair.left.describe(schema))),
+                        ("b".to_string(), Data::Str(pair.right.describe(schema))),
+                    ]),
+                    Data::Bool(pair.label),
+                )
+            })
+            .collect();
+        Calibrator::new(cases)
+    }
+
+    pub fn cases(&self) -> &[TestCase] {
+        self.validator.cases()
+    }
+
+    /// Run the module over the sample without booking anything.
+    pub fn measure(&self, module: &mut dyn Module, ctx: &mut ExecContext) -> SampleMeasurement {
+        self.validator.measure(module, ctx)
+    }
+
+    /// Run the module over the sample and book the measurement into the
+    /// estimator under `(stage, alt)`. Returns the measurement so callers
+    /// can inspect (or reject) what they just taught the estimator.
+    pub fn calibrate(
+        &self,
+        estimator: &mut CostEstimator,
+        stage: CurationStage,
+        alt: PhysicalAlt,
+        module: &mut dyn Module,
+        ctx: &mut ExecContext,
+    ) -> SampleMeasurement {
+        let sample = self.validator.measure(module, ctx);
+        estimator.record_sample(stage, alt, &sample);
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::MlPairModule;
+    use lingua_dataset::generators::er::{generate, ErDataset};
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::SimLlm;
+    use std::sync::Arc;
+
+    #[test]
+    fn pair_samples_calibrate_the_estimator() {
+        let world = WorldSpec::generate(21);
+        let split = generate(&world, ErDataset::FodorsZagats, 7);
+        let calibrator = Calibrator::from_pairs(&split.schema, &split.valid);
+        assert_eq!(calibrator.cases().len(), split.valid.len());
+        // The case inputs have the `{a, b}` shape modules expect.
+        let case = &calibrator.cases()[0];
+        let map = case.input.as_map().unwrap();
+        assert!(map.contains_key("a") && map.contains_key("b"));
+        assert!(matches!(case.expected, Data::Bool(_)));
+
+        let mut model = MlPairModule::train("er_model", &split.schema, &split.train, 0).unwrap();
+        let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 21)));
+        let mut estimator = CostEstimator::new();
+        let sample = calibrator.calibrate(
+            &mut estimator,
+            CurationStage::Match,
+            PhysicalAlt::MlModel,
+            &mut model,
+            &mut ctx,
+        );
+        assert_eq!(sample.total, split.valid.len());
+        assert!(sample.accuracy() > 0.7, "model accuracy {}", sample.accuracy());
+        assert_eq!(sample.usage.calls, 0, "the model never calls the LLM");
+        assert_eq!(
+            estimator.samples(CurationStage::Match, PhysicalAlt::MlModel),
+            split.valid.len() as u64
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration: a planner-chosen ER pipeline must reproduce the outputs of
+//! the hand-compiled (unplanned) pipeline exactly on the seeded dataset.
+//!
+//! The op is pinned `using llm`, so the planner's lattice holds the direct
+//! LLM and its memoized form. Both are semantics-preserving over the
+//! deterministic simulator: same input, same verdict. The memo may only
+//! change *how often* the LLM is consulted, never *what* comes back — which
+//! is exactly what this test pins down, record by record.
+
+use lingua_core::{
+    Compiler, CurationStage, Data, ExecContext, Executor, LogicalOp, ModuleKind, Pipeline,
+};
+use lingua_dataset::generators::er::{generate, ErDataset};
+use lingua_dataset::world::WorldSpec;
+use lingua_dataset::Schema;
+use lingua_llm_sim::{SimLlm, Usage};
+use lingua_plan::{Objective, PhysicalAlt, Planner};
+use lingua_trace::Tracer;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn er_pipeline() -> Pipeline {
+    Pipeline::new("er").op(LogicalOp::new("entity_resolution")
+        .input("pairs")
+        .output("matches")
+        .using(ModuleKind::Llm)
+        .param("desc", "Determine if the two records refer to the same entity"))
+}
+
+#[test]
+fn planned_pipeline_reproduces_unplanned_outputs() {
+    let world = WorldSpec::generate(11);
+    let split = generate(&world, ErDataset::FodorsZagats, 11);
+
+    // Inputs: the test pairs, with the first few repeated so the planned
+    // pipeline's memo actually gets exercised.
+    let mut inputs: Vec<Data> = Vec::new();
+    for pair in split.test.iter().take(15) {
+        inputs.push(Data::map([
+            ("a".to_string(), Data::Str(pair.left.describe(&split.schema))),
+            ("b".to_string(), Data::Str(pair.right.describe(&split.schema))),
+        ]));
+    }
+    let repeats: Vec<Data> = inputs.iter().take(5).cloned().collect();
+    inputs.extend(repeats);
+
+    // Evidence so planning is evidence-driven, not a fallback: one observed
+    // DirectLlm sample at the Match stage.
+    let mut planner = Planner::new(Compiler::with_builtins());
+    planner.estimator_mut().record_sample(
+        CurationStage::Match,
+        PhysicalAlt::DirectLlm,
+        &lingua_core::optimizer::SampleMeasurement {
+            total: 20,
+            passed: 19,
+            errors: 0,
+            usage: Usage { calls: 20, tokens_in: 4000, tokens_out: 200, ..Usage::default() },
+            sim_latency_ms: 7000,
+            wall_ms: 0,
+        },
+    );
+
+    let stats = {
+        use lingua_dataset::{Record, Table, Value};
+        let schema = Schema::of_names(["a", "b"]);
+        let rows: Vec<Record> = inputs
+            .iter()
+            .map(|d| {
+                let map = d.as_map().unwrap();
+                Record::new(vec![
+                    Value::Str(map["a"].as_str().unwrap().to_string()),
+                    Value::Str(map["b"].as_str().unwrap().to_string()),
+                ])
+            })
+            .collect();
+        lingua_core::DatasetStats::from_table(&Table::with_rows("pairs", schema, rows).unwrap())
+    };
+
+    // Two contexts with the same-seed simulator so usage accounting in one
+    // arm cannot perturb the other.
+    let mut planned_ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 11)));
+    let mut unplanned_ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 11)));
+
+    let pipeline = er_pipeline();
+    let planned = planner
+        .plan_and_compile(
+            &pipeline,
+            &stats,
+            &Objective::cheapest_dollars(),
+            &Tracer::disabled(),
+            &mut planned_ctx,
+        )
+        .expect("plan and compile");
+    // On a duplicate-bearing batch with observed evidence the cache wins.
+    assert_eq!(planned.plan.alt_of("entity_resolution"), Some(PhysicalAlt::CachedLlm));
+
+    let unplanned =
+        Compiler::with_builtins().compile(&pipeline, &mut unplanned_ctx).expect("compile");
+
+    // Run both pipelines record-at-a-time (exactly how the serving layer
+    // drives them) and compare every output.
+    let mut planned_exec = planned.physical.fresh_instance().expect("replicable");
+    let mut unplanned_exec = unplanned.fresh_instance().expect("replicable");
+    for (i, input) in inputs.iter().enumerate() {
+        let env = BTreeMap::from([("pairs".to_string(), input.clone())]);
+        let planned_out = Executor::run(&mut planned_exec, &mut planned_ctx, env.clone())
+            .expect("planned run")
+            .get("matches")
+            .expect("planned output")
+            .clone();
+        let unplanned_out = Executor::run(&mut unplanned_exec, &mut unplanned_ctx, env)
+            .expect("unplanned run")
+            .get("matches")
+            .expect("unplanned output")
+            .clone();
+        assert_eq!(planned_out, unplanned_out, "outputs diverged on record {i}");
+    }
+
+    // Identical answers — but the planned arm answered its duplicates from
+    // the memo, so it billed strictly fewer LLM calls.
+    let planned_calls = planned_ctx.llm.usage().calls;
+    let unplanned_calls = unplanned_ctx.llm.usage().calls;
+    assert!(
+        planned_calls < unplanned_calls,
+        "planned {planned_calls} calls vs unplanned {unplanned_calls}"
+    );
+}

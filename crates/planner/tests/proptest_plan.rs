@@ -1,0 +1,173 @@
+//! Property tests for the plan search: the memoized Pareto-frontier DP in
+//! `best_assignment` must agree with the exhaustive cross-product reference
+//! on every randomly generated candidate lattice — same winning cost, same
+//! feasibility verdict — and the chosen plan's cost must be minimal over
+//! every feasible assignment when enumerated by hand.
+
+use lingua_plan::{
+    best_assignment, exhaustive_assignment, Candidate, CostEstimate, Objective, PhysicalAlt,
+    PlanError,
+};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Build a candidate from integer knobs so generated floats are tame.
+fn candidate(usd: u32, ms: u32, setup_usd: u32, setup_ms: u32, acc: u32) -> Candidate {
+    Candidate {
+        alt: PhysicalAlt::DirectLlm,
+        estimate: CostEstimate {
+            usd_per_record: usd as f64 * 1e-4,
+            ms_per_record: ms as f64,
+            setup_usd: setup_usd as f64 * 1e-3,
+            setup_ms: setup_ms as f64,
+            accuracy: 0.5 + acc as f64 * 0.005,
+        },
+        fallback: false,
+    }
+}
+
+fn candidate_strategy() -> impl Strategy<Value = Candidate> {
+    (0u32..=100, 0u32..=500, 0u32..=20, 0u32..=1000, 0u32..=100)
+        .prop_map(|(usd, ms, su, sm, acc)| candidate(usd, ms, su, sm, acc))
+}
+
+fn objective_strategy() -> impl Strategy<Value = Objective> {
+    (prop::bool::ANY, 0u32..=100).prop_map(|(latency, floor)| {
+        let base =
+            if latency { Objective::lowest_latency() } else { Objective::cheapest_dollars() };
+        base.with_floor(floor as f64 * 0.01)
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn search_case() -> impl Strategy<Value = (Vec<Vec<Candidate>>, Vec<f64>, Objective)> {
+    (1usize..=4).prop_flat_map(|ops| {
+        (
+            prop::collection::vec(prop::collection::vec(candidate_strategy(), 1..=4), ops),
+            prop::collection::vec(1u32..=1000, ops)
+                .prop_map(|r| r.into_iter().map(f64::from).collect()),
+            objective_strategy(),
+        )
+    })
+}
+
+/// Enumerate every assignment with an odometer (independently of
+/// `exhaustive_assignment`, so the reference is not testing itself) and
+/// yield `(cost, accuracy)` per assignment. Sums are right-associated to
+/// match the DP's arithmetic.
+fn enumerate(
+    candidates: &[Vec<Candidate>],
+    records: &[f64],
+    objective: &Objective,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; candidates.len()];
+    loop {
+        let mut cost = 0.0;
+        let mut accuracy = 1.0;
+        for i in (0..candidates.len()).rev() {
+            let est = &candidates[i][choice[i]].estimate;
+            cost = est.score(objective, records[i]) + cost;
+            accuracy = est.accuracy * accuracy;
+        }
+        out.push((cost, accuracy));
+        let mut i = 0;
+        loop {
+            if i == candidates.len() {
+                return out;
+            }
+            choice[i] += 1;
+            if choice[i] < candidates[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Memoization never changes the winner: the Pareto-frontier DP and the
+    /// unmemoized cross-product agree on cost and feasibility everywhere.
+    #[test]
+    fn memoized_search_equals_exhaustive((candidates, records, objective) in search_case()) {
+        let fast = best_assignment(&candidates, &records, &objective);
+        let slow = exhaustive_assignment(&candidates, &records, &objective);
+        match (&fast, &slow) {
+            (Ok(fast), Ok(slow)) => {
+                prop_assert_eq!(fast.cost, slow.cost, "winning costs must match bit-for-bit");
+                prop_assert!(fast.accuracy >= objective.accuracy_floor - EPS);
+                prop_assert!(slow.accuracy >= objective.accuracy_floor - EPS);
+                prop_assert!(fast.choices.len() == candidates.len());
+            }
+            (
+                Err(PlanError::Infeasible { best_accuracy: a, .. }),
+                Err(PlanError::Infeasible { best_accuracy: b, .. }),
+            ) => {
+                prop_assert!((a - b).abs() <= EPS, "best achievable accuracy {a} vs {b}");
+            }
+            _ => prop_assert!(false, "verdicts disagree: {:?} vs {:?}", fast, slow),
+        }
+    }
+
+    /// The chosen plan's estimated cost is minimal over *all* enumerated
+    /// assignments (checked against a hand-rolled odometer enumeration).
+    #[test]
+    fn winner_is_minimal_over_all_feasible((candidates, records, objective) in search_case()) {
+        let every = enumerate(&candidates, &records, &objective);
+        match best_assignment(&candidates, &records, &objective) {
+            Ok(outcome) => {
+                // The winner's (cost, accuracy) corresponds to a real
+                // assignment...
+                let mut cost = 0.0;
+                let mut accuracy = 1.0;
+                for i in (0..candidates.len()).rev() {
+                    let est = &candidates[i][outcome.choices[i]].estimate;
+                    cost = est.score(&objective, records[i]) + cost;
+                    accuracy = est.accuracy * accuracy;
+                }
+                prop_assert_eq!(cost, outcome.cost);
+                prop_assert_eq!(accuracy, outcome.accuracy);
+                // ...and no feasible assignment beats it.
+                for (other_cost, other_accuracy) in &every {
+                    if *other_accuracy >= objective.accuracy_floor - EPS {
+                        prop_assert!(
+                            outcome.cost <= other_cost + EPS,
+                            "winner {} beaten by feasible assignment {}",
+                            outcome.cost,
+                            other_cost
+                        );
+                    }
+                }
+            }
+            Err(PlanError::Infeasible { .. }) => {
+                // Infeasible must mean *nothing* met the floor (under the
+                // same epsilon the DP itself applies).
+                for (_, accuracy) in &every {
+                    prop_assert!(*accuracy < objective.accuracy_floor - EPS);
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Running the search twice on identical inputs returns the identical
+    /// winner: the memo is deterministic.
+    #[test]
+    fn search_is_deterministic((candidates, records, objective) in search_case()) {
+        let first = best_assignment(&candidates, &records, &objective);
+        let second = best_assignment(&candidates, &records, &objective);
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.choices, b.choices);
+                prop_assert_eq!(a.cost, b.cost);
+                prop_assert_eq!(a.kept, b.kept);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "determinism violated"),
+        }
+    }
+}

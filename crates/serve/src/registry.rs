@@ -19,6 +19,10 @@ struct Registered {
     /// The master copy. Never executed — only replicated. The mutex makes
     /// the `Box<dyn Module>`s inside shareable across worker threads.
     master: Mutex<PhysicalPipeline>,
+    /// Provenance note for plan-aware registration: when the cost-based
+    /// planner chose this pipeline's physical form, the plan summary lands
+    /// here so operators can see *why* a served pipeline runs the way it does.
+    annotation: Option<String>,
 }
 
 /// A named collection of compiled pipelines.
@@ -43,13 +47,40 @@ impl PipelineRegistry {
         id: impl Into<String>,
         pipeline: PhysicalPipeline,
     ) -> Result<(), ServeError> {
+        self.register_inner(id.into(), pipeline, None)
+    }
+
+    /// Register a pipeline together with a provenance annotation (the
+    /// cost-based planner passes its plan summary here). Same replication
+    /// probe as [`PipelineRegistry::register`].
+    pub fn register_annotated(
+        &self,
+        id: impl Into<String>,
+        pipeline: PhysicalPipeline,
+        annotation: impl Into<String>,
+    ) -> Result<(), ServeError> {
+        self.register_inner(id.into(), pipeline, Some(annotation.into()))
+    }
+
+    fn register_inner(
+        &self,
+        id: String,
+        pipeline: PhysicalPipeline,
+        annotation: Option<String>,
+    ) -> Result<(), ServeError> {
         let probe = pipeline.fresh_instance()?;
         drop(probe);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
-        self.pipelines
-            .lock()
-            .insert(id.into(), Arc::new(Registered { generation, master: Mutex::new(pipeline) }));
+        self.pipelines.lock().insert(
+            id,
+            Arc::new(Registered { generation, master: Mutex::new(pipeline), annotation }),
+        );
         Ok(())
+    }
+
+    /// The provenance annotation attached at registration, if any.
+    pub fn annotation(&self, id: &str) -> Option<String> {
+        self.pipelines.lock().get(id).and_then(|r| r.annotation.clone())
     }
 
     /// Parse + compile DSL source and register it. Compilation uses the given
@@ -138,6 +169,29 @@ mod tests {
         let (gen_b, b) = registry.instantiate("summ").unwrap();
         assert_eq!(gen_a, gen_b);
         assert_eq!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn annotations_survive_registration() {
+        let registry = PipelineRegistry::new();
+        let mut ctx = ctx();
+        let compiler = Compiler::with_builtins();
+        let logical = Pipeline::parse(
+            r#"pipeline p {
+                out = summarize(text) using llm with { desc: "summarize the following document" };
+            }"#,
+        )
+        .unwrap();
+        let physical = compiler.compile(&logical, &mut ctx).unwrap();
+        registry.register_annotated("p", physical, "plan: summarize -> llm ($0.0021/rec)").unwrap();
+        assert_eq!(
+            registry.annotation("p").as_deref(),
+            Some("plan: summarize -> llm ($0.0021/rec)")
+        );
+        // Plain registration carries no annotation.
+        let physical = compiler.compile(&logical, &mut ctx).unwrap();
+        registry.register("q", physical).unwrap();
+        assert_eq!(registry.annotation("q"), None);
     }
 
     #[test]

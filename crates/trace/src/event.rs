@@ -41,6 +41,11 @@ pub enum SpanKind {
     /// record lands, ends when the watermark closes it. Watermark advances
     /// and late-record drops are instants of this kind.
     StreamWindow,
+    /// One cost-based planning session (`lingua-plan`): the span records the
+    /// objective and plan-level totals; per-op `choose` instants under it
+    /// carry the chosen physical alternative and its estimated $/ms/accuracy,
+    /// so estimated-vs-actual cost is auditable per job afterwards.
+    Plan,
 }
 
 impl SpanKind {
@@ -59,6 +64,7 @@ impl SpanKind {
             SpanKind::LlmCall => "llm_call",
             SpanKind::Supervisor => "supervisor",
             SpanKind::StreamWindow => "stream_window",
+            SpanKind::Plan => "plan",
         }
     }
 }

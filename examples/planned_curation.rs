@@ -1,0 +1,165 @@
+//! Cost-based planning demo: the *same* logical pipeline, planned under two
+//! objectives, compiles to two *different* physical pipelines.
+//!
+//! Scenario: a small, duplicate-heavy batch of entity-resolution pairs (10
+//! distinct pairs repeated to 50 records). Candidate implementations for the
+//! Match op:
+//!
+//! * **direct_llm** — one billed call per record, ~350 ms each.
+//! * **cached_llm** — the same module behind a memo: only the ~20% distinct
+//!   records pay a call.
+//! * **ml_model** — a random forest distilled from teacher-labeled pairs.
+//!   Marginal cost is ~zero, but the plan bears the *acquisition* cost of
+//!   its training labels (real teacher usage, measured below). Labeling runs
+//!   off the serving path, so those dollars buy no batch latency.
+//!
+//! That asymmetry is the whole point: for 50 records the cache's ~10
+//! effective calls are cheaper than labeling a training set, so the cheap-$
+//! plan answers from the cache — while the low-latency plan happily spends
+//! the label budget to serve every record in microseconds.
+//!
+//! Run with: `cargo run --release -p lingua-plan --example planned_curation`
+
+use lingua_core::modules::Module;
+use lingua_core::{Compiler, CurationStage, DatasetStats, ExecContext, LogicalOp, Pipeline};
+use lingua_dataset::generators::er::{generate, ErDataset};
+use lingua_dataset::world::WorldSpec;
+use lingua_dataset::{Record, Schema, Table, Value};
+use lingua_llm_sim::SimLlm;
+use lingua_plan::{Calibrator, MlPairModule, Objective, PhysicalAlt, Planner};
+use lingua_trace::Tracer;
+use std::sync::Arc;
+
+fn main() {
+    let world = WorldSpec::generate(42);
+    let split = generate(&world, ErDataset::FodorsZagats, 42);
+    let mut ctx = ExecContext::new(Arc::new(SimLlm::with_seed(&world, 42)));
+    let compiler = Compiler::with_builtins();
+
+    // The logical pipeline: one Match-stage op, implementation unspecified.
+    let er_op = LogicalOp::new("entity_resolution")
+        .input("pairs")
+        .output("matches")
+        .param("desc", "Determine if the two records refer to the same entity");
+    let pipeline = Pipeline::new("er_batch").op(er_op.clone());
+
+    // The batch: 10 distinct pairs cycled to 50 records (duplicate rate 0.8).
+    let distinct: Vec<_> = split.test.iter().take(10).collect();
+    let schema = Schema::of_names(["a", "b"]);
+    let rows: Vec<Record> = (0..50)
+        .map(|i| {
+            let pair = distinct[i % distinct.len()];
+            Record::new(vec![
+                Value::Str(pair.left.describe(&split.schema)),
+                Value::Str(pair.right.describe(&split.schema)),
+            ])
+        })
+        .collect();
+    let positives = distinct.iter().filter(|p| p.label).count() as u64;
+    let stats = DatasetStats::from_table(&Table::with_rows("batch", schema, rows).unwrap())
+        .with_match_selectivity(positives, distinct.len() as u64);
+    println!(
+        "batch: {} records, duplicate rate {:.2}, ~{} tokens/record",
+        stats.rows,
+        stats.duplicate_rate(),
+        stats.avg_record_tokens() as u64
+    );
+
+    let mut planner = Planner::new(compiler);
+
+    // Evidence 1 — calibrate the direct LLM on the labeled validation pairs
+    // (real calls, real tokens, real simulated latency, judged accuracy).
+    let calibrator = Calibrator::from_pairs(&split.schema, &split.valid);
+    let mut llm_module = {
+        let mut op = er_op.clone();
+        op.kind = Some(lingua_core::ModuleKind::Llm);
+        Compiler::with_builtins().bind(&op, &mut ctx).expect("llm binds")
+    };
+    let llm_sample = calibrator.calibrate(
+        planner.estimator_mut(),
+        CurationStage::Match,
+        PhysicalAlt::DirectLlm,
+        llm_module.as_mut(),
+        &mut ctx,
+    );
+    println!(
+        "calibrated direct_llm: accuracy {:.2} over {} pairs, {} calls",
+        llm_sample.accuracy(),
+        llm_sample.total,
+        llm_sample.usage.calls
+    );
+
+    // Evidence 2 — distill a student model and charge the plan for its
+    // education: label the training pairs with the teacher LLM (real usage,
+    // measured) and book that as the ml_model's setup cost. The labeling
+    // runs off the serving path, so it costs dollars but no batch latency.
+    let label_usage_before = ctx.llm.usage();
+    for pair in &split.train {
+        let input = lingua_core::Data::map([
+            ("a".to_string(), lingua_core::Data::Str(pair.left.describe(&split.schema))),
+            ("b".to_string(), lingua_core::Data::Str(pair.right.describe(&split.schema))),
+        ]);
+        llm_module.invoke(input, &mut ctx).expect("teacher labels");
+    }
+    let label_usage = ctx.llm.usage().since(&label_usage_before);
+    let train_started = std::time::Instant::now();
+    let model = MlPairModule::train("er_model", &split.schema, &split.train, 0).expect("train");
+    let train_ms = train_started.elapsed().as_millis() as u64;
+    planner.estimator_mut().record_setup(
+        CurationStage::Match,
+        PhysicalAlt::MlModel,
+        &label_usage,
+        train_ms,
+    );
+    let mut model_probe = model.fresh_instance().expect("replicable");
+    planner.install_model(CurationStage::Match, Box::new(model)).expect("install");
+    let model_sample = calibrator.calibrate(
+        planner.estimator_mut(),
+        CurationStage::Match,
+        PhysicalAlt::MlModel,
+        model_probe.as_mut(),
+        &mut ctx,
+    );
+    println!(
+        "calibrated ml_model: accuracy {:.2}, trained on {} teacher-labeled pairs (${:.4} of labels)",
+        model_sample.accuracy(),
+        split.train.len(),
+        label_usage.cost_usd(planner.estimator().pricing())
+    );
+
+    // Plan the same pipeline under both objectives.
+    let floor = 0.8;
+    let cheap = planner
+        .plan(
+            &pipeline,
+            &stats,
+            &Objective::cheapest_dollars().with_floor(floor),
+            &Tracer::disabled(),
+        )
+        .expect("cheap plan");
+    let fast = planner
+        .plan(
+            &pipeline,
+            &stats,
+            &Objective::lowest_latency().with_floor(floor),
+            &Tracer::disabled(),
+        )
+        .expect("fast plan");
+    println!("\ncheap-$  : {}", cheap.summary());
+    println!("low-lat  : {}", fast.summary());
+
+    let cheap_alt = cheap.alt_of("entity_resolution").unwrap();
+    let fast_alt = fast.alt_of("entity_resolution").unwrap();
+    assert_ne!(cheap_alt, fast_alt, "the objectives should disagree on this workload");
+    assert_eq!(cheap_alt, PhysicalAlt::CachedLlm, "cheap-$ answers duplicates from the memo");
+    assert_eq!(fast_alt, PhysicalAlt::MlModel, "low-latency serves from the local model");
+
+    // Both plans compile into ordinary executable pipelines.
+    let cheap_exec = planner.compile(&cheap, &mut ctx).expect("compile cheap");
+    let fast_exec = planner.compile(&fast, &mut ctx).expect("compile fast");
+    println!(
+        "\ncompiled: cheap-$ runs `{}`, low-latency runs `{}`",
+        cheap_exec.physical.ops[0].1.name(),
+        fast_exec.physical.ops[0].1.name()
+    );
+}
