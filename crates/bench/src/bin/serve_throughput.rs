@@ -7,6 +7,13 @@
 //! also sleeps `--service-us` microseconds to model provider latency (the
 //! SimLlm itself only tracks virtual latency). Sleeping calls are exactly
 //! what a serving pool overlaps, so throughput scales with workers.
+//!
+//! The **batching arm** moves the service time out of the module and into a
+//! serialized provider round trip, then serves the same ER workload with and
+//! without continuous batching: a batched flush pays the round-trip toll once
+//! for all of its members, so backend round trips collapse by roughly the
+//! batch occupancy. The regression gate is the same-run unbatched/batched
+//! round-trip ratio — machine-relative, like the hotpath gate.
 
 use lingua_bench::{arg_usize, fmt_mean_std, mean, write_json, TextTable};
 use lingua_core::modules::{CustomModule, LlmModule, Module, PromptBuilder};
@@ -15,9 +22,14 @@ use lingua_core::{ContextFactory, CoreError, Data, LogicalOp, PhysicalPipeline};
 use lingua_dataset::generators::er::{self, ErDataset};
 use lingua_dataset::generators::imputation;
 use lingua_dataset::world::WorldSpec;
-use lingua_llm_sim::{LlmService, SimLlm, SimLlmConfig};
-use lingua_serve::{PipelineServer, ServeConfig, SubmitRequest};
-use std::sync::Arc;
+use lingua_gateway::BatchSnapshot;
+use lingua_llm_sim::{
+    BatchOutcome, CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, SimLlm, SimLlmConfig,
+    Usage,
+};
+use lingua_serve::{BatchTuning, PipelineServer, ServeConfig, SubmitRequest};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const SEED: u64 = 9100;
@@ -204,16 +216,153 @@ fn dedup_arm(
     (secs, llm.usage().calls, deduped)
 }
 
+/// Models a rate-limited provider connection: every backend round trip —
+/// batched or not — serializes on one connection and pays `rt_us` of wire
+/// latency. A batched flush pays that toll once for all of its members,
+/// which is exactly the economy continuous batching buys.
+struct RoundTripLlm {
+    inner: Arc<SimLlm>,
+    connection: Mutex<()>,
+    rt_us: u64,
+    round_trips: AtomicU64,
+}
+
+impl RoundTripLlm {
+    fn new(inner: Arc<SimLlm>, rt_us: u64) -> RoundTripLlm {
+        RoundTripLlm { inner, connection: Mutex::new(()), rt_us, round_trips: AtomicU64::new(0) }
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    fn toll(&self) {
+        let _connection = self.connection.lock().unwrap();
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        if self.rt_us > 0 {
+            std::thread::sleep(Duration::from_micros(self.rt_us));
+        }
+    }
+}
+
+impl LlmService for RoundTripLlm {
+    fn complete(&self, request: &CompletionRequest) -> String {
+        self.toll();
+        self.inner.complete(request)
+    }
+
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> BatchOutcome {
+        self.toll();
+        self.inner.complete_batch(requests)
+    }
+
+    fn embed(&self, text: &str) -> Vec<f64> {
+        self.inner.embed(text)
+    }
+
+    fn usage(&self) -> Usage {
+        self.inner.usage()
+    }
+
+    fn simulated_latency_ms(&self) -> u64 {
+        self.inner.simulated_latency_ms()
+    }
+
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
+        self.inner.generate_code(spec)
+    }
+
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
+        self.inner.suggest_fix(source, failures)
+    }
+
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode {
+        self.inner.repair_code(spec, previous, suggestion)
+    }
+}
+
+/// The batching arm: the ER workload over a round-trip-tolled provider, with
+/// or without the serve-layer batcher wrapped around it. Dedup and the
+/// result cache stay off so the two arms execute identical work.
+fn batch_arm(
+    world: &WorldSpec,
+    inputs: &[Data],
+    workers: usize,
+    rt_us: u64,
+    tuning: Option<BatchTuning>,
+) -> (f64, u64, Option<BatchSnapshot>) {
+    let sim = Arc::new(SimLlm::new(world, SimLlmConfig { seed: SEED, ..Default::default() }));
+    let llm = Arc::new(RoundTripLlm::new(sim, rt_us));
+    let factory = ContextFactory::new(Arc::clone(&llm) as Arc<dyn LlmService>);
+    let config = ServeConfig {
+        workers: Some(workers),
+        queue_capacity: inputs.len() + 8,
+        dedup_inflight: false,
+        result_cache_capacity: 0,
+        batch: tuning,
+        ..Default::default()
+    };
+    let mut server = PipelineServer::start(factory, config).expect("valid bench config");
+    let pipeline = er_pipeline(0);
+    let id = pipeline.name.clone();
+    server.register_pipeline(id.as_str(), pipeline).expect("pipeline replicates");
+    let start = Instant::now();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|input| {
+            server
+                .submit(SubmitRequest::new(id.as_str()).input("batch", input.clone()))
+                .expect("queue sized for the run")
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("job completes");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let snapshot = server.metrics().batch;
+    server.shutdown();
+    (secs, llm.round_trips(), snapshot)
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Pull the gated metric out of a previously committed results file without
+/// needing a JSON parser: the writer emits `"gate_round_trip_ratio": <value>`.
+fn read_baseline_gate(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let idx = text.find("\"gate_round_trip_ratio\"")?;
+    let rest = &text[idx..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
 fn main() {
+    let smoke = has_flag("--smoke");
     // 48 x 8 = 384 records per workload, within the 450-pair ER split.
-    let jobs = arg_usize("--jobs", 48);
+    let jobs = arg_usize("--jobs", if smoke { 16 } else { 48 });
     let batch = arg_usize("--batch", 8);
-    let reps = arg_usize("--reps", 3);
+    let reps = arg_usize("--reps", if smoke { 1 } else { 3 });
     let service_us = arg_usize("--service-us", 400) as u64;
+    let rt_us = arg_usize("--round-trip-us", 300) as u64;
     let worker_counts = [1usize, 2, 4, 8];
     println!(
         "Serving S1: {jobs} jobs x {batch}-record batches per pipeline, \
-         {service_us}us simulated service time per LLM call, {reps} reps\n"
+         {service_us}us simulated service time per LLM call, {reps} reps{}\n",
+        if smoke { ", smoke" } else { "" }
     );
 
     let world = WorldSpec::generate(SEED);
@@ -293,15 +442,60 @@ fn main() {
         calls_off,
         deduped_off,
     );
+    // Batching arm: 8 workers against a serialized provider connection, with
+    // and without the serve-layer batcher. The gate is the same-run
+    // unbatched/batched round-trip ratio — both arms ran on this host in this
+    // process, so the ratio survives CI-runner throughput spread.
+    let batch_workers = 8;
+    let tuning = BatchTuning { max_batch_size: 8, max_wait: Duration::from_millis(5) };
+    let mut batched_secs = Vec::with_capacity(reps);
+    let mut unbatched_secs = Vec::with_capacity(reps);
+    let mut batched_trips = Vec::with_capacity(reps);
+    let mut unbatched_trips = Vec::with_capacity(reps);
+    let mut snapshot = None;
+    for _ in 0..reps {
+        let (secs, trips, snap) = batch_arm(&world, &er_inputs, batch_workers, rt_us, Some(tuning));
+        batched_secs.push(secs);
+        batched_trips.push(trips as f64);
+        snapshot = snap.or(snapshot);
+        let (secs, trips, _) = batch_arm(&world, &er_inputs, batch_workers, rt_us, None);
+        unbatched_secs.push(secs);
+        unbatched_trips.push(trips as f64);
+    }
+    let snapshot = snapshot.expect("batched server surfaces batch counters");
+    let gate_round_trip_ratio = mean(&unbatched_trips) / mean(&batched_trips);
+    println!(
+        "\nBatching arm ({} jobs, {} workers, {}us round trip, batch {} x {}ms window):\n\
+         \x20 batched  : {:>6.2}s  {:>5.0} provider round trips  \
+         ({} batches, mean occupancy {:.1})\n\
+         \x20 unbatched: {:>6.2}s  {:>5.0} provider round trips\n\
+         \x20 round-trip ratio: {:.2}x fewer backend calls",
+        er_inputs.len(),
+        batch_workers,
+        rt_us,
+        tuning.max_batch_size,
+        tuning.max_wait.as_millis(),
+        mean(&batched_secs),
+        mean(&batched_trips),
+        snapshot.batches,
+        snapshot.mean_occupancy(),
+        mean(&unbatched_secs),
+        mean(&unbatched_trips),
+        gate_round_trip_ratio,
+    );
+
     println!(
         "\nShape: jobs/sec rises with workers because per-call service time \
          overlaps across the pool; dedup answers duplicate submissions from \
-         one execution, so LLM spend tracks distinct work, not request volume."
+         one execution, so LLM spend tracks distinct work, not request volume; \
+         batching folds concurrent members into one provider round trip, so \
+         backend calls track flushes, not members."
     );
 
     write_json(
         "serve_throughput",
         &serde_json::json!({
+            "smoke": smoke,
             "jobs": jobs, "batch": batch, "reps": reps, "service_us": service_us,
             "rows": json_rows,
             "dedup": {
@@ -309,6 +503,48 @@ fn main() {
                 "on": { "secs": secs_on, "llm_calls": calls_on, "deduped": deduped_on },
                 "off": { "secs": secs_off, "llm_calls": calls_off, "deduped": deduped_off },
             },
+            "batching": {
+                "workers": batch_workers, "round_trip_us": rt_us,
+                "max_batch_size": tuning.max_batch_size,
+                "max_wait_ms": tuning.max_wait.as_millis() as u64,
+                "batched": {
+                    "secs": mean(&batched_secs),
+                    "jobs_per_sec": er_inputs.len() as f64 / mean(&batched_secs),
+                    "round_trips": mean(&batched_trips),
+                },
+                "unbatched": {
+                    "secs": mean(&unbatched_secs),
+                    "jobs_per_sec": er_inputs.len() as f64 / mean(&unbatched_secs),
+                    "round_trips": mean(&unbatched_trips),
+                },
+                "batches": snapshot.batches, "members": snapshot.members,
+                "mean_occupancy": snapshot.mean_occupancy(),
+                "max_occupancy": snapshot.max_occupancy,
+            },
+            "gate_metric": "unbatched/batched provider round trips at 8 workers \
+                            (same-run, machine-relative)",
+            "gate_round_trip_ratio": gate_round_trip_ratio,
         }),
     );
+
+    if let Some(path) = flag_value("--check-baseline") {
+        match read_baseline_gate(&path) {
+            Some(baseline) => {
+                println!(
+                    "\nRegression gate: unbatched/batched round-trip ratio @{batch_workers}w = \
+                     {gate_round_trip_ratio:.2}x vs baseline {baseline:.2}x"
+                );
+                if gate_round_trip_ratio < baseline / 2.0 {
+                    eprintln!(
+                        "REGRESSION: continuous batching collapsed fewer provider round \
+                         trips than half the committed ratio — the batcher is not filling"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("no usable baseline at {path}; skipping the regression gate");
+            }
+        }
+    }
 }

@@ -1,0 +1,702 @@
+//! Continuous micro-batching: accumulate compatible completion requests from
+//! concurrent jobs into one batched backend call.
+//!
+//! [`Batcher`] sits between the serve workers and whatever [`LlmService`]
+//! answers completions (the simulator directly, or a [`crate::Gateway`]).
+//! Each `complete` call *joins* the currently-filling batch and blocks until
+//! the batch flushes; the flush itself is one [`LlmService::complete_batch`]
+//! call, so N members pay one backend round trip between them.
+//!
+//! # Flush state machine
+//!
+//! A batch generation moves through three states, with **no background
+//! thread** — every transition runs on a member's own thread:
+//!
+//! 1. **Filling.** Members push onto the pending list under the state lock.
+//!    The *first* member of a generation becomes the **timer leader**: it
+//!    waits on a condvar with a deadline of `max_wait` from its arrival.
+//! 2. **Size flush.** The member whose arrival fills the batch to
+//!    `max_batch_size` takes the whole pending list, bumps the generation
+//!    (which wakes the timer leader into follower mode), and flushes on its
+//!    own thread.
+//! 3. **Window flush.** If the deadline fires first, the timer leader takes
+//!    whatever accumulated — possibly just itself — and flushes.
+//!
+//! Members that are neither leader nor filler simply wait on their response
+//! cell. A panic inside the flush fills every unfilled cell with an abort
+//! notice (RAII guard), so siblings never hang on a poisoned batch.
+//!
+//! # Cancellation
+//!
+//! Each member captures its job's [`CancelToken`] (the thread-local scope)
+//! at submit time. At flush time, members whose token has fired are answered
+//! with [`CANCELLED_NOTICE`] and **excluded from the backend call** — a
+//! cancelled member leaves the batch unbilled without poisoning its
+//! siblings. This is also why the simulator's batched entry point must not
+//! consult the *flusher's* thread-local scope: the flush runs on one
+//! member's thread, and that member's deadline is not its siblings' problem.
+
+use lingua_llm_sim::cancel::{self, CancelToken, CANCELLED_NOTICE};
+use lingua_llm_sim::{
+    BatchOutcome, CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage,
+};
+use lingua_trace::{SpanKind, Tracer};
+use parking_lot::{Condvar, Mutex};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Response handed to members of a batch whose flush panicked before their
+/// response was produced. The panic itself propagates on the flusher's
+/// thread (serve's panic isolation turns it into a typed job failure);
+/// siblings get this notice instead of hanging.
+const BATCH_ABORTED_NOTICE: &str =
+    "[batch aborted] the batch flush failed before this member's response was produced";
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many members are pending (size trigger).
+    /// Clamped to at least 1.
+    pub max_batch_size: usize,
+    /// Flush when the oldest pending member has waited this long (window
+    /// trigger). `ZERO` degenerates to per-call flushing.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { max_batch_size: 8, max_wait: Duration::from_millis(2) }
+    }
+}
+
+/// Why a batch flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FlushReason {
+    /// The batch reached `max_batch_size`.
+    Size,
+    /// The `max_wait` window expired on the timer leader.
+    Window,
+}
+
+impl FlushReason {
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Window => "window",
+        }
+    }
+}
+
+/// One flushed batch, as recorded in the replay log.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FlushRecord {
+    /// Members the batch held when it flushed (live + cancelled).
+    pub occupancy: usize,
+    /// Members that reached the backend.
+    pub live: usize,
+    /// Members answered with the cancelled notice and excluded unbilled.
+    pub cancelled: usize,
+    /// Live members answered without billing (cache hits and in-batch
+    /// coalesces; see [`BatchOutcome::saved_members`]).
+    pub saved: usize,
+    pub reason: FlushReason,
+    /// Exact usage the backend booked for this flush.
+    pub usage: Usage,
+}
+
+/// Point-in-time batching counters. Exact once submitters quiesce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct BatchSnapshot {
+    /// Batches flushed.
+    pub batches: u64,
+    /// Members across all flushed batches (live + cancelled).
+    pub members: u64,
+    /// Flushes triggered by reaching `max_batch_size`.
+    pub size_flushes: u64,
+    /// Flushes triggered by the `max_wait` window expiring.
+    pub window_flushes: u64,
+    /// Live members answered without billing (cache/coalesce savings).
+    pub saved_members: u64,
+    /// Members dropped from their batch by cancellation, unbilled.
+    pub cancelled_members: u64,
+    /// Largest occupancy any flush reached.
+    pub max_occupancy: u64,
+}
+
+impl BatchSnapshot {
+    /// Mean members per flushed batch (0 when nothing flushed).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.members as f64 / self.batches as f64
+        }
+    }
+
+    /// Human-readable report, matching the serve/gateway metrics style.
+    pub fn report(&self) -> String {
+        format!(
+            "batcher metrics\n\
+             \x20 batches         {} ({} members, {:.2} mean / {} max occupancy)\n\
+             \x20 flush triggers  {} size, {} window\n\
+             \x20 saved members   {} (cache hits + in-batch coalesces)\n\
+             \x20 cancelled       {} members left their batch unbilled\n",
+            self.batches,
+            self.members,
+            self.mean_occupancy(),
+            self.max_occupancy,
+            self.size_flushes,
+            self.window_flushes,
+            self.saved_members,
+            self.cancelled_members,
+        )
+    }
+}
+
+/// One member's response slot: filled exactly once by whichever thread runs
+/// the flush, waited on by the member that submitted it.
+struct MemberCell {
+    slot: Mutex<Option<Arc<str>>>,
+    ready: Condvar,
+}
+
+impl MemberCell {
+    fn new() -> Arc<MemberCell> {
+        Arc::new(MemberCell { slot: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    /// Fill the slot if still empty and wake the waiter. First write wins,
+    /// so the abort guard cannot clobber a real response.
+    fn fill(&self, response: Arc<str>) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(response);
+            self.ready.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Arc<str> {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.ready.wait(&mut slot);
+        }
+        Arc::clone(slot.as_ref().expect("slot filled"))
+    }
+}
+
+struct Member {
+    request: CompletionRequest,
+    /// The submitting job's cancel token, captured from the thread-local
+    /// scope at submit time (the flush runs on a different thread).
+    cancel: Option<CancelToken>,
+    cell: Arc<MemberCell>,
+}
+
+struct BatchState {
+    pending: Vec<Member>,
+    /// Bumped every time a batch is taken for flushing; the timer leader
+    /// watches it to learn that a size flush beat its deadline.
+    generation: u64,
+}
+
+#[derive(Default)]
+struct BatchCounters {
+    batches: AtomicU64,
+    members: AtomicU64,
+    size_flushes: AtomicU64,
+    window_flushes: AtomicU64,
+    saved_members: AtomicU64,
+    cancelled_members: AtomicU64,
+    max_occupancy: AtomicU64,
+}
+
+/// How many flush records the replay log retains; counters keep counting
+/// past it.
+const FLUSH_LOG_CAP: usize = 1024;
+
+/// Fills every still-empty member cell with the abort notice if the flush
+/// unwinds, so a panicking backend cannot strand sibling members.
+struct AbortGuard<'a> {
+    cells: &'a [Arc<MemberCell>],
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        for cell in self.cells {
+            cell.fill(Arc::from(BATCH_ABORTED_NOTICE));
+        }
+    }
+}
+
+/// Continuous micro-batcher over any [`LlmService`]. See the module docs
+/// for the flush state machine.
+pub struct Batcher {
+    inner: Arc<dyn LlmService>,
+    config: BatchConfig,
+    state: Mutex<BatchState>,
+    flush_cv: Condvar,
+    counters: BatchCounters,
+    flush_log: Mutex<Vec<FlushRecord>>,
+    tracer: Tracer,
+}
+
+impl Batcher {
+    pub fn new(inner: Arc<dyn LlmService>, config: BatchConfig) -> Batcher {
+        Batcher {
+            inner,
+            config: BatchConfig { max_batch_size: config.max_batch_size.max(1), ..config },
+            state: Mutex::new(BatchState { pending: Vec::new(), generation: 0 }),
+            flush_cv: Condvar::new(),
+            counters: BatchCounters::default(),
+            flush_log: Mutex::new(Vec::new()),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Emit `batch` flush spans (with per-member usage-split instants) to
+    /// `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Batcher {
+        self.tracer = tracer;
+        self
+    }
+
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// The service underneath (for tests and metric fold-ins).
+    pub fn inner(&self) -> &Arc<dyn LlmService> {
+        &self.inner
+    }
+
+    /// Members currently waiting in the filling batch.
+    pub fn pending_members(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// Point-in-time batching counters.
+    pub fn snapshot(&self) -> BatchSnapshot {
+        BatchSnapshot {
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            members: self.counters.members.load(Ordering::Relaxed),
+            size_flushes: self.counters.size_flushes.load(Ordering::Relaxed),
+            window_flushes: self.counters.window_flushes.load(Ordering::Relaxed),
+            saved_members: self.counters.saved_members.load(Ordering::Relaxed),
+            cancelled_members: self.counters.cancelled_members.load(Ordering::Relaxed),
+            max_occupancy: self.counters.max_occupancy.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The first [`FLUSH_LOG_CAP`] flushed batches, in flush order — the
+    /// replay suite's oracle for exact compositions and flush reasons.
+    pub fn flush_log(&self) -> Vec<FlushRecord> {
+        self.flush_log.lock().clone()
+    }
+
+    /// Flush one taken batch on the calling thread: drop cancelled members,
+    /// place the batched backend call, fill every cell, book the metrics.
+    fn flush(&self, batch: Vec<Member>, reason: FlushReason) {
+        let occupancy = batch.len();
+        let mut live_requests: Vec<CompletionRequest> = Vec::with_capacity(occupancy);
+        let mut live_cells: Vec<Arc<MemberCell>> = Vec::with_capacity(occupancy);
+        let mut cancelled = 0usize;
+        for member in batch {
+            let dead = member.cancel.as_ref().is_some_and(|token| token.status().is_some());
+            if dead {
+                cancelled += 1;
+                member.cell.fill(Arc::from(CANCELLED_NOTICE));
+            } else {
+                live_requests.push(member.request);
+                live_cells.push(member.cell);
+            }
+        }
+        let mut span = self.tracer.span(SpanKind::Batch, "flush");
+        span.attr("reason", reason.label());
+        span.attr("occupancy", occupancy.to_string());
+        span.attr("live", live_requests.len().to_string());
+        span.attr("cancelled", cancelled.to_string());
+        let outcome = {
+            // If the backend panics, the guard answers every unfilled cell
+            // with the abort notice before the panic leaves this frame.
+            let _abort = AbortGuard { cells: &live_cells };
+            let outcome = self.inner.complete_batch(&live_requests);
+            for (cell, response) in live_cells.iter().zip(&outcome.responses) {
+                cell.fill(Arc::clone(response));
+            }
+            outcome
+        };
+        let saved = outcome.saved_members();
+        for (index, split) in outcome.splits.iter().enumerate() {
+            self.tracer.instant_under(Some(span.id()), SpanKind::Batch, "split", || {
+                vec![
+                    ("member".into(), index.to_string()),
+                    ("calls".into(), split.calls.to_string()),
+                    ("tokens_in".into(), split.tokens_in.to_string()),
+                    ("tokens_out".into(), split.tokens_out.to_string()),
+                    ("cached".into(), (split.cached_calls > 0).to_string()),
+                ]
+            });
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.members.fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.counters.saved_members.fetch_add(saved as u64, Ordering::Relaxed);
+        self.counters.cancelled_members.fetch_add(cancelled as u64, Ordering::Relaxed);
+        self.counters.max_occupancy.fetch_max(occupancy as u64, Ordering::Relaxed);
+        match reason {
+            FlushReason::Size => self.counters.size_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushReason::Window => self.counters.window_flushes.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut log = self.flush_log.lock();
+        if log.len() < FLUSH_LOG_CAP {
+            log.push(FlushRecord {
+                occupancy,
+                live: live_requests.len(),
+                cancelled,
+                saved,
+                reason,
+                usage: outcome.batch_usage,
+            });
+        }
+    }
+
+    /// Join the filling batch and block until it flushes. See the module
+    /// docs for the three exits (filler, timer leader, follower).
+    fn submit(&self, request: &CompletionRequest) -> Arc<str> {
+        let cell = MemberCell::new();
+        let member =
+            Member { request: request.clone(), cancel: cancel::current(), cell: Arc::clone(&cell) };
+        let mut state = self.state.lock();
+        let my_generation = state.generation;
+        state.pending.push(member);
+        if state.pending.len() >= self.config.max_batch_size {
+            // Size trigger: this arrival filled the batch. Take it, advance
+            // the generation (the timer leader wakes, sees the new
+            // generation, and falls through to waiting on its cell), flush
+            // on this thread.
+            let batch = std::mem::take(&mut state.pending);
+            state.generation += 1;
+            self.flush_cv.notify_all();
+            drop(state);
+            self.flush(batch, FlushReason::Size);
+        } else if state.pending.len() == 1 {
+            // Timer leader: hold the window open for up to `max_wait`.
+            let deadline = Instant::now() + self.config.max_wait;
+            loop {
+                let timed_out = self.flush_cv.wait_until(&mut state, deadline).timed_out();
+                if state.generation != my_generation {
+                    // A size flush took the batch (this member included).
+                    drop(state);
+                    break;
+                }
+                if timed_out {
+                    let batch = std::mem::take(&mut state.pending);
+                    state.generation += 1;
+                    drop(state);
+                    self.flush(batch, FlushReason::Window);
+                    break;
+                }
+                // Spurious wakeup: same generation, deadline not reached.
+            }
+        } else {
+            drop(state);
+        }
+        cell.wait()
+    }
+}
+
+impl LlmService for Batcher {
+    fn complete(&self, request: &CompletionRequest) -> String {
+        self.complete_shared(request).as_ref().to_string()
+    }
+
+    fn complete_shared(&self, request: &CompletionRequest) -> Arc<str> {
+        // A job that is already dead never joins a batch: same short-circuit
+        // as the simulator and gateway, nothing billed anywhere.
+        if cancel::current_cancelled().is_some() {
+            return Arc::from(CANCELLED_NOTICE);
+        }
+        self.submit(request)
+    }
+
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> BatchOutcome {
+        // Already a batch: forward it whole rather than re-queueing the
+        // members one at a time behind the window.
+        self.inner.complete_batch(requests)
+    }
+
+    fn embed(&self, text: &str) -> Vec<f64> {
+        self.inner.embed(text)
+    }
+
+    fn usage(&self) -> Usage {
+        self.inner.usage()
+    }
+
+    fn simulated_latency_ms(&self) -> u64 {
+        self.inner.simulated_latency_ms()
+    }
+
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
+        self.inner.generate_code(spec)
+    }
+
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
+        self.inner.suggest_fix(source, failures)
+    }
+
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode {
+        self.inner.repair_code(spec, previous, suggestion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingua_dataset::world::WorldSpec;
+    use lingua_llm_sim::{CancelScope, SimLlm, SimLlmConfig};
+    use std::sync::Barrier;
+
+    fn sim(seed: u64) -> Arc<SimLlm> {
+        let world = WorldSpec::generate(19);
+        Arc::new(SimLlm::new(
+            &world,
+            SimLlmConfig { seed, cache_enabled: true, ..Default::default() },
+        ))
+    }
+
+    fn prompt(i: usize) -> CompletionRequest {
+        CompletionRequest::new(format!("Summarize. Text: batch member number {i}"))
+    }
+
+    #[test]
+    fn lone_member_window_flushes_and_matches_direct_answers() {
+        let service = sim(1);
+        let reference = sim(1);
+        let batcher =
+            Batcher::new(service, BatchConfig { max_batch_size: 8, max_wait: Duration::ZERO });
+        for i in 0..3 {
+            assert_eq!(batcher.complete(&prompt(i)), reference.complete(&prompt(i)));
+        }
+        let snap = batcher.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.members, 3);
+        assert_eq!(snap.window_flushes, 3);
+        assert_eq!(snap.size_flushes, 0);
+        assert_eq!(snap.max_occupancy, 1);
+        assert!((snap.mean_occupancy() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn full_batch_size_flushes_in_one_backend_call() {
+        const MEMBERS: usize = 4;
+        let service = sim(2);
+        let reference = sim(2);
+        let batcher = Arc::new(Batcher::new(
+            service.clone(),
+            BatchConfig { max_batch_size: MEMBERS, max_wait: Duration::from_secs(30) },
+        ));
+        let barrier = Barrier::new(MEMBERS);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..MEMBERS)
+                .map(|i| {
+                    let batcher = Arc::clone(&batcher);
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        batcher.complete(&prompt(i))
+                    })
+                })
+                .collect();
+            for (i, handle) in handles.into_iter().enumerate() {
+                assert_eq!(handle.join().expect("no panic"), reference.complete(&prompt(i)));
+            }
+        });
+        let snap = batcher.snapshot();
+        assert_eq!(snap.batches, 1, "all members shared one flush");
+        assert_eq!(snap.members, MEMBERS as u64);
+        assert_eq!(snap.size_flushes, 1);
+        assert_eq!(snap.window_flushes, 0);
+        assert_eq!(snap.max_occupancy, MEMBERS as u64);
+        // One batched backend call for the whole group, billed once.
+        assert_eq!(service.usage().calls, 1);
+        let log = batcher.flush_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].occupancy, MEMBERS);
+        assert_eq!(log[0].reason, FlushReason::Size);
+        assert_eq!(log[0].usage, service.usage());
+    }
+
+    #[test]
+    fn cancelled_member_leaves_the_batch_unbilled_without_poisoning_siblings() {
+        let service = sim(3);
+        let reference = sim(3);
+        let batcher = Arc::new(Batcher::new(
+            service.clone(),
+            BatchConfig { max_batch_size: 2, max_wait: Duration::from_secs(30) },
+        ));
+        let token = CancelToken::unbounded();
+        std::thread::scope(|scope| {
+            let doomed = {
+                let batcher = Arc::clone(&batcher);
+                let token = token.clone();
+                scope.spawn(move || {
+                    let _scope = CancelScope::enter(&token);
+                    batcher.complete(&prompt(0))
+                })
+            };
+            // Wait for the doomed member to join the batch, cancel its job,
+            // then fill the batch so the flush happens on this thread.
+            while batcher.pending_members() < 1 {
+                std::thread::yield_now();
+            }
+            token.cancel();
+            let survivor = batcher.complete(&prompt(1));
+            assert_eq!(survivor, reference.complete(&prompt(1)));
+            assert_eq!(doomed.join().expect("no panic"), CANCELLED_NOTICE);
+        });
+        // Only the survivor billed; the reference service made the identical
+        // single call, so the ledgers must agree exactly.
+        assert_eq!(service.usage(), reference.usage());
+        let snap = batcher.snapshot();
+        assert_eq!(snap.cancelled_members, 1);
+        assert_eq!(snap.members, 2);
+        assert_eq!(snap.batches, 1);
+        let log = batcher.flush_log();
+        assert_eq!(log[0].occupancy, 2);
+        assert_eq!(log[0].live, 1);
+        assert_eq!(log[0].cancelled, 1);
+    }
+
+    #[test]
+    fn identical_prompts_coalesce_inside_one_batch() {
+        const MEMBERS: usize = 4;
+        let service = sim(4);
+        let batcher = Arc::new(Batcher::new(
+            service.clone(),
+            BatchConfig { max_batch_size: MEMBERS, max_wait: Duration::from_secs(30) },
+        ));
+        let barrier = Barrier::new(MEMBERS);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..MEMBERS)
+                .map(|_| {
+                    let batcher = Arc::clone(&batcher);
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        batcher.complete(&prompt(42))
+                    })
+                })
+                .collect();
+            let answers: Vec<String> =
+                handles.into_iter().map(|h| h.join().expect("no panic")).collect();
+            assert!(answers.windows(2).all(|w| w[0] == w[1]));
+        });
+        let usage = service.usage();
+        assert_eq!(usage.calls, 1, "one member computed");
+        assert_eq!(usage.cached_calls, MEMBERS as u64 - 1, "the rest coalesced");
+        assert_eq!(batcher.snapshot().saved_members, MEMBERS as u64 - 1);
+    }
+
+    #[test]
+    fn panicking_flush_fills_sibling_cells_with_the_abort_notice() {
+        /// A service whose batched entry point always panics.
+        struct Exploding;
+        impl LlmService for Exploding {
+            fn complete(&self, _request: &CompletionRequest) -> String {
+                panic!("backend exploded")
+            }
+            fn complete_batch(&self, _requests: &[CompletionRequest]) -> BatchOutcome {
+                panic!("backend exploded")
+            }
+            fn embed(&self, _text: &str) -> Vec<f64> {
+                Vec::new()
+            }
+            fn usage(&self) -> Usage {
+                Usage::default()
+            }
+            fn simulated_latency_ms(&self) -> u64 {
+                0
+            }
+            fn generate_code(&self, _spec: &CodeGenSpec) -> GeneratedCode {
+                unreachable!("not exercised")
+            }
+            fn suggest_fix(&self, _source: &str, _failures: &[String]) -> String {
+                unreachable!("not exercised")
+            }
+            fn repair_code(
+                &self,
+                _spec: &CodeGenSpec,
+                _previous: &GeneratedCode,
+                _suggestion: &str,
+            ) -> GeneratedCode {
+                unreachable!("not exercised")
+            }
+        }
+        let batcher = Arc::new(Batcher::new(
+            Arc::new(Exploding),
+            BatchConfig { max_batch_size: 2, max_wait: Duration::from_secs(30) },
+        ));
+        std::thread::scope(|scope| {
+            let follower = {
+                let batcher = Arc::clone(&batcher);
+                scope.spawn(move || batcher.complete(&prompt(0)))
+            };
+            while batcher.pending_members() < 1 {
+                std::thread::yield_now();
+            }
+            // Filling the batch flushes on this thread; the backend panics
+            // here, and the sibling must be released with the abort notice
+            // rather than hang.
+            let flusher = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                batcher.complete(&prompt(1))
+            }));
+            assert!(flusher.is_err(), "the flusher observes the panic");
+            let sibling = follower.join().expect("follower must not panic");
+            assert!(sibling.starts_with("[batch aborted]"), "got: {sibling}");
+        });
+    }
+
+    #[test]
+    fn dead_job_never_joins_a_batch() {
+        let service = sim(5);
+        let batcher = Batcher::new(service.clone(), BatchConfig::default());
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let _scope = CancelScope::enter(&token);
+        assert_eq!(batcher.complete(&prompt(0)), CANCELLED_NOTICE);
+        assert_eq!(batcher.snapshot().batches, 0);
+        assert_eq!(service.usage(), Usage::default());
+    }
+
+    #[test]
+    fn batch_size_one_degenerates_to_per_call_flushing() {
+        let service = sim(6);
+        let reference = sim(6);
+        let batcher = Batcher::new(
+            service,
+            BatchConfig { max_batch_size: 1, max_wait: Duration::from_secs(30) },
+        );
+        assert_eq!(batcher.complete(&prompt(7)), reference.complete(&prompt(7)));
+        let snap = batcher.snapshot();
+        assert_eq!(snap.size_flushes, 1, "size trigger fires immediately at capacity 1");
+        assert_eq!(snap.window_flushes, 0);
+    }
+
+    #[test]
+    fn snapshot_report_reads_like_the_other_metric_blocks() {
+        let service = sim(8);
+        let batcher =
+            Batcher::new(service, BatchConfig { max_batch_size: 8, max_wait: Duration::ZERO });
+        batcher.complete(&prompt(0));
+        let report = batcher.snapshot().report();
+        assert!(report.contains("batcher metrics"));
+        assert!(report.contains("flush triggers"));
+    }
+}

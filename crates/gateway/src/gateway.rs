@@ -27,8 +27,8 @@ use lingua_llm_sim::cancel;
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
 use lingua_llm_sim::{
-    AtomicUsage, CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, ShardedLru, Usage,
-    CANCELLED_NOTICE,
+    AtomicUsage, BatchOutcome, CodeGenSpec, CompletionRequest, Fnv1a, GeneratedCode, LlmService,
+    ShardedLru, Usage, CANCELLED_NOTICE,
 };
 use lingua_trace::{SpanKind, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -396,6 +396,80 @@ impl LlmService for Gateway {
         DEGRADED_NOTICE.to_string()
     }
 
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> BatchOutcome {
+        if requests.is_empty() {
+            return BatchOutcome::default();
+        }
+        self.metrics.batch(requests.len());
+        let mut span = self.tracer.span(SpanKind::Gateway, "complete_batch");
+        span.attr("members", requests.len().to_string());
+        // The batch travels the resilient loop as ONE call: one retry
+        // schedule, one breaker sample, one budget admission for the summed
+        // token estimate. Its backoff key folds every member fingerprint so
+        // distinct batches jitter independently.
+        let mut key_hasher = Fnv1a::new();
+        for request in requests {
+            key_hasher.write_u64(request.fingerprint());
+        }
+        let key = key_hasher.finish();
+        let est_tokens: u64 = requests.iter().map(|r| count_tokens(&r.prompt) as u64).sum();
+        match self.call_resilient(key, est_tokens, |transport| transport.complete_batch(requests)) {
+            Resilient::Served(outcome) => {
+                span.attr("path", "served");
+                for (request, response) in requests.iter().zip(&outcome.responses) {
+                    self.remember(request.fingerprint(), response);
+                }
+                return outcome;
+            }
+            Resilient::Cancelled => {
+                self.note_cancelled(&mut span);
+                return BatchOutcome {
+                    responses: requests.iter().map(|_| Arc::from(CANCELLED_NOTICE)).collect(),
+                    splits: vec![Usage::default(); requests.len()],
+                    batch_usage: Usage::default(),
+                };
+            }
+            Resilient::Exhausted => {}
+        }
+        // Degraded mode runs the ladder per member: one member may have a
+        // stale answer while its siblings fall through to the fallback.
+        span.attr("path", "degraded");
+        let mut outcome = BatchOutcome::with_capacity(requests.len());
+        for request in requests {
+            let member_key = request.fingerprint();
+            let est = count_tokens(&request.prompt);
+            if let Some(stale) = self.recall(member_key) {
+                self.metrics.degraded_cache_hit();
+                self.tracer.instant(SpanKind::Gateway, "degraded_cache_hit", Vec::new);
+                let mut split = Usage::default();
+                split.record_cached(est, count_tokens(&stale));
+                self.degraded_usage.record_cached(est, count_tokens(&stale));
+                outcome.batch_usage.merge(&split);
+                outcome.splits.push(split);
+                outcome.responses.push(stale);
+                continue;
+            }
+            if let Some(fallback) = &self.fallback {
+                let before = fallback.usage();
+                if let Ok(response) = fallback.complete(request) {
+                    self.metrics.degraded_fallback();
+                    self.tracer.instant(SpanKind::Gateway, "degraded_fallback", Vec::new);
+                    let split = fallback.usage().since(&before);
+                    self.remember(member_key, &response);
+                    outcome.batch_usage.merge(&split);
+                    outcome.splits.push(split);
+                    outcome.responses.push(Arc::from(response));
+                    continue;
+                }
+            }
+            self.metrics.degraded_static();
+            self.tracer.instant(SpanKind::Gateway, "degraded_static", Vec::new);
+            outcome.splits.push(Usage::default());
+            outcome.responses.push(Arc::from(DEGRADED_NOTICE));
+        }
+        outcome
+    }
+
     fn embed(&self, text: &str) -> Vec<f64> {
         self.metrics.request();
         let mut span = self.tracer.span(SpanKind::Gateway, "embed");
@@ -727,6 +801,97 @@ mod tests {
         assert_eq!(primary.backoff_ms, 0, "no backoff charged past the deadline");
         assert_eq!(snap.cancelled, 1);
         assert_eq!(snap.degraded(), 0);
+    }
+
+    #[test]
+    fn batched_requests_travel_the_resilient_loop_as_one_call() {
+        let service = sim(14);
+        let reference = sim(14);
+        let gateway = Gateway::over(Arc::new(ServiceTransport::new("sim", service)));
+        let requests: Vec<CompletionRequest> = (0..3).map(prompt).collect();
+        let outcome = gateway.complete_batch(&requests);
+        for (request, response) in requests.iter().zip(&outcome.responses) {
+            assert_eq!(response.as_ref(), reference.complete(request));
+        }
+        let mut summed = Usage::default();
+        for split in &outcome.splits {
+            summed.merge(split);
+        }
+        assert_eq!(summed, outcome.batch_usage);
+        assert_eq!(outcome.batch_usage.calls, 1, "one batched backend call");
+        let snap = gateway.snapshot();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batch_members, 3);
+        assert_eq!(snap.requests, 3, "members count as logical requests");
+        assert!((snap.mean_batch_occupancy() - 3.0).abs() < f64::EPSILON);
+        assert_eq!(snap.backends[0].counters.served, 1, "the transport saw one call");
+        // Every member was remembered for the degraded stale cache.
+        for request in &requests {
+            gateway.recall(request.fingerprint()).expect("remembered");
+        }
+    }
+
+    #[test]
+    fn batch_faults_retry_the_whole_batch() {
+        // 30% per-member transient faults through the default transport
+        // batching: one member's fault fails the whole batch, and the retry
+        // loop replays it until every member passes.
+        let service = sim(15);
+        let plan = FaultPlan::transient(0.3, 23);
+        let injector = Arc::new(FaultInjector::new("flaky", service, plan));
+        let standby = sim(15);
+        let reference = sim(15);
+        let gateway = Gateway::builder()
+            .backend(injector)
+            .backend(Arc::new(ServiceTransport::new("standby", standby)))
+            .build();
+        let requests: Vec<CompletionRequest> = (0..6).map(prompt).collect();
+        let outcome = gateway.complete_batch(&requests);
+        for (request, response) in requests.iter().zip(&outcome.responses) {
+            assert_eq!(response.as_ref(), reference.complete(request));
+        }
+        let snap = gateway.snapshot();
+        assert_eq!(snap.degraded(), 0, "retries absorbed the member faults");
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn batch_degrades_per_member_to_the_fallback() {
+        let service = sim(16);
+        let injector = Arc::new(FaultInjector::new("down", service, FaultPlan::transient(1.0, 31)));
+        let cheap = sim(16);
+        let gateway = Gateway::builder()
+            .backend(injector)
+            .fallback(Arc::new(ServiceTransport::new("cheap", cheap.clone())))
+            .build();
+        let requests: Vec<CompletionRequest> = (0..4).map(prompt).collect();
+        let outcome = gateway.complete_batch(&requests);
+        for (request, response) in requests.iter().zip(&outcome.responses) {
+            assert_eq!(response.as_ref(), cheap.complete(request));
+        }
+        let mut summed = Usage::default();
+        for split in &outcome.splits {
+            summed.merge(split);
+        }
+        assert_eq!(summed, outcome.batch_usage, "conservation holds on the degraded path");
+        assert_eq!(gateway.snapshot().degraded_fallbacks, 4);
+    }
+
+    #[test]
+    fn cancelled_batch_returns_notices_and_bills_nothing() {
+        use lingua_llm_sim::{CancelScope, CancelToken};
+        let service = sim(17);
+        let gateway = Gateway::over(Arc::new(ServiceTransport::new("sim", service)));
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let _scope = CancelScope::enter(&token);
+        let requests: Vec<CompletionRequest> = (0..3).map(prompt).collect();
+        let outcome = gateway.complete_batch(&requests);
+        assert!(outcome.responses.iter().all(|r| r.as_ref() == CANCELLED_NOTICE));
+        assert_eq!(outcome.batch_usage, Usage::default());
+        assert!(outcome.splits.iter().all(|s| *s == Usage::default()));
+        assert_eq!(gateway.usage().calls, 0);
+        assert_eq!(gateway.snapshot().cancelled, 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! assert **exact** retry, breaker, and fallback counts.
 
 mod backoff;
+mod batch;
 mod breaker;
 mod error;
 mod fault;
@@ -37,6 +38,7 @@ mod metrics;
 mod transport;
 
 pub use backoff::BackoffPolicy;
+pub use batch::{BatchConfig, BatchSnapshot, Batcher, FlushReason, FlushRecord};
 pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use error::{FaultClass, TransportError};
 pub use fault::{prompt_key, FaultCounts, FaultInjector, FaultPlan};

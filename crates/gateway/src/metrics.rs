@@ -56,6 +56,8 @@ struct MetricsInner {
     degraded_cache_hits: u64,
     degraded_fallbacks: u64,
     degraded_static: u64,
+    batches: u64,
+    batch_members: u64,
 }
 
 /// Interior-mutable metrics registry owned by the gateway.
@@ -113,6 +115,16 @@ impl GatewayMetrics {
         self.inner.lock().cancelled += 1;
     }
 
+    /// Book one batched call of `members` requests. Members count into
+    /// `requests` too, so the top line keeps meaning "logical requests
+    /// entering the gateway" whichever path they took.
+    pub(crate) fn batch(&self, members: usize) {
+        let mut inner = self.inner.lock();
+        inner.batches += 1;
+        inner.batch_members += members as u64;
+        inner.requests += members as u64;
+    }
+
     pub(crate) fn degraded_cache_hit(&self) {
         self.inner.lock().degraded_cache_hits += 1;
     }
@@ -150,6 +162,8 @@ impl GatewayMetrics {
             degraded_cache_hits: inner.degraded_cache_hits,
             degraded_fallbacks: inner.degraded_fallbacks,
             degraded_static: inner.degraded_static,
+            batches: inner.batches,
+            batch_members: inner.batch_members,
             backends,
         }
     }
@@ -180,6 +194,10 @@ pub struct GatewaySnapshot {
     pub degraded_fallbacks: u64,
     /// Requests answered with the static degraded notice (nothing left).
     pub degraded_static: u64,
+    /// Batched calls placed (one per `complete_batch` entering the gateway).
+    pub batches: u64,
+    /// Member requests carried by those batched calls (also in `requests`).
+    pub batch_members: u64,
     pub backends: Vec<BackendSnapshot>,
 }
 
@@ -187,6 +205,15 @@ impl GatewaySnapshot {
     /// Total backoff latency added across backends, in milliseconds.
     pub fn added_backoff_ms(&self) -> u64 {
         self.backends.iter().map(|b| b.counters.backoff_ms).sum()
+    }
+
+    /// Mean members per batched call (0 when no batch was placed).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_members as f64 / self.batches as f64
+        }
     }
 
     /// Total retries across backends.
@@ -220,6 +247,14 @@ impl GatewaySnapshot {
             self.degraded_fallbacks,
             self.degraded_static,
         );
+        if self.batches > 0 {
+            out.push_str(&format!(
+                "\x20 batches         {} ({} members, {:.2} mean occupancy)\n",
+                self.batches,
+                self.batch_members,
+                self.mean_batch_occupancy(),
+            ));
+        }
         for backend in &self.backends {
             let c = &backend.counters;
             out.push_str(&format!(

@@ -7,7 +7,9 @@
 //! adversarial counterpart.
 
 use crate::TransportError;
-use lingua_llm_sim::{CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage};
+use lingua_llm_sim::{
+    BatchOutcome, CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage,
+};
 use std::sync::Arc;
 
 /// A named, fallible LLM backend.
@@ -21,6 +23,30 @@ pub trait LlmTransport: Send + Sync {
     fn name(&self) -> &str;
     /// Free-text completion.
     fn complete(&self, request: &CompletionRequest) -> Result<String, TransportError>;
+    /// Batched completion: all-or-nothing over the wire. One faulted member
+    /// fails the whole batch (that is what a single batched HTTP call does),
+    /// so the gateway's retry/failover loop treats a batch exactly like a
+    /// single call.
+    ///
+    /// The default adapts [`LlmTransport::complete`] one member at a time,
+    /// attributing each member the usage delta its call produced; fault
+    /// injectors therefore inherit per-member fault decisions for free.
+    /// Transports over a genuinely batchable service override it.
+    fn complete_batch(
+        &self,
+        requests: &[CompletionRequest],
+    ) -> Result<BatchOutcome, TransportError> {
+        let mut outcome = BatchOutcome::with_capacity(requests.len());
+        for request in requests {
+            let before = self.usage();
+            let response = self.complete(request)?;
+            let split = self.usage().since(&before);
+            outcome.batch_usage.merge(&split);
+            outcome.splits.push(split);
+            outcome.responses.push(Arc::from(response));
+        }
+        Ok(outcome)
+    }
     /// Deterministic text embedding.
     fn embed(&self, text: &str) -> Result<Vec<f64>, TransportError>;
     /// Cumulative usage counters of the underlying service.
@@ -60,6 +86,13 @@ impl LlmTransport for ServiceTransport {
 
     fn complete(&self, request: &CompletionRequest) -> Result<String, TransportError> {
         Ok(self.service.complete(request))
+    }
+
+    fn complete_batch(
+        &self,
+        requests: &[CompletionRequest],
+    ) -> Result<BatchOutcome, TransportError> {
+        Ok(self.service.complete_batch(requests))
     }
 
     fn embed(&self, text: &str) -> Result<Vec<f64>, TransportError> {
@@ -112,5 +145,27 @@ mod tests {
         // Two completions plus the embed (SimLlm bills embeds as calls too).
         assert_eq!(transport.usage().calls, 3);
         assert!(transport.simulated_latency_ms() > 0);
+    }
+
+    #[test]
+    fn service_transport_batches_through_the_service() {
+        let world = WorldSpec::generate(7);
+        let svc: Arc<dyn LlmService> = Arc::new(SimLlm::with_seed(&world, 7));
+        let transport = ServiceTransport::new("sim", svc);
+        let requests = vec![
+            CompletionRequest::new("Summarize. Text: batched one"),
+            CompletionRequest::new("Summarize. Text: batched two"),
+        ];
+        let outcome = transport.complete_batch(&requests).expect("infallible");
+        assert_eq!(outcome.responses.len(), 2);
+        // The override reaches the simulator's genuine batched entry point,
+        // which amortizes the whole flush into one backend call.
+        assert_eq!(outcome.batch_usage.calls, 1);
+        assert_eq!(transport.usage(), outcome.batch_usage);
+        let mut summed = Usage::default();
+        for split in &outcome.splits {
+            summed.merge(split);
+        }
+        assert_eq!(summed, outcome.batch_usage);
     }
 }

@@ -1,0 +1,333 @@
+//! Seeded replay of exact batch compositions under real thread contention.
+//!
+//! The batcher's unit tests prove the flush state machine on two-to-four
+//! member scenarios; this suite replays *workloads* — eight submitter
+//! threads, many rounds — and asserts the batch compositions (counts,
+//! occupancies, flush reasons) and the token ledger **exactly**, not
+//! statistically. Everything here is deterministic: barriers pin which
+//! members share a flush, `max_wait` is set so only one trigger can ever
+//! fire, and the simulator under the batcher is a pure function of
+//! `(seed, prompt)`.
+//!
+//! The conservation law under test, at every level:
+//!
+//! ```text
+//!   sum(member splits) == batched call usage == backend ledger delta
+//! ```
+//!
+//! token for token, and therefore dollar for dollar to the cent.
+
+use lingua_dataset::world::WorldSpec;
+use lingua_gateway::{BatchConfig, Batcher, FlushReason};
+use lingua_llm_sim::{
+    BatchOutcome, CancelScope, CancelToken, CodeGenSpec, CompletionRequest, GeneratedCode,
+    LlmService, SimLlm, SimLlmConfig, TokenPricing, Usage, CANCELLED_NOTICE,
+};
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 16;
+
+/// A fresh simulator over the same seeded world. `cache` controls whether
+/// identical prompts can coalesce; the conservation tests disable it so
+/// every live member must bill its own tokens.
+fn sim(seed: u64, cache: bool) -> Arc<SimLlm> {
+    let world = WorldSpec::generate(47);
+    Arc::new(SimLlm::new(&world, SimLlmConfig { seed, cache_enabled: cache, ..Default::default() }))
+}
+
+fn prompt(thread: usize, round: usize) -> CompletionRequest {
+    CompletionRequest::new(format!(
+        "Summarize. Text: replay workload thread {thread} round {round}"
+    ))
+}
+
+/// Forwards everything to a shared simulator while keeping every
+/// [`BatchOutcome`] the batcher's flushes produced — the oracle for
+/// member-level split conservation under contention.
+struct Recording {
+    inner: Arc<SimLlm>,
+    outcomes: Mutex<Vec<BatchOutcome>>,
+}
+
+impl Recording {
+    fn new(inner: Arc<SimLlm>) -> Recording {
+        Recording { inner, outcomes: Mutex::new(Vec::new()) }
+    }
+
+    fn outcomes(&self) -> Vec<BatchOutcome> {
+        self.outcomes.lock().clone()
+    }
+}
+
+impl LlmService for Recording {
+    fn complete(&self, request: &CompletionRequest) -> String {
+        self.inner.complete(request)
+    }
+
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> BatchOutcome {
+        let outcome = self.inner.complete_batch(requests);
+        self.outcomes.lock().push(outcome.clone());
+        outcome
+    }
+
+    fn embed(&self, text: &str) -> Vec<f64> {
+        self.inner.embed(text)
+    }
+
+    fn usage(&self) -> Usage {
+        self.inner.usage()
+    }
+
+    fn simulated_latency_ms(&self) -> u64 {
+        self.inner.simulated_latency_ms()
+    }
+
+    fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
+        self.inner.generate_code(spec)
+    }
+
+    fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
+        self.inner.suggest_fix(source, failures)
+    }
+
+    fn repair_code(
+        &self,
+        spec: &CodeGenSpec,
+        previous: &GeneratedCode,
+        suggestion: &str,
+    ) -> GeneratedCode {
+        self.inner.repair_code(spec, previous, suggestion)
+    }
+}
+
+/// Eight threads, sixteen rounds, one barrier per round: every round's eight
+/// members must land in exactly one size-triggered flush. The composition
+/// replay is exact — batch count, occupancy, flush reason, and the ledger.
+#[test]
+fn eight_thread_rounds_replay_as_exact_size_flushes() {
+    let service = sim(101, false);
+    let batcher = Arc::new(Batcher::new(
+        service.clone() as Arc<dyn LlmService>,
+        // The window is effectively infinite, so the size trigger is the
+        // only one that can fire; occupancy is pinned by the barrier.
+        BatchConfig { max_batch_size: THREADS, max_wait: Duration::from_secs(3600) },
+    ));
+    let reference = sim(101, false);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let batcher = Arc::clone(&batcher);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut answers = Vec::with_capacity(ROUNDS);
+                    for round in 0..ROUNDS {
+                        barrier.wait();
+                        answers.push(batcher.complete(&prompt(thread, round)));
+                    }
+                    answers
+                })
+            })
+            .collect();
+        for (thread, handle) in handles.into_iter().enumerate() {
+            let answers = handle.join().expect("no submitter panicked");
+            for (round, answer) in answers.into_iter().enumerate() {
+                assert_eq!(
+                    answer,
+                    reference.complete(&prompt(thread, round)),
+                    "batched answer diverged for thread {thread} round {round}"
+                );
+            }
+        }
+    });
+
+    let snap = batcher.snapshot();
+    assert_eq!(snap.batches, ROUNDS as u64, "one flush per barrier round");
+    assert_eq!(snap.members, (THREADS * ROUNDS) as u64);
+    assert_eq!(snap.size_flushes, ROUNDS as u64);
+    assert_eq!(snap.window_flushes, 0, "the infinite window never fired");
+    assert_eq!(snap.max_occupancy, THREADS as u64);
+    assert_eq!(snap.cancelled_members, 0);
+    assert!((snap.mean_occupancy() - THREADS as f64).abs() < f64::EPSILON);
+
+    let log = batcher.flush_log();
+    assert_eq!(log.len(), ROUNDS);
+    let mut replayed = Usage::default();
+    for (index, record) in log.iter().enumerate() {
+        assert_eq!(record.occupancy, THREADS, "flush {index} occupancy");
+        assert_eq!(record.live, THREADS, "flush {index} live members");
+        assert_eq!(record.cancelled, 0);
+        assert_eq!(record.reason, FlushReason::Size, "flush {index} trigger");
+        assert_eq!(record.usage.calls, 1, "each flush is one backend call");
+        replayed.merge(&record.usage);
+    }
+    // The replay log reconciles with the backend ledger token for token —
+    // and with the reference run's tokens (the reference billed one call per
+    // member where the batcher amortized each round into one).
+    assert_eq!(replayed, service.usage(), "flush log == ledger, all seven fields");
+    let ledger = service.usage();
+    let unbatched = reference.usage();
+    assert_eq!(ledger.tokens_in, unbatched.tokens_in);
+    assert_eq!(ledger.tokens_out, unbatched.tokens_out);
+    assert_eq!(ledger.calls, ROUNDS as u64);
+    assert_eq!(unbatched.calls, (THREADS * ROUNDS) as u64);
+    let pricing = TokenPricing::default();
+    let cents = |usd: f64| (usd * 100.0).round() as i64;
+    assert_eq!(
+        cents(ledger.cost_usd(&pricing)),
+        cents(unbatched.cost_usd(&pricing)),
+        "batched and unbatched workloads cost the same to the cent"
+    );
+}
+
+/// Member-level conservation under contention: for every flush the batcher
+/// placed, the per-member usage splits sum to the batched call's usage
+/// exactly — and the batched usages sum to the ledger.
+#[test]
+fn member_splits_conserve_the_batched_usage_under_contention() {
+    let inner = sim(202, true);
+    let recording = Arc::new(Recording::new(inner.clone()));
+    let batcher = Arc::new(Batcher::new(
+        recording.clone() as Arc<dyn LlmService>,
+        BatchConfig { max_batch_size: THREADS, max_wait: Duration::from_secs(3600) },
+    ));
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let batcher = Arc::clone(&batcher);
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    barrier.wait();
+                    // Half the threads repeat a shared prompt each round, so
+                    // flushes mix billed members with in-batch coalesces.
+                    let request =
+                        if thread % 2 == 0 { prompt(0, round) } else { prompt(thread, round) };
+                    batcher.complete(&request);
+                }
+            });
+        }
+    });
+
+    let outcomes = recording.outcomes();
+    assert_eq!(outcomes.len(), ROUNDS, "one batched backend call per round");
+    let mut total = Usage::default();
+    for (index, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.responses.len(), THREADS);
+        assert_eq!(outcome.splits.len(), THREADS);
+        let mut summed = Usage::default();
+        for split in &outcome.splits {
+            summed.merge(split);
+        }
+        assert_eq!(
+            summed, outcome.batch_usage,
+            "flush {index}: member splits must sum to the batched usage exactly"
+        );
+        assert_eq!(
+            outcome.batch_usage.calls, 1,
+            "flush {index}: the whole batch is one billed call"
+        );
+        assert_eq!(
+            outcome.saved_members(),
+            THREADS / 2 - 1,
+            "flush {index}: the round's repeated prompt coalesces its duplicates in-batch"
+        );
+        total.merge(&outcome.batch_usage);
+    }
+    assert_eq!(total, inner.usage(), "summed batch usages reconcile with the ledger");
+    assert_eq!(batcher.snapshot().saved_members, total.cached_calls);
+}
+
+/// A single submitter can only ever window-flush alone: the replay is a run
+/// of occupancy-1 window flushes, and the batched answers still match an
+/// unbatched reference call for call.
+#[test]
+fn single_threaded_replay_is_all_window_flushes() {
+    let service = sim(303, false);
+    let reference = sim(303, false);
+    let batcher = Batcher::new(
+        service.clone() as Arc<dyn LlmService>,
+        BatchConfig { max_batch_size: THREADS, max_wait: Duration::from_millis(1) },
+    );
+    for round in 0..ROUNDS {
+        assert_eq!(batcher.complete(&prompt(0, round)), reference.complete(&prompt(0, round)));
+    }
+    let snap = batcher.snapshot();
+    assert_eq!(snap.batches, ROUNDS as u64);
+    assert_eq!(snap.window_flushes, ROUNDS as u64);
+    assert_eq!(snap.size_flushes, 0);
+    assert_eq!(snap.max_occupancy, 1);
+    for record in batcher.flush_log() {
+        assert_eq!(record.occupancy, 1);
+        assert_eq!(record.reason, FlushReason::Window);
+    }
+    assert_eq!(service.usage(), reference.usage(), "occupancy-1 batching bills identically");
+}
+
+/// Mid-batch cancellation replay: seven members join, three are cancelled
+/// while the batch is still filling, the eighth arrival flushes. The
+/// composition is exact — 8 occupancy, 5 live, 3 cancelled — and the ledger
+/// bills precisely the five survivors' tokens in one call.
+#[test]
+fn cancelled_members_are_excluded_from_the_replayed_composition() {
+    const JOINERS: usize = 7;
+    const DOOMED: usize = 3;
+    let service = sim(404, false);
+    let reference = sim(404, false);
+    let batcher = Arc::new(Batcher::new(
+        service.clone() as Arc<dyn LlmService>,
+        BatchConfig { max_batch_size: JOINERS + 1, max_wait: Duration::from_secs(3600) },
+    ));
+    let tokens: Vec<CancelToken> = (0..JOINERS).map(|_| CancelToken::unbounded()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..JOINERS)
+            .map(|i| {
+                let batcher = Arc::clone(&batcher);
+                let token = tokens[i].clone();
+                scope.spawn(move || {
+                    let _scope = CancelScope::enter(&token);
+                    batcher.complete(&prompt(i, 0))
+                })
+            })
+            .collect();
+        // Wait until all seven are in the filling batch, cancel the first
+        // three *after* they joined, then flush by filling the batch.
+        while batcher.pending_members() < JOINERS {
+            std::thread::yield_now();
+        }
+        for token in tokens.iter().take(DOOMED) {
+            token.cancel();
+        }
+        let flusher = batcher.complete(&prompt(JOINERS, 0));
+        assert_eq!(flusher, reference.complete(&prompt(JOINERS, 0)));
+        for (i, handle) in handles.into_iter().enumerate() {
+            let answer = handle.join().expect("no member panicked");
+            if i < DOOMED {
+                assert_eq!(answer, CANCELLED_NOTICE, "member {i} was cancelled in-batch");
+            } else {
+                assert_eq!(answer, reference.complete(&prompt(i, 0)), "member {i} survived");
+            }
+        }
+    });
+
+    let log = batcher.flush_log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].occupancy, JOINERS + 1);
+    assert_eq!(log[0].live, JOINERS + 1 - DOOMED);
+    assert_eq!(log[0].cancelled, DOOMED);
+    assert_eq!(log[0].reason, FlushReason::Size);
+    let snap = batcher.snapshot();
+    assert_eq!(snap.cancelled_members, DOOMED as u64);
+    // The reference served the five survivors one call each; the batcher
+    // billed the same tokens in a single call, and nothing for the doomed.
+    let ledger = service.usage();
+    let unbatched = reference.usage();
+    assert_eq!(ledger.calls, 1);
+    assert_eq!(unbatched.calls, (JOINERS + 1 - DOOMED) as u64);
+    assert_eq!(ledger.tokens_in, unbatched.tokens_in, "cancelled members billed nothing");
+    assert_eq!(ledger.tokens_out, unbatched.tokens_out);
+    assert_eq!(log[0].usage, ledger, "the flush record carries the exact billed usage");
+}

@@ -48,4 +48,4 @@ pub use cost::{AtomicUsage, TokenPricing, Usage};
 pub use hotpath::{fingerprint, CacheStats, Flight, Fnv1a, ShardedLru, Singleflight};
 pub use knowledge::KnowledgeBase;
 pub use prompt::TaskIntent;
-pub use service::{CompletionRequest, LlmService, SimLlm, SimLlmConfig};
+pub use service::{BatchOutcome, CompletionRequest, LlmService, SimLlm, SimLlmConfig};

@@ -45,6 +45,41 @@ impl CompletionRequest {
     }
 }
 
+/// The result of one batched completion: per-member shared responses, a
+/// per-member [`Usage`] split, and the batch-level usage booked against the
+/// service ledger.
+///
+/// Conservation law: `sum(splits) == batch_usage`, field for field — so a
+/// suite that prices both sides gets equality to the cent, not within an
+/// epsilon. The whole batch counts as **one** backend call: exactly one
+/// split carries `calls == 1` (the first billed member); cache-answered and
+/// coalesced members carry pure savings.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// One response per request, in request order.
+    pub responses: Vec<Arc<str>>,
+    /// The exact usage attributed to each member, in request order.
+    pub splits: Vec<Usage>,
+    /// Sum of the splits: what this batch added to the service ledger.
+    pub batch_usage: Usage,
+}
+
+impl BatchOutcome {
+    pub fn with_capacity(members: usize) -> BatchOutcome {
+        BatchOutcome {
+            responses: Vec::with_capacity(members),
+            splits: Vec::with_capacity(members),
+            batch_usage: Usage::default(),
+        }
+    }
+
+    /// Members answered without billing: cache hits, plus members coalesced
+    /// onto an identical prompt computed earlier in the same batch.
+    pub fn saved_members(&self) -> usize {
+        self.splits.iter().filter(|split| split.cached_calls > 0).count()
+    }
+}
+
 /// The service interface `lingua-core` programs against. Implementations must
 /// be shareable across threads (the executor may parallelize record batches).
 pub trait LlmService: Send + Sync {
@@ -58,6 +93,28 @@ pub trait LlmService: Send + Sync {
     /// gateways) keep their interception semantics without opting in.
     fn complete_shared(&self, request: &CompletionRequest) -> Arc<str> {
         Arc::from(self.complete(request))
+    }
+    /// Answer several requests in one batched backend round trip.
+    ///
+    /// Implementations must uphold `sum(splits) == batch_usage` and must add
+    /// exactly `batch_usage` to [`LlmService::usage`] (exact once callers
+    /// quiesce). The default adapts [`LlmService::complete_shared`] one
+    /// member at a time, attributing each member the ledger delta its call
+    /// produced — correct for any wrapper (splits may over-attribute under
+    /// concurrent foreign traffic, but the conservation law still holds by
+    /// construction). Services with a genuine batched entry point (the
+    /// simulator, the gateway, the batcher) override it.
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::with_capacity(requests.len());
+        for request in requests {
+            let before = self.usage();
+            let response = self.complete_shared(request);
+            let split = self.usage().since(&before);
+            outcome.batch_usage.merge(&split);
+            outcome.splits.push(split);
+            outcome.responses.push(response);
+        }
+        outcome
     }
     /// Deterministic text embedding (for data-discovery tasks).
     fn embed(&self, text: &str) -> Vec<f64>;
@@ -353,6 +410,63 @@ impl LlmService for SimLlm {
         }
     }
 
+    fn complete_batch(&self, requests: &[CompletionRequest]) -> BatchOutcome {
+        // Deliberately NO thread-local cancellation check here: a batch flush
+        // runs on one member's thread, and that member's scope must not
+        // decide for its siblings. Per-member cancellation is the batcher's
+        // job — cancelled members are removed *before* the flush reaches this
+        // entry point, so every request arriving here is live.
+        //
+        // The batch also bypasses the singleflight: identical prompts inside
+        // one batch coalesce through the cache insert below, and identical
+        // misses racing across concurrent flushes at worst recompute a
+        // deterministic response (billing stays exact per flush).
+        let mut outcome = BatchOutcome::with_capacity(requests.len());
+        let mut billed_any = false;
+        for request in requests {
+            let key = request.fingerprint();
+            let mut split = Usage::default();
+            if let Some(cache) = &self.cache {
+                if let Some(entry) = cache.get(key) {
+                    // A hit — or a member coalescing onto an identical
+                    // prompt computed earlier in this very batch.
+                    split.record_cached(entry.tokens_in, entry.tokens_out);
+                    outcome.batch_usage.merge(&split);
+                    outcome.splits.push(split);
+                    outcome.responses.push(entry.text);
+                    continue;
+                }
+            }
+            let response = self.respond(&request.prompt);
+            let tokens_in = count_tokens(&request.prompt);
+            let tokens_out = count_tokens(&response);
+            let text: Arc<str> = Arc::from(response);
+            // The whole flush is ONE batched backend call: the first billed
+            // member carries it, siblings contribute tokens only. That keeps
+            // `sum(splits).calls == batch_usage.calls == 1`.
+            if !billed_any {
+                split.calls = 1;
+                billed_any = true;
+            }
+            split.tokens_in += tokens_in as u64;
+            split.tokens_out += tokens_out as u64;
+            if let Some(cache) = &self.cache {
+                cache
+                    .insert(key, CachedResponse { text: Arc::clone(&text), tokens_in, tokens_out });
+            }
+            outcome.batch_usage.merge(&split);
+            outcome.splits.push(split);
+            outcome.responses.push(text);
+        }
+        // Book the ledger once for the whole batch, and accrue one round
+        // trip's latency — the amortization batching exists to buy.
+        self.usage.merge(&outcome.batch_usage);
+        if billed_any {
+            self.latency_ms.fetch_add(self.config.latency_ms_per_call, Ordering::Relaxed);
+        }
+        outcome
+    }
+
     fn embed(&self, text: &str) -> Vec<f64> {
         self.usage.record(count_tokens(text), 0);
         self.latency_ms.fetch_add(self.config.latency_ms_per_call / 4, Ordering::Relaxed);
@@ -582,6 +696,143 @@ mod tests {
         assert_eq!(svc.simulated_latency_ms(), latency_before);
         // Scope dropped: the service answers normally again.
         assert_eq!(svc.complete(&req), live);
+    }
+
+    #[test]
+    fn batch_books_one_call_and_splits_tokens_exactly() {
+        let world = WorldSpec::generate(5);
+        let svc = SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 5, cache_enabled: true, ..Default::default() },
+        );
+        let requests: Vec<CompletionRequest> = (0..4)
+            .map(|i| CompletionRequest::new(format!("Summarize. Text: document number {i}")))
+            .collect();
+        let latency_before = svc.simulated_latency_ms();
+        let outcome = svc.complete_batch(&requests);
+        assert_eq!(outcome.responses.len(), 4);
+        assert_eq!(outcome.splits.len(), 4);
+        // One batched backend call, one round trip of latency.
+        assert_eq!(outcome.batch_usage.calls, 1);
+        assert_eq!(
+            svc.simulated_latency_ms() - latency_before,
+            SimLlmConfig::default().latency_ms_per_call
+        );
+        // Conservation: the splits sum to the batch, the batch to the ledger.
+        let mut summed = Usage::default();
+        for split in &outcome.splits {
+            summed.merge(split);
+        }
+        assert_eq!(summed, outcome.batch_usage);
+        assert_eq!(svc.usage(), outcome.batch_usage);
+        // Every member was billed its own tokens.
+        assert!(outcome.splits.iter().all(|s| s.tokens_in > 0 && s.tokens_out > 0));
+        // Responses match the single-call path byte for byte.
+        for (request, response) in requests.iter().zip(&outcome.responses) {
+            assert_eq!(svc.respond(&request.prompt), response.as_ref());
+        }
+    }
+
+    #[test]
+    fn batch_coalesces_identical_prompts_and_hits_the_cache() {
+        let world = WorldSpec::generate(5);
+        let svc = SimLlm::new(
+            &world,
+            SimLlmConfig { seed: 5, cache_enabled: true, ..Default::default() },
+        );
+        // Warm the cache with one prompt, then batch: [warm, fresh, fresh-dup].
+        svc.complete(&CompletionRequest::new("Summarize. Text: already warm"));
+        let requests = vec![
+            CompletionRequest::new("Summarize. Text: already warm"),
+            CompletionRequest::new("Summarize. Text: brand new"),
+            CompletionRequest::new("Summarize. Text: brand new"),
+        ];
+        let before = svc.usage();
+        let outcome = svc.complete_batch(&requests);
+        // Member 0 hit the warm cache; member 2 coalesced onto member 1's
+        // in-batch compute. Only member 1 billed.
+        assert_eq!(outcome.batch_usage.calls, 1);
+        assert_eq!(outcome.batch_usage.cached_calls, 2);
+        assert_eq!(outcome.saved_members(), 2);
+        assert_eq!(outcome.splits[0].calls, 0);
+        assert_eq!(outcome.splits[1].calls, 1);
+        assert_eq!(outcome.splits[2].cached_calls, 1);
+        assert_eq!(outcome.responses[1], outcome.responses[2]);
+        assert_eq!(svc.usage().since(&before), outcome.batch_usage);
+    }
+
+    #[test]
+    fn batch_without_cache_bills_every_member_in_one_call() {
+        let svc = service(); // cache disabled
+        let requests = vec![
+            CompletionRequest::new("Summarize. Text: one"),
+            CompletionRequest::new("Summarize. Text: two"),
+        ];
+        let outcome = svc.complete_batch(&requests);
+        assert_eq!(outcome.batch_usage.calls, 1, "amortized into one backend call");
+        assert_eq!(outcome.batch_usage.cached_calls, 0);
+        assert!(outcome.splits.iter().all(|s| s.tokens_in > 0));
+        assert_eq!(svc.usage(), outcome.batch_usage);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let svc = service();
+        let outcome = svc.complete_batch(&[]);
+        assert!(outcome.responses.is_empty());
+        assert_eq!(outcome.batch_usage, Usage::default());
+        assert_eq!(svc.usage(), Usage::default());
+        assert_eq!(svc.simulated_latency_ms(), 0);
+    }
+
+    #[test]
+    fn default_trait_batch_upholds_conservation() {
+        // A wrapper that only forwards `complete` exercises the trait's
+        // default `complete_batch`: per-member ledger deltas must still sum
+        // to the batch usage.
+        struct Fwd(SimLlm);
+        impl LlmService for Fwd {
+            fn complete(&self, request: &CompletionRequest) -> String {
+                self.0.complete(request)
+            }
+            fn embed(&self, text: &str) -> Vec<f64> {
+                self.0.embed(text)
+            }
+            fn usage(&self) -> Usage {
+                self.0.usage()
+            }
+            fn simulated_latency_ms(&self) -> u64 {
+                self.0.simulated_latency_ms()
+            }
+            fn generate_code(&self, spec: &CodeGenSpec) -> GeneratedCode {
+                self.0.generate_code(spec)
+            }
+            fn suggest_fix(&self, source: &str, failures: &[String]) -> String {
+                self.0.suggest_fix(source, failures)
+            }
+            fn repair_code(
+                &self,
+                spec: &CodeGenSpec,
+                previous: &GeneratedCode,
+                suggestion: &str,
+            ) -> GeneratedCode {
+                self.0.repair_code(spec, previous, suggestion)
+            }
+        }
+        let world = WorldSpec::generate(5);
+        let svc = Fwd(SimLlm::with_seed(&world, 5));
+        let requests = vec![
+            CompletionRequest::new("Summarize. Text: alpha"),
+            CompletionRequest::new("Summarize. Text: beta"),
+        ];
+        let outcome = svc.complete_batch(&requests);
+        let mut summed = Usage::default();
+        for split in &outcome.splits {
+            summed.merge(split);
+        }
+        assert_eq!(summed, outcome.batch_usage);
+        assert_eq!(outcome.batch_usage.calls, 2, "default path has no amortization");
+        assert_eq!(svc.usage(), outcome.batch_usage);
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub enum InvalidConfig {
     /// Streaming: `watermark_interval == 0` — the watermark would never
     /// advance, so no window would ever close.
     ZeroWatermarkInterval,
+    /// Batching: `max_batch_size == 0` — no batch could ever admit a
+    /// member, so every completion would block on a flush that never
+    /// comes. (The gateway-layer batcher clamps this to 1 defensively;
+    /// the serving layer rejects it outright as a configuration bug.)
+    ZeroBatchSize,
+    /// Batching: `max_wait == ZERO` — the micro-batch window would close
+    /// the instant it opened, so no second member could ever share a
+    /// call and the batcher would add lock traffic for nothing.
+    ZeroBatchWindow,
 }
 
 impl fmt::Display for InvalidConfig {
@@ -76,6 +85,16 @@ impl fmt::Display for InvalidConfig {
             }
             InvalidConfig::ZeroWatermarkInterval => {
                 write!(f, "stream watermark_interval must be > 0 (no window would ever close)")
+            }
+            InvalidConfig::ZeroBatchSize => {
+                write!(f, "batch max_batch_size must be > 0 (no batch could admit a member)")
+            }
+            InvalidConfig::ZeroBatchWindow => {
+                write!(
+                    f,
+                    "batch max_wait must be nonzero (the window would close before a \
+                     second member could ever share a call)"
+                )
             }
         }
     }
@@ -173,7 +192,7 @@ mod tests {
     fn invalid_config_names_the_knob() {
         // Every variant's message names the offending knob, so `start()`
         // failures stay actionable even when only the string is logged.
-        let cases: [(InvalidConfig, &str); 9] = [
+        let cases: [(InvalidConfig, &str); 11] = [
             (InvalidConfig::ZeroWorkers, "workers"),
             (InvalidConfig::ZeroQueueCapacity, "queue_capacity"),
             (InvalidConfig::ZeroDefaultTimeout, "default_timeout"),
@@ -183,6 +202,8 @@ mod tests {
             (InvalidConfig::ZeroSlide, "slide"),
             (InvalidConfig::SlideExceedsWindow { slide: 9, window: 4 }, "slide"),
             (InvalidConfig::ZeroWatermarkInterval, "watermark_interval"),
+            (InvalidConfig::ZeroBatchSize, "max_batch_size"),
+            (InvalidConfig::ZeroBatchWindow, "max_wait"),
         ];
         for (which, knob) in cases {
             assert!(which.to_string().contains(knob), "{which:?} should mention {knob}");

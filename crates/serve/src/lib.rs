@@ -80,5 +80,5 @@ pub use fingerprint::{fingerprint_inputs, job_key};
 pub use job::{JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{HealthSnapshot, Metrics, MetricsSnapshot, TrapCounters, UsageMeter};
 pub use registry::PipelineRegistry;
-pub use server::{PipelineServer, Priority, ServeConfig, StreamTuning, SubmitRequest};
+pub use server::{BatchTuning, PipelineServer, Priority, ServeConfig, StreamTuning, SubmitRequest};
 pub use supervisor::EscapePanic;

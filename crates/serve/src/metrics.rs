@@ -8,7 +8,7 @@
 //! concurrency, and [`Metrics`] aggregates the server-wide view.
 
 use lingua_core::TrapKind;
-use lingua_gateway::GatewaySnapshot;
+use lingua_gateway::{BatchSnapshot, GatewaySnapshot};
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::{
     CodeGenSpec, CompletionRequest, GeneratedCode, LlmService, Usage, CANCELLED_NOTICE,
@@ -176,6 +176,7 @@ impl Metrics {
                 breaker_states: Vec::new(),
             },
             gateway: None,
+            batch: None,
             trace: None,
         }
     }
@@ -273,6 +274,10 @@ pub struct MetricsSnapshot {
     /// Resilience counters of the attached [`lingua_gateway::Gateway`], when
     /// one backs the LLM service (see `PipelineServer::attach_gateway`).
     pub gateway: Option<GatewaySnapshot>,
+    /// Counters of the continuous [`lingua_gateway::Batcher`], when one
+    /// wraps the LLM service (set automatically by `ServeConfig::batch`,
+    /// or manually via `PipelineServer::attach_batcher`).
+    pub batch: Option<BatchSnapshot>,
     /// Rollup of the trace stream, when the context factory carries an
     /// enabled tracer (see `ContextFactory::with_tracer`).
     pub trace: Option<TraceSummary>,
@@ -358,6 +363,9 @@ impl MetricsSnapshot {
         );
         if let Some(gateway) = &self.gateway {
             out.push_str(&gateway.report());
+        }
+        if let Some(batch) = &self.batch {
+            out.push_str(&batch.report());
         }
         if let Some(trace) = &self.trace {
             out.push_str(&trace.report_line());

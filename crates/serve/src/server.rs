@@ -22,7 +22,7 @@ use crate::registry::PipelineRegistry;
 use crate::supervisor::{supervisor_loop, EscapePanic, SupervisePolicy, Supervision, WorkerGuard};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use lingua_core::{Compiler, ContextFactory, CoreError, Data, Executor, PhysicalPipeline};
-use lingua_gateway::Gateway;
+use lingua_gateway::{BatchConfig, Batcher, Gateway};
 use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
 use lingua_llm_sim::{CancelReason, CancelScope, CancelToken, LlmService, ShardedLru, Usage};
 use lingua_trace::{ManualSpan, SpanKind};
@@ -69,6 +69,12 @@ pub struct ServeConfig {
     /// with a typed [`InvalidConfig`] instead of silently stalling (a window
     /// that never closes looks exactly like a slow stream from the outside).
     pub stream: Option<StreamTuning>,
+    /// Continuous micro-batching knobs. When set, `start()` wraps the
+    /// factory's LLM service in a [`Batcher`] so completions from
+    /// concurrent jobs share batched backend calls; its counters surface
+    /// in [`MetricsSnapshot::batch`]. `None` leaves the LLM path
+    /// untouched.
+    pub batch: Option<BatchTuning>,
 }
 
 /// Event-time knobs for a windowed streaming engine riding this server.
@@ -119,6 +125,48 @@ impl StreamTuning {
     }
 }
 
+/// Micro-batching knobs for the continuous batcher riding this server.
+///
+/// These mirror [`BatchConfig`] one field for one field; the serving layer
+/// keeps its own copy so a [`ServeConfig`] stays a plain value describing
+/// *intent*, validated here with typed [`InvalidConfig`] reasons before any
+/// batcher exists. Unlike the gateway-layer batcher — which tolerates a zero
+/// window by degenerating to per-call flushing — the serving layer rejects
+/// zero knobs outright: asking for batching and configuring it to never
+/// batch is a bug worth failing `start()` over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTuning {
+    /// Flush a batch as soon as this many members are pending.
+    pub max_batch_size: usize,
+    /// Flush when the oldest pending member has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchTuning {
+    fn default() -> Self {
+        BatchTuning { max_batch_size: 8, max_wait: Duration::from_millis(2) }
+    }
+}
+
+impl BatchTuning {
+    /// Check the batching knobs (see [`ServeConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        use crate::error::InvalidConfig;
+        if self.max_batch_size == 0 {
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroBatchSize));
+        }
+        if self.max_wait.is_zero() {
+            return Err(ServeError::InvalidConfig(InvalidConfig::ZeroBatchWindow));
+        }
+        Ok(())
+    }
+
+    /// The gateway-layer batcher configuration this tuning resolves to.
+    pub fn to_config(&self) -> BatchConfig {
+        BatchConfig { max_batch_size: self.max_batch_size, max_wait: self.max_wait }
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -132,6 +180,7 @@ impl Default for ServeConfig {
             supervisor_tick: Duration::from_millis(2),
             stuck_multiplier: 4,
             stream: None,
+            batch: None,
         }
     }
 }
@@ -168,6 +217,9 @@ impl ServeConfig {
         }
         if let Some(stream) = &self.stream {
             stream.validate()?;
+        }
+        if let Some(batch) = &self.batch {
+            batch.validate()?;
         }
         Ok(())
     }
@@ -252,6 +304,9 @@ struct Shared {
     /// Gateway backing the factory's LLM service, when one is attached; its
     /// resilience counters are folded into [`MetricsSnapshot`].
     gateway: Mutex<Option<Arc<Gateway>>>,
+    /// Micro-batcher wrapped around the LLM service, when batching is on;
+    /// its counters are folded into [`MetricsSnapshot`].
+    batcher: Mutex<Option<Arc<Batcher>>>,
 }
 
 struct QueueItem {
@@ -311,6 +366,21 @@ impl PipelineServer {
         config: ServeConfig,
     ) -> Result<PipelineServer, ServeError> {
         config.validate()?;
+        // Batching wraps the factory's LLM *before* the factory is stored:
+        // every per-job UsageMeter then sits on top of the batcher, so jobs
+        // meter their own usage while their completions join shared
+        // micro-batches underneath.
+        let (factory, batcher) = match &config.batch {
+            Some(tuning) => {
+                let tracer = factory.tracer().clone();
+                let batcher =
+                    Arc::new(Batcher::new(factory.llm(), tuning.to_config()).with_tracer(tracer));
+                let wrapped =
+                    factory.with_llm(Arc::clone(&batcher) as Arc<dyn lingua_llm_sim::LlmService>);
+                (wrapped, Some(batcher))
+            }
+            None => (factory, None),
+        };
         let registry = Arc::new(PipelineRegistry::new());
         let metrics = Arc::new(Metrics::new());
         let shared = Arc::new(Shared {
@@ -321,6 +391,7 @@ impl PipelineServer {
             results: ShardedLru::new(config.result_cache_capacity, DEFAULT_SHARDS),
             config: config.clone(),
             gateway: Mutex::new(None),
+            batcher: Mutex::new(batcher),
         });
         let (high_tx, high_rx) = bounded(config.queue_capacity);
         let (normal_tx, normal_rx) = bounded(config.queue_capacity);
@@ -400,6 +471,21 @@ impl PipelineServer {
         *self.shared.gateway.lock() = Some(gateway);
     }
 
+    /// Surface a [`Batcher`]'s counters in this server's
+    /// [`MetricsSnapshot`]. `start()` attaches one automatically when
+    /// [`ServeConfig::batch`] is set; call this only when the factory's LLM
+    /// already wraps a batcher you built yourself. Attaching does not
+    /// change routing.
+    pub fn attach_batcher(&self, batcher: Arc<Batcher>) {
+        *self.shared.batcher.lock() = Some(batcher);
+    }
+
+    /// The micro-batcher wrapped around the LLM service, when batching is
+    /// configured (or attached).
+    pub fn batcher(&self) -> Option<Arc<Batcher>> {
+        self.shared.batcher.lock().clone()
+    }
+
     /// The pipeline registry (register/unregister/list).
     pub fn registry(&self) -> &PipelineRegistry {
         &self.shared.registry
@@ -452,6 +538,9 @@ impl PipelineServer {
                 .map(|backend| (backend.name.clone(), backend.breaker_state.to_string()))
                 .collect();
             snapshot.gateway = Some(gw);
+        }
+        if let Some(batcher) = self.shared.batcher.lock().as_ref() {
+            snapshot.batch = Some(batcher.snapshot());
         }
         snapshot.trace = self.shared.factory.tracer().summary();
         snapshot
@@ -1039,6 +1128,59 @@ mod tests {
             stream: Some(StreamTuning::default()),
             ..Default::default()
         });
+        server.shutdown();
+    }
+
+    #[test]
+    fn broken_batching_knobs_are_rejected_at_start() {
+        use crate::error::InvalidConfig;
+        let start_err = |tuning: BatchTuning| {
+            let config = ServeConfig { batch: Some(tuning), ..Default::default() };
+            PipelineServer::start(factory(), config).map(|_| ()).unwrap_err()
+        };
+        let err = start_err(BatchTuning { max_batch_size: 0, ..Default::default() });
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroBatchSize));
+
+        let err = start_err(BatchTuning { max_wait: Duration::ZERO, ..Default::default() });
+        assert_eq!(err, ServeError::InvalidConfig(InvalidConfig::ZeroBatchWindow));
+
+        assert!(BatchTuning::default().validate().is_ok());
+        let resolved = BatchTuning::default().to_config();
+        assert_eq!(resolved.max_batch_size, 8);
+        assert_eq!(resolved.max_wait, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn batching_config_wraps_the_llm_and_surfaces_counters() {
+        let mut server = summarize_server(ServeConfig {
+            workers: Some(2),
+            dedup_inflight: false,
+            result_cache_capacity: 0,
+            batch: Some(BatchTuning { max_batch_size: 4, max_wait: Duration::from_millis(1) }),
+            ..Default::default()
+        });
+        assert!(server.batcher().is_some(), "start() wrapped the LLM in a batcher");
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|i| {
+                server
+                    .submit(
+                        SubmitRequest::new("summ")
+                            .input("text", Data::Str(format!("batched document number {i}"))),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for handle in handles {
+            let output = handle.wait().unwrap();
+            assert!(output.llm.calls >= 1, "each job metered its own usage over the batcher");
+        }
+        let snap = server.metrics();
+        assert_eq!(snap.completed, 6);
+        let batch = snap.batch.as_ref().expect("batch counters attached");
+        assert!(batch.members >= 6, "every job's completion went through the batcher");
+        assert!(batch.batches >= 1);
+        assert!(batch.batches <= batch.members, "batching never inflates the flush count");
+        assert!(snap.report().contains("batcher metrics"), "report folds in the batcher section");
         server.shutdown();
     }
 

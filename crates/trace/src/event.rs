@@ -46,6 +46,12 @@ pub enum SpanKind {
     /// carry the chosen physical alternative and its estimated $/ms/accuracy,
     /// so estimated-vs-actual cost is auditable per job afterwards.
     Plan,
+    /// One micro-batch flush in the continuous batcher: the span carries the
+    /// member count and flush reason; per-member `split` instants under it
+    /// carry each member's usage split as attributes (never as `usage` —
+    /// token attribution stays on `LlmCall` end edges so the trace
+    /// conservation laws keep a single source of truth).
+    Batch,
 }
 
 impl SpanKind {
@@ -65,6 +71,7 @@ impl SpanKind {
             SpanKind::Supervisor => "supervisor",
             SpanKind::StreamWindow => "stream_window",
             SpanKind::Plan => "plan",
+            SpanKind::Batch => "batch",
         }
     }
 }
