@@ -9,14 +9,16 @@
 //! what a serving pool overlaps, so throughput scales with workers.
 //!
 //! The **batching arm** moves the service time out of the module and into a
-//! serialized provider round trip, then serves the same ER workload with and
-//! without continuous batching: a batched flush pays the round-trip toll once
-//! for all of its members, so backend round trips collapse by roughly the
-//! batch occupancy. The regression gate is the same-run unbatched/batched
-//! round-trip ratio — machine-relative, like the hotpath gate.
+//! serialized provider round trip, then serves the same ER workload — judged
+//! through `PipelinedMapModule`, so each worker keeps up to a batch's worth
+//! of calls in flight — with and without continuous batching: a batched
+//! flush pays the round-trip toll once for all of its members, so backend
+//! round trips collapse by roughly the batch occupancy. The regression gate
+//! is the same-run unbatched/batched round-trip ratio — machine-relative,
+//! like the hotpath gate.
 
 use lingua_bench::{arg_usize, fmt_mean_std, mean, write_json, TextTable};
-use lingua_core::modules::{CustomModule, LlmModule, Module, PromptBuilder};
+use lingua_core::modules::{CustomModule, LlmModule, Module, PipelinedMapModule, PromptBuilder};
 use lingua_core::validation::OutputValidator;
 use lingua_core::{ContextFactory, CoreError, Data, LogicalOp, PhysicalPipeline};
 use lingua_dataset::generators::er::{self, ErDataset};
@@ -65,23 +67,38 @@ fn batch_pipeline(
     }
 }
 
-fn er_pipeline(service_us: u64) -> PhysicalPipeline {
-    batch_pipeline(
-        "match_batch",
-        || {
-            LlmModule::new(
-                "er_judge",
-                PromptBuilder::PairJudgment {
-                    description:
-                        "Please determine if the following two records refer to the same entity."
-                            .into(),
-                    examples: vec![],
-                },
-                OutputValidator::YesNo,
-            )
+/// The ER judge the batching arm shares between its pipelines.
+fn er_judge() -> LlmModule {
+    LlmModule::new(
+        "er_judge",
+        PromptBuilder::PairJudgment {
+            description: "Please determine if the following two records refer to the same entity."
+                .into(),
+            examples: vec![],
         },
-        service_us,
+        OutputValidator::YesNo,
     )
+}
+
+/// One-op ER pipeline over [`PipelinedMapModule`]: each job's record list is
+/// dispatched with up to `depth` calls in flight, so a worker keeps many
+/// members inside the batcher's window at once instead of trickling one
+/// request per flush. Both batching-arm configurations use this pipeline, so
+/// the arms execute identical work and differ only in the batcher.
+fn pipelined_er_pipeline(depth: usize) -> PhysicalPipeline {
+    let module =
+        PipelinedMapModule::new("match_batch", depth, || Box::new(er_judge()) as Box<dyn Module>);
+    PhysicalPipeline {
+        name: "match_batch".to_string(),
+        ops: vec![(
+            LogicalOp::new("match_batch").output("labels").input("batch"),
+            Box::new(module) as Box<dyn Module>,
+        )],
+    }
+}
+
+fn er_pipeline(service_us: u64) -> PhysicalPipeline {
+    batch_pipeline("match_batch", er_judge, service_us)
 }
 
 fn imputation_pipeline(vocabulary: Vec<String>, service_us: u64) -> PhysicalPipeline {
@@ -308,7 +325,9 @@ fn batch_arm(
         ..Default::default()
     };
     let mut server = PipelineServer::start(factory, config).expect("valid bench config");
-    let pipeline = er_pipeline(0);
+    // Pipelined dispatch in both arms: up to one batch's worth of calls in
+    // flight per worker, so batches fill from within a single job.
+    let pipeline = pipelined_er_pipeline(8);
     let id = pipeline.name.clone();
     server.register_pipeline(id.as_str(), pipeline).expect("pipeline replicates");
     let start = Instant::now();

@@ -4,11 +4,13 @@ mod custom;
 mod decorated;
 mod llm;
 mod llmgc;
+mod map;
 
 pub use custom::CustomModule;
 pub use decorated::DecoratedModule;
 pub use llm::{LlmModule, PromptBuilder};
 pub use llmgc::LlmgcModule;
+pub use map::PipelinedMapModule;
 
 use crate::context::ExecContext;
 use crate::data::Data;

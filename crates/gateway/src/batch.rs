@@ -32,9 +32,13 @@
 //! at submit time. At flush time, members whose token has fired are answered
 //! with [`CANCELLED_NOTICE`] and **excluded from the backend call** — a
 //! cancelled member leaves the batch unbilled without poisoning its
-//! siblings. This is also why the simulator's batched entry point must not
-//! consult the *flusher's* thread-local scope: the flush runs on one
-//! member's thread, and that member's deadline is not its siblings' problem.
+//! siblings. The flush runs on one member's thread, and that member's
+//! deadline is not its siblings' problem — so the flusher's own thread-local
+//! cancel scope is **suspended** ([`cancel::suspend`]) around the backend
+//! call. Without the shield, a cancellation-aware backend (the gateway's
+//! retry loop consults the thread-local scope) would answer the *entire*
+//! batch with the cancelled notice whenever the flushing member's token had
+//! fired; with it, every layer below sees uncancellable shared work.
 
 use lingua_llm_sim::cancel::{self, CancelToken, CANCELLED_NOTICE};
 use lingua_llm_sim::{
@@ -321,6 +325,13 @@ impl Batcher {
             // If the backend panics, the guard answers every unfilled cell
             // with the abort notice before the panic leaves this frame.
             let _abort = AbortGuard { cells: &live_cells };
+            // The flush runs on one member's thread, but the call it places
+            // belongs to every live sibling. Suspend the flusher's own
+            // cancel scope so a cancellation-aware backend (the gateway's
+            // retry loop) cannot turn the whole batch into a cancelled
+            // notice just because the flusher's token fired — per-member
+            // cancellation was already settled by the filter above.
+            let _shield = cancel::suspend();
             let outcome = self.inner.complete_batch(&live_requests);
             for (cell, response) in live_cells.iter().zip(&outcome.responses) {
                 cell.fill(Arc::clone(response));
@@ -570,6 +581,66 @@ mod tests {
         assert_eq!(snap.batches, 1);
         let log = batcher.flush_log();
         assert_eq!(log[0].occupancy, 2);
+        assert_eq!(log[0].live, 1);
+        assert_eq!(log[0].cancelled, 1);
+    }
+
+    #[test]
+    fn cancelled_window_leader_does_not_poison_siblings_through_the_gateway() {
+        use crate::{Gateway, ServiceTransport};
+        // The regression this guards: the window-timer leader's own job is
+        // cancelled while it holds the window open. It is filtered from the
+        // batch, but the flush still runs on ITS thread — and the gateway's
+        // resilient loop consults the thread-local cancel scope. Without the
+        // suspend shield in `flush`, the whole batch came back as the
+        // cancelled notice and the live sibling was poisoned.
+        let service = sim(7);
+        let reference = sim(7);
+        let gateway: Arc<dyn LlmService> =
+            Arc::new(Gateway::over(Arc::new(ServiceTransport::new("sim", service.clone()))));
+        let batcher = Arc::new(Batcher::new(
+            Arc::clone(&gateway),
+            BatchConfig { max_batch_size: 8, max_wait: Duration::from_millis(500) },
+        ));
+        let token = CancelToken::unbounded();
+        std::thread::scope(|scope| {
+            let doomed = {
+                let batcher = Arc::clone(&batcher);
+                let token = token.clone();
+                scope.spawn(move || {
+                    // First to join: becomes the timer leader, so the window
+                    // flush will run on this (cancelled) thread.
+                    let _scope = CancelScope::enter(&token);
+                    batcher.complete(&prompt(0))
+                })
+            };
+            while batcher.pending_members() < 1 {
+                std::thread::yield_now();
+            }
+            let survivor = {
+                let batcher = Arc::clone(&batcher);
+                scope.spawn(move || batcher.complete(&prompt(1)))
+            };
+            while batcher.pending_members() < 2 {
+                std::thread::yield_now();
+            }
+            // Cancel the leader's job while it holds the window open; the
+            // deadline then fires on its thread with the scope installed.
+            token.cancel();
+            assert_eq!(doomed.join().expect("no panic"), CANCELLED_NOTICE);
+            assert_eq!(
+                survivor.join().expect("no panic"),
+                reference.complete(&prompt(1)),
+                "the leader's cancellation leaked into its sibling's answer"
+            );
+        });
+        // Only the survivor was billed, through the gateway, exactly once.
+        assert_eq!(service.usage(), reference.usage());
+        let snap = batcher.snapshot();
+        assert_eq!(snap.members, 2);
+        assert_eq!(snap.cancelled_members, 1);
+        assert_eq!(snap.window_flushes, 1);
+        let log = batcher.flush_log();
         assert_eq!(log[0].live, 1);
         assert_eq!(log[0].cancelled, 1);
     }

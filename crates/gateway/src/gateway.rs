@@ -218,6 +218,12 @@ impl Gateway {
     }
 
     fn remember(&self, key: u64, response: &str) {
+        // A cancellation notice is a verdict about one job's deadline, not
+        // an answer to the prompt — caching it would poison future degraded
+        // recalls of the same fingerprint with a stale "[cancelled]" reply.
+        if response == CANCELLED_NOTICE {
+            return;
+        }
         self.stale.insert(key, Arc::from(response));
     }
 
@@ -892,6 +898,82 @@ mod tests {
         assert!(outcome.splits.iter().all(|s| *s == Usage::default()));
         assert_eq!(gateway.usage().calls, 0);
         assert_eq!(gateway.snapshot().cancelled, 1);
+    }
+
+    #[test]
+    fn cancelled_fallback_notice_is_never_remembered() {
+        use lingua_llm_sim::{CancelScope, CancelToken};
+
+        /// Cancels the scope's token mid-attempt, then fails with a
+        /// non-retryable fault — the one shape that reaches the degraded
+        /// ladder while the thread-local scope is already cancelled.
+        struct CancelThenMalformed {
+            token: CancelToken,
+        }
+        impl LlmTransport for CancelThenMalformed {
+            fn name(&self) -> &str {
+                "cancel-then-malformed"
+            }
+            fn complete(&self, _request: &CompletionRequest) -> Result<String, TransportError> {
+                self.token.cancel();
+                Err(TransportError::MalformedOutput { preview: "garbage".into() })
+            }
+            fn embed(&self, _text: &str) -> Result<Vec<f64>, TransportError> {
+                Err(TransportError::MalformedOutput { preview: "garbage".into() })
+            }
+            fn usage(&self) -> Usage {
+                Usage::default()
+            }
+            fn simulated_latency_ms(&self) -> u64 {
+                0
+            }
+            fn generate_code(&self, _spec: &CodeGenSpec) -> GeneratedCode {
+                unreachable!("not exercised")
+            }
+            fn suggest_fix(&self, _source: &str, _failures: &[String]) -> String {
+                unreachable!("not exercised")
+            }
+            fn repair_code(
+                &self,
+                _spec: &CodeGenSpec,
+                _previous: &GeneratedCode,
+                _suggestion: &str,
+            ) -> GeneratedCode {
+                unreachable!("not exercised")
+            }
+        }
+
+        let cheap = sim(18);
+        let reference = sim(18);
+        let token = CancelToken::unbounded();
+        let gateway = Gateway::builder()
+            .backend(Arc::new(CancelThenMalformed { token: token.clone() }))
+            .fallback(Arc::new(ServiceTransport::new("cheap", cheap)))
+            .build();
+        let requests: Vec<CompletionRequest> = (0..2).map(prompt).collect();
+        {
+            // First batch: the backend cancels the job mid-attempt and fails
+            // non-retryably, so the degraded per-member ladder runs under a
+            // cancelled scope and the fallback (a scope-aware simulator)
+            // answers every member with the cancellation notice.
+            let _scope = CancelScope::enter(&token);
+            let outcome = gateway.complete_batch(&requests);
+            assert!(outcome.responses.iter().all(|r| r.as_ref() == CANCELLED_NOTICE));
+            // The notice is a verdict on this job, not an answer to the
+            // prompt: it must not enter the stale cache.
+            for request in &requests {
+                assert!(
+                    gateway.recall(request.fingerprint()).is_none(),
+                    "cancellation notice poisoned the stale cache"
+                );
+            }
+        }
+        // A later uncancelled job over the same prompts must get real
+        // fallback answers, not a replayed notice.
+        let outcome = gateway.complete_batch(&requests);
+        for (request, response) in requests.iter().zip(&outcome.responses) {
+            assert_eq!(response.as_ref(), reference.complete(request));
+        }
     }
 
     #[test]

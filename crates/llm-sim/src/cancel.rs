@@ -191,6 +191,44 @@ impl Drop for CancelScope {
     }
 }
 
+/// RAII guard that temporarily removes **every** cancel scope from the
+/// current thread, restoring the stack when dropped. See [`suspend`].
+pub struct SuspendedScopes {
+    saved: Vec<CancelToken>,
+    /// Keeps the type `!Send`/`!Sync` — the stack must be restored on the
+    /// thread it was taken from.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SuspendedScopes {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Scopes entered while suspended sit *inside* the saved ones.
+            let entered_meanwhile = std::mem::take(&mut *stack);
+            *stack = std::mem::take(&mut self.saved);
+            stack.extend(entered_meanwhile);
+        });
+    }
+}
+
+/// Detach the current thread from every entered cancel scope until the
+/// returned guard drops.
+///
+/// This exists for **donated work**: when one job's thread executes a call
+/// on behalf of many jobs (a batcher member flushing a shared batch), the
+/// flusher's own token must not decide the fate of its siblings' requests.
+/// Suspending the scope makes [`current`] / [`current_cancelled`] report "no
+/// scope", so cancellation-aware layers below treat the call as
+/// uncancellable shared work; per-job cancellation stays the caller's
+/// responsibility (filter members before, re-check after).
+pub fn suspend() -> SuspendedScopes {
+    SuspendedScopes {
+        saved: CURRENT.with(|stack| std::mem::take(&mut *stack.borrow_mut())),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
 /// The innermost token entered on this thread, if any.
 pub fn current() -> Option<CancelToken> {
     CURRENT.with(|stack| stack.borrow().last().cloned())
@@ -272,6 +310,55 @@ mod tests {
         assert!(result.is_err());
         // The guard dropped during unwind; no stale token remains.
         assert!(current().is_none());
+    }
+
+    #[test]
+    fn suspend_hides_every_scope_and_restores_on_drop() {
+        let outer = CancelToken::unbounded();
+        let inner = CancelToken::unbounded();
+        outer.cancel();
+        inner.cancel();
+        let _outer = CancelScope::enter(&outer);
+        let _inner = CancelScope::enter(&inner);
+        assert!(current_cancelled().is_some());
+        {
+            let _shield = suspend();
+            // Donated work sees no scope at all — not even the outer one.
+            assert!(current().is_none());
+            assert_eq!(current_cancelled(), None);
+        }
+        // Both scopes restored, innermost still on top.
+        assert_eq!(current_cancelled(), Some(CancelReason::Cancelled));
+        assert!(current().is_some());
+    }
+
+    #[test]
+    fn scopes_entered_while_suspended_nest_inside_restored_ones() {
+        let outer = CancelToken::unbounded();
+        let fresh = CancelToken::after(Duration::from_secs(60));
+        let _outer = CancelScope::enter(&outer);
+        let shield = suspend();
+        let entered = CancelScope::enter(&fresh);
+        assert!(current().unwrap().deadline().is_some());
+        drop(shield);
+        // The scope entered during suspension stays innermost.
+        assert!(current().unwrap().deadline().is_some());
+        drop(entered);
+        assert!(current().unwrap().deadline().is_none());
+    }
+
+    #[test]
+    fn suspend_restores_during_unwind() {
+        let token = CancelToken::unbounded();
+        token.cancel();
+        let _scope = CancelScope::enter(&token);
+        let result = std::panic::catch_unwind(|| {
+            let _shield = suspend();
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // The shield dropped during unwind; the original scope is back.
+        assert_eq!(current_cancelled(), Some(CancelReason::Cancelled));
     }
 
     #[test]
