@@ -1,16 +1,29 @@
 //! LLMGC modules: LLM-generated MangaScript programs behind the module
-//! interface (§3.1). The program really executes in the interpreter; the
-//! host bridge gives it `call_llm`, `call_module`, and `call_tool`.
+//! interface (§3.1). The program really executes — compiled once to
+//! bytecode and run on the `lingua-script` VM; the host bridge gives it
+//! `call_llm`, `call_module`, and `call_tool`.
 
 use crate::context::{ExecContext, HostBridge};
 use crate::data::Data;
 use crate::error::{CoreError, TrapKind};
 use crate::modules::{Module, ModuleKind};
 use lingua_llm_sim::{CodeGenSpec, GeneratedCode};
-use lingua_script::{parse, Interpreter, Program, ScriptError};
+use lingua_script::{parse, CompileCache, CompiledScript, Program, ScriptError, Vm};
+use std::sync::{Arc, OnceLock};
 
 /// Default interpreter fuel for one module invocation.
 pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+/// The process-wide compiled-program cache, keyed by source fingerprint.
+/// Validator cycles execute one candidate thousands of times; every
+/// execution shares the `Arc<CompiledScript>` compiled here exactly once,
+/// and a repaired program (new source, new fingerprint) recompiles exactly
+/// once. [`CompileCache::stats`] exposes per-key compile/hit counts so
+/// tests can pin that invariant.
+pub fn compile_cache() -> &'static CompileCache {
+    static CACHE: OnceLock<CompileCache> = OnceLock::new();
+    CACHE.get_or_init(CompileCache::new)
+}
 
 /// Deadline→fuel conversion: how many interpreter ticks one millisecond of
 /// remaining job deadline buys. Ticks are tens of nanoseconds of pure
@@ -25,6 +38,9 @@ pub struct LlmgcModule {
     spec: CodeGenSpec,
     source: String,
     program: Program,
+    /// Bytecode compiled once per generation (shared through the global
+    /// [`compile_cache`]); every invocation runs this, not the AST.
+    compiled: Arc<CompiledScript>,
     entry: String,
     fuel: u64,
     /// Generation metadata for experiment introspection.
@@ -49,6 +65,7 @@ impl LlmgcModule {
         generated: GeneratedCode,
     ) -> Result<LlmgcModule, CoreError> {
         let program = parse(&generated.source)?;
+        let compiled = compile_cache().get_or_compile(&generated.source, &program);
         let entry = if spec.function_name.is_empty() {
             "process".to_string()
         } else {
@@ -58,6 +75,7 @@ impl LlmgcModule {
             name: name.into(),
             source: generated.source.clone(),
             program,
+            compiled,
             entry,
             fuel: DEFAULT_FUEL,
             spec,
@@ -74,6 +92,7 @@ impl LlmgcModule {
     ) -> Result<LlmgcModule, CoreError> {
         let source = source.into();
         let program = parse(&source)?;
+        let compiled = compile_cache().get_or_compile(&source, &program);
         let entry = if spec.function_name.is_empty() {
             "process".to_string()
         } else {
@@ -83,6 +102,7 @@ impl LlmgcModule {
             name: name.into(),
             source,
             program,
+            compiled,
             entry,
             fuel: DEFAULT_FUEL,
             spec,
@@ -107,9 +127,13 @@ impl LlmgcModule {
         &self.entry
     }
 
-    /// Replace the program (used by the Validator's repair cycle).
+    /// Replace the program (used by the Validator's repair cycle). The new
+    /// source carries a new fingerprint, so this is the one place a repair
+    /// triggers a recompile.
     pub fn replace_program(&mut self, generated: GeneratedCode) -> Result<(), CoreError> {
-        self.program = parse(&generated.source)?;
+        let program = parse(&generated.source)?;
+        self.compiled = compile_cache().get_or_compile(&generated.source, &program);
+        self.program = program;
         self.source = generated.source.clone();
         self.generation = Some(generated);
         Ok(())
@@ -140,10 +164,10 @@ impl Module for LlmgcModule {
                 deadline_capped = true;
             }
         }
-        let mut interpreter = Interpreter::new(&self.program).with_fuel(fuel);
+        let mut vm = Vm::new(Arc::clone(&self.compiled)).with_fuel(fuel);
         let mut bridge = HostBridge { ctx };
-        let result = interpreter.call(&mut bridge, &self.entry, vec![script_input]).map_err(
-            |e| match e {
+        let result =
+            vm.call(&mut bridge, &self.entry, vec![script_input]).map_err(|e| match e {
                 ScriptError::OutOfFuel if deadline_capped => {
                     CoreError::Trap { module: self.name.clone(), trap: TrapKind::DeadlineFuel }
                 }
@@ -156,8 +180,7 @@ impl Module for LlmgcModule {
                 other => {
                     CoreError::Module { module: self.name.clone(), message: other.to_string() }
                 }
-            },
-        )?;
+            })?;
         Ok(Data::from_script(&result))
     }
 
@@ -167,13 +190,15 @@ impl Module for LlmgcModule {
 
     fn fresh_instance(&self) -> Option<Box<dyn Module>> {
         // The generated program is immutable between repair cycles and each
-        // invocation builds its own interpreter, so replication clones the
-        // program without re-running (or re-billing) code generation.
+        // invocation builds its own VM over the shared bytecode, so
+        // replication bumps an `Arc` without re-running (or re-billing) code
+        // generation — and without recompiling.
         Some(Box::new(LlmgcModule {
             name: self.name.clone(),
             spec: self.spec.clone(),
             source: self.source.clone(),
             program: self.program.clone(),
+            compiled: Arc::clone(&self.compiled),
             entry: self.entry.clone(),
             fuel: self.fuel,
             generation: self.generation.clone(),
@@ -356,5 +381,43 @@ mod tests {
     #[test]
     fn bad_source_fails_to_construct() {
         assert!(LlmgcModule::from_source("bad", spec("x"), "fn process( {").is_err());
+    }
+
+    #[test]
+    fn n_executions_compile_exactly_once_and_repair_recompiles_once() {
+        // Sources unique to this test so the global cache's per-key stats
+        // are deterministic even with other tests running concurrently.
+        let v1 = "fn process(x) { let cache_probe_v1 = 0; return x + 1; }";
+        let v2 = "fn process(x) { let cache_probe_v2 = 0; return x + 2; }";
+        let mut ctx = ctx();
+        let mut module = LlmgcModule::from_source("cached", spec("inc"), v1).unwrap();
+        for i in 0..50 {
+            assert_eq!(module.invoke(Data::Int(i), &mut ctx).unwrap(), Data::Int(i + 1));
+        }
+        // 50 executions, one compile; invocations never touch the compiler.
+        assert_eq!(compile_cache().stats(v1), (1, 0));
+
+        // Replicas share the compiled program without consulting the cache.
+        let mut replica = module.fresh_instance().unwrap();
+        assert_eq!(replica.invoke(Data::Int(1), &mut ctx).unwrap(), Data::Int(2));
+        assert_eq!(compile_cache().stats(v1), (1, 0));
+
+        // A second module over identical source is a cache hit, not a compile.
+        let _twin = LlmgcModule::from_source("twin", spec("inc"), v1).unwrap();
+        assert_eq!(compile_cache().stats(v1), (1, 1));
+
+        // Repair swaps the source: exactly one compile for the new key.
+        module
+            .replace_program(GeneratedCode {
+                source: v2.into(),
+                template: lingua_llm_sim::TemplateKind::Identity,
+                bug: None,
+            })
+            .unwrap();
+        for i in 0..50 {
+            assert_eq!(module.invoke(Data::Int(i), &mut ctx).unwrap(), Data::Int(i + 2));
+        }
+        assert_eq!(compile_cache().stats(v2), (1, 0));
+        assert_eq!(compile_cache().stats(v1), (1, 1));
     }
 }

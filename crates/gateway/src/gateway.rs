@@ -14,6 +14,10 @@
 //! 4. **Degraded mode** — when every backend fails: answer from the stale
 //!    response cache if this prompt succeeded before, else ask the (cheap,
 //!    reliable) fallback backend, else return a static degraded notice.
+//! 5. **Batch splitting** — a batch is first placed as one wire call; if
+//!    that call faults, each member is re-dispatched through the resilient
+//!    loop individually, so one poisoned member cannot exhaust the retry
+//!    budget of (or degrade) its healthy siblings.
 //!
 //! Backoff delays are charged to the simulated-latency counter rather than
 //! slept, like every latency in this workspace — deterministic and fast.
@@ -27,7 +31,7 @@ use lingua_llm_sim::cancel;
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
 use lingua_llm_sim::{
-    AtomicUsage, BatchOutcome, CodeGenSpec, CompletionRequest, Fnv1a, GeneratedCode, LlmService,
+    AtomicUsage, BatchOutcome, CodeGenSpec, CompletionRequest, GeneratedCode, LlmService,
     ShardedLru, Usage, CANCELLED_NOTICE,
 };
 use lingua_trace::{SpanKind, Tracer};
@@ -342,6 +346,99 @@ impl Gateway {
         Resilient::Exhausted
     }
 
+    /// One batched wire call against the first backend whose budget and
+    /// breaker admit it. `None` means the attempt faulted (or no backend
+    /// admitted the batch); the caller then re-dispatches per member instead
+    /// of replaying every healthy member against the same fault.
+    fn batch_first_attempt(&self, requests: &[CompletionRequest]) -> Option<BatchOutcome> {
+        let est_tokens: u64 = requests.iter().map(|r| count_tokens(&r.prompt) as u64).sum();
+        for (idx, backend) in self.backends.iter().enumerate() {
+            if idx > 0 {
+                self.metrics.failover();
+                self.tracer.instant(SpanKind::Gateway, "failover", || {
+                    vec![("to".into(), backend.name.clone())]
+                });
+            }
+            if let Some(budget) = &backend.budget {
+                if !budget.try_consume(est_tokens) {
+                    self.metrics.budget_denied(idx);
+                    self.tracer.instant(SpanKind::Gateway, "budget_denied", || {
+                        vec![("backend".into(), backend.name.clone())]
+                    });
+                    continue;
+                }
+            }
+            if !backend.breaker.acquire() {
+                self.metrics.breaker_denied(idx);
+                self.tracer.instant(SpanKind::Gateway, "breaker_denied", || {
+                    vec![("backend".into(), backend.name.clone())]
+                });
+                continue;
+            }
+            self.metrics.attempt(idx, false);
+            self.tracer.instant(SpanKind::Gateway, "attempt", || {
+                vec![("backend".into(), backend.name.clone()), ("retry".into(), "false".into())]
+            });
+            return match backend.transport.complete_batch(requests) {
+                Ok(outcome) => {
+                    backend.breaker.on_success();
+                    self.metrics.served(idx);
+                    self.tracer.instant(SpanKind::Gateway, "served", || {
+                        vec![("backend".into(), backend.name.clone())]
+                    });
+                    Some(outcome)
+                }
+                Err(err) => {
+                    backend.breaker.on_failure();
+                    self.metrics.fault(idx, err.class());
+                    self.tracer.instant(SpanKind::Gateway, "fault", || {
+                        vec![
+                            ("backend".into(), backend.name.clone()),
+                            ("class".into(), err.class().label().into()),
+                        ]
+                    });
+                    None
+                }
+            };
+        }
+        None
+    }
+
+    /// Degraded ladder for a single batch member: stale cache, then the
+    /// fallback backend, then the static notice.
+    fn degrade_member(&self, request: &CompletionRequest, outcome: &mut BatchOutcome) {
+        let member_key = request.fingerprint();
+        let est = count_tokens(&request.prompt);
+        if let Some(stale) = self.recall(member_key) {
+            self.metrics.degraded_cache_hit();
+            self.tracer.instant(SpanKind::Gateway, "degraded_cache_hit", Vec::new);
+            let mut split = Usage::default();
+            split.record_cached(est, count_tokens(&stale));
+            self.degraded_usage.record_cached(est, count_tokens(&stale));
+            outcome.batch_usage.merge(&split);
+            outcome.splits.push(split);
+            outcome.responses.push(stale);
+            return;
+        }
+        if let Some(fallback) = &self.fallback {
+            let before = fallback.usage();
+            if let Ok(response) = fallback.complete(request) {
+                self.metrics.degraded_fallback();
+                self.tracer.instant(SpanKind::Gateway, "degraded_fallback", Vec::new);
+                let split = fallback.usage().since(&before);
+                self.remember(member_key, &response);
+                outcome.batch_usage.merge(&split);
+                outcome.splits.push(split);
+                outcome.responses.push(Arc::from(response));
+                return;
+            }
+        }
+        self.metrics.degraded_static();
+        self.tracer.instant(SpanKind::Gateway, "degraded_static", Vec::new);
+        outcome.splits.push(Usage::default());
+        outcome.responses.push(Arc::from(DEGRADED_NOTICE));
+    }
+
     /// Book a cancelled request: counter, trace instant, span path.
     fn note_cancelled(&self, span: &mut lingua_trace::SpanGuard) {
         self.metrics.cancelled();
@@ -409,69 +506,65 @@ impl LlmService for Gateway {
         self.metrics.batch(requests.len());
         let mut span = self.tracer.span(SpanKind::Gateway, "complete_batch");
         span.attr("members", requests.len().to_string());
-        // The batch travels the resilient loop as ONE call: one retry
-        // schedule, one breaker sample, one budget admission for the summed
-        // token estimate. Its backoff key folds every member fingerprint so
-        // distinct batches jitter independently.
-        let mut key_hasher = Fnv1a::new();
-        for request in requests {
-            key_hasher.write_u64(request.fingerprint());
+        if cancel::current_cancelled().is_some() {
+            self.note_cancelled(&mut span);
+            return BatchOutcome {
+                responses: requests.iter().map(|_| Arc::from(CANCELLED_NOTICE)).collect(),
+                splits: vec![Usage::default(); requests.len()],
+                batch_usage: Usage::default(),
+            };
         }
-        let key = key_hasher.finish();
-        let est_tokens: u64 = requests.iter().map(|r| count_tokens(&r.prompt) as u64).sum();
-        match self.call_resilient(key, est_tokens, |transport| transport.complete_batch(requests)) {
-            Resilient::Served(outcome) => {
-                span.attr("path", "served");
-                for (request, response) in requests.iter().zip(&outcome.responses) {
-                    self.remember(request.fingerprint(), response);
-                }
-                return outcome;
+        // First try: the whole batch as ONE wire call, so the no-fault
+        // common case keeps its single-call amortization.
+        if let Some(outcome) = self.batch_first_attempt(requests) {
+            span.attr("path", "served");
+            for (request, response) in requests.iter().zip(&outcome.responses) {
+                self.remember(request.fingerprint(), response);
             }
-            Resilient::Cancelled => {
-                self.note_cancelled(&mut span);
-                return BatchOutcome {
-                    responses: requests.iter().map(|_| Arc::from(CANCELLED_NOTICE)).collect(),
-                    splits: vec![Usage::default(); requests.len()],
-                    batch_usage: Usage::default(),
-                };
-            }
-            Resilient::Exhausted => {}
+            return outcome;
         }
-        // Degraded mode runs the ladder per member: one member may have a
-        // stale answer while its siblings fall through to the fallback.
-        span.attr("path", "degraded");
+        // The batched call faulted (or nothing admitted it). Retrying the
+        // whole batch would replay every healthy member against the same
+        // fault and let one persistently poisoned member drag its siblings
+        // into degraded mode, so the retry splits per member: each rides the
+        // full resilient loop — retry schedule, breakers, failover — as a
+        // single-member batch, and only exhausted members degrade.
+        span.attr("path", "split");
+        self.metrics.batch_split();
+        self.tracer.instant(SpanKind::Gateway, "batch_split", || {
+            vec![("members".into(), requests.len().to_string())]
+        });
         let mut outcome = BatchOutcome::with_capacity(requests.len());
+        let mut cancelled = false;
         for request in requests {
-            let member_key = request.fingerprint();
-            let est = count_tokens(&request.prompt);
-            if let Some(stale) = self.recall(member_key) {
-                self.metrics.degraded_cache_hit();
-                self.tracer.instant(SpanKind::Gateway, "degraded_cache_hit", Vec::new);
-                let mut split = Usage::default();
-                split.record_cached(est, count_tokens(&stale));
-                self.degraded_usage.record_cached(est, count_tokens(&stale));
-                outcome.batch_usage.merge(&split);
-                outcome.splits.push(split);
-                outcome.responses.push(stale);
+            if cancelled {
+                outcome.splits.push(Usage::default());
+                outcome.responses.push(Arc::from(CANCELLED_NOTICE));
                 continue;
             }
-            if let Some(fallback) = &self.fallback {
-                let before = fallback.usage();
-                if let Ok(response) = fallback.complete(request) {
-                    self.metrics.degraded_fallback();
-                    self.tracer.instant(SpanKind::Gateway, "degraded_fallback", Vec::new);
-                    let split = fallback.usage().since(&before);
+            let member_key = request.fingerprint();
+            let est_tokens = count_tokens(&request.prompt) as u64;
+            match self.call_resilient(member_key, est_tokens, |transport| {
+                transport.complete_batch(std::slice::from_ref(request))
+            }) {
+                Resilient::Served(mut single) => {
+                    let response = single.responses.pop().expect("single-member batch");
+                    let split = single.splits.pop().unwrap_or(single.batch_usage);
                     self.remember(member_key, &response);
                     outcome.batch_usage.merge(&split);
                     outcome.splits.push(split);
-                    outcome.responses.push(Arc::from(response));
-                    continue;
+                    outcome.responses.push(response);
                 }
+                Resilient::Cancelled => {
+                    // The job died mid-split: notice this member and every
+                    // remaining sibling without burning further attempts.
+                    self.note_cancelled(&mut span);
+                    cancelled = true;
+                    outcome.splits.push(Usage::default());
+                    outcome.responses.push(Arc::from(CANCELLED_NOTICE));
+                }
+                Resilient::Exhausted => self.degrade_member(request, &mut outcome),
             }
-            self.metrics.degraded_static();
-            self.tracer.instant(SpanKind::Gateway, "degraded_static", Vec::new);
-            outcome.splits.push(Usage::default());
-            outcome.responses.push(Arc::from(DEGRADED_NOTICE));
         }
         outcome
     }
@@ -838,12 +931,18 @@ mod tests {
     }
 
     #[test]
-    fn batch_faults_retry_the_whole_batch() {
-        // 30% per-member transient faults through the default transport
-        // batching: one member's fault fails the whole batch, and the retry
-        // loop replays it until every member passes.
+    fn batch_faults_split_into_per_member_retries() {
+        // A faulted batched call no longer retries the whole batch: the
+        // members split and ride the resilient loop individually, so the
+        // transient members are absorbed by their own retry schedules.
         let service = sim(15);
         let plan = FaultPlan::transient(0.3, 23);
+        // Make the first wire call fault deterministically: at least one of
+        // the six members must fault on its attempt 0.
+        assert!(
+            (0..6).any(|i| plan.decide(&prompt(i).prompt, 0).is_some()),
+            "seed must fault the batched first attempt"
+        );
         let injector = Arc::new(FaultInjector::new("flaky", service, plan));
         let standby = sim(15);
         let reference = sim(15);
@@ -856,9 +955,61 @@ mod tests {
         for (request, response) in requests.iter().zip(&outcome.responses) {
             assert_eq!(response.as_ref(), reference.complete(request));
         }
+        let mut summed = Usage::default();
+        for split in &outcome.splits {
+            summed.merge(split);
+        }
+        assert_eq!(summed, outcome.batch_usage, "conservation holds across the split");
         let snap = gateway.snapshot();
-        assert_eq!(snap.degraded(), 0, "retries absorbed the member faults");
+        assert_eq!(snap.degraded(), 0, "per-member retries absorbed the member faults");
         assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batch_splits, 1, "the faulted wire call split the batch");
+    }
+
+    #[test]
+    fn a_poisoned_member_degrades_alone_after_the_split() {
+        // One member that faults on every attempt it will ever see must not
+        // drag its healthy siblings into degraded mode: after the split the
+        // siblings are served by the primary and only the poisoned member
+        // walks the degraded ladder.
+        let plan = FaultPlan::transient(0.35, 57);
+        // Healthy members pass every attempt they can see (batched attempt 0
+        // plus up to four split attempts); the poisoned member faults on all
+        // of them.
+        let healthy = |p: &str| (0..=4).all(|a| plan.decide(p, a).is_none());
+        let poisoned = |p: &str| (0..=4).all(|a| plan.decide(p, a).is_some());
+        let candidates =
+            || (0..50_000).map(|i| format!("Summarize. Text: poisoned member candidate {i}"));
+        let mut good = candidates().filter(|p| healthy(p));
+        let requests: Vec<CompletionRequest> = [
+            good.next().expect("a healthy prompt exists"),
+            candidates().find(|p| poisoned(p)).expect("a poisoned prompt exists"),
+            good.next().expect("a second healthy prompt exists"),
+        ]
+        .map(CompletionRequest::new)
+        .into_iter()
+        .collect();
+        let service = sim(19);
+        let reference = sim(19);
+        let cheap = sim(20);
+        let cheap_reference = sim(20);
+        let injector = Arc::new(FaultInjector::new("flaky", service, plan));
+        let gateway = Gateway::builder()
+            .backend(injector)
+            .fallback(Arc::new(ServiceTransport::new("cheap", cheap)))
+            .build();
+        let outcome = gateway.complete_batch(&requests);
+        assert_eq!(outcome.responses[0].as_ref(), reference.complete(&requests[0]));
+        assert_eq!(outcome.responses[2].as_ref(), reference.complete(&requests[2]));
+        assert_eq!(
+            outcome.responses[1].as_ref(),
+            cheap_reference.complete(&requests[1]),
+            "the poisoned member is answered by the fallback"
+        );
+        let snap = gateway.snapshot();
+        assert_eq!(snap.batch_splits, 1);
+        assert_eq!(snap.degraded_fallbacks, 1, "exactly the poisoned member degraded");
+        assert_eq!(snap.degraded(), 1);
     }
 
     #[test]

@@ -58,6 +58,7 @@ struct MetricsInner {
     degraded_static: u64,
     batches: u64,
     batch_members: u64,
+    batch_splits: u64,
 }
 
 /// Interior-mutable metrics registry owned by the gateway.
@@ -125,6 +126,12 @@ impl GatewayMetrics {
         inner.requests += members as u64;
     }
 
+    /// Book a batched call whose single wire attempt faulted and whose
+    /// members were re-dispatched through the per-member resilient loop.
+    pub(crate) fn batch_split(&self) {
+        self.inner.lock().batch_splits += 1;
+    }
+
     pub(crate) fn degraded_cache_hit(&self) {
         self.inner.lock().degraded_cache_hits += 1;
     }
@@ -164,6 +171,7 @@ impl GatewayMetrics {
             degraded_static: inner.degraded_static,
             batches: inner.batches,
             batch_members: inner.batch_members,
+            batch_splits: inner.batch_splits,
             backends,
         }
     }
@@ -198,6 +206,9 @@ pub struct GatewaySnapshot {
     pub batches: u64,
     /// Member requests carried by those batched calls (also in `requests`).
     pub batch_members: u64,
+    /// Batches whose first wire call faulted and fell back to per-member
+    /// resilient dispatch.
+    pub batch_splits: u64,
     pub backends: Vec<BackendSnapshot>,
 }
 
@@ -249,10 +260,11 @@ impl GatewaySnapshot {
         );
         if self.batches > 0 {
             out.push_str(&format!(
-                "\x20 batches         {} ({} members, {:.2} mean occupancy)\n",
+                "\x20 batches         {} ({} members, {:.2} mean occupancy, {} split)\n",
                 self.batches,
                 self.batch_members,
                 self.mean_batch_occupancy(),
+                self.batch_splits,
             ));
         }
         for backend in &self.backends {

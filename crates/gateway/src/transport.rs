@@ -24,9 +24,10 @@ pub trait LlmTransport: Send + Sync {
     /// Free-text completion.
     fn complete(&self, request: &CompletionRequest) -> Result<String, TransportError>;
     /// Batched completion: all-or-nothing over the wire. One faulted member
-    /// fails the whole batch (that is what a single batched HTTP call does),
-    /// so the gateway's retry/failover loop treats a batch exactly like a
-    /// single call.
+    /// fails the whole batch (that is what a single batched HTTP call does);
+    /// the gateway places a batch as one wire call first and, when that call
+    /// faults, re-dispatches the members through its resilient loop
+    /// individually.
     ///
     /// The default adapts [`LlmTransport::complete`] one member at a time,
     /// attributing each member the usage delta its call produced; fault

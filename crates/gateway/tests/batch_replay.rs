@@ -18,7 +18,7 @@
 //! token for token, and therefore dollar for dollar to the cent.
 
 use lingua_dataset::world::WorldSpec;
-use lingua_gateway::{BatchConfig, Batcher, FlushReason};
+use lingua_gateway::{BatchConfig, Batcher, FaultInjector, FaultPlan, FlushReason, Gateway};
 use lingua_llm_sim::{
     BatchOutcome, CancelScope, CancelToken, CodeGenSpec, CompletionRequest, GeneratedCode,
     LlmService, SimLlm, SimLlmConfig, TokenPricing, Usage, CANCELLED_NOTICE,
@@ -265,6 +265,80 @@ fn single_threaded_replay_is_all_window_flushes() {
         assert_eq!(record.reason, FlushReason::Window);
     }
     assert_eq!(service.usage(), reference.usage(), "occupancy-1 batching bills identically");
+}
+
+/// Gateway batch-split replay: a faulted batched first attempt re-dispatches
+/// the members through the per-member resilient loop, and because the fault
+/// plan is a pure function of `(seed, prompt, attempt)`, the *entire*
+/// per-member attempt schedule replays exactly — which member faulted where,
+/// how many attempts and retries each burned, and what the ledger billed.
+#[test]
+fn split_batch_replays_exact_per_member_attempt_schedules() {
+    let plan = FaultPlan::transient(0.35, 57);
+    let find = |pred: &dyn Fn(&str) -> bool| -> CompletionRequest {
+        (0..50_000)
+            .map(|i| format!("Summarize. Text: split schedule candidate {i}"))
+            .find(|p| pred(p))
+            .map(CompletionRequest::new)
+            .expect("a matching prompt exists")
+    };
+    // Pin each member's fault pattern by construction:
+    //   A passes every attempt it will see — attempt 0 inside the batched
+    //     wire call, attempt 1 as its split re-dispatch;
+    //   B faults attempt 0 (failing the wire call, so C is never reached
+    //     there), faults its first split attempt (1), passes the retry (2);
+    //   C first executes during the split — faults attempt 0, passes 1.
+    let a = find(&|p| plan.decide(p, 0).is_none() && plan.decide(p, 1).is_none());
+    let b = find(&|p| {
+        plan.decide(p, 0).is_some() && plan.decide(p, 1).is_some() && plan.decide(p, 2).is_none()
+    });
+    let c = find(&|p| plan.decide(p, 0).is_some() && plan.decide(p, 1).is_none());
+    let requests = vec![a, b, c];
+
+    let service = sim(505, false);
+    let reference = sim(505, false);
+    let injector = Arc::new(FaultInjector::new("flaky", service.clone(), plan));
+    let gateway = Gateway::over(injector.clone());
+    let outcome = gateway.complete_batch(&requests);
+
+    for (request, response) in requests.iter().zip(&outcome.responses) {
+        assert_eq!(response.as_ref(), reference.complete(request), "split answers diverged");
+    }
+    let mut summed = Usage::default();
+    for split in &outcome.splits {
+        summed.merge(split);
+    }
+    assert_eq!(summed, outcome.batch_usage, "member splits conserve the batch usage");
+
+    // The injector saw exactly the schedule above: A passed 0 and 1, B
+    // faulted 0 and 1 then passed 2, C faulted 0 then passed 1.
+    let counts = injector.counts();
+    assert_eq!(counts.passed, 4, "A twice, B once, C once");
+    assert_eq!(counts.injected, 3, "B twice, C once");
+    assert_eq!(counts.transient, 3);
+
+    // And the gateway booked the same walk: one batched attempt plus
+    // 1 (A) + 2 (B) + 2 (C) split attempts, with B's and C's second
+    // attempts counted as retries.
+    let snap = gateway.snapshot();
+    let primary = &snap.backends[0].counters;
+    assert_eq!(primary.attempts, 6);
+    assert_eq!(primary.retries, 2);
+    assert_eq!(primary.faults(), 3);
+    assert_eq!(primary.served, 3, "each member serves once after the split");
+    assert_eq!(snap.batches, 1);
+    assert_eq!(snap.batch_members, 3);
+    assert_eq!(snap.batch_splits, 1);
+    assert_eq!(snap.degraded(), 0, "per-member retries absorbed every fault");
+    assert!(snap.added_backoff_ms() > 0, "B's and C's retries charged backoff");
+
+    // Ledger: the split recomputed A once (the wire call's partial work is
+    // discarded), so four billed calls serve three logical requests, and the
+    // three transient faults billed their aborted prompts.
+    let ledger = service.usage();
+    assert_eq!(ledger.calls, 4);
+    assert_eq!(ledger.failed_calls, 3);
+    assert_eq!(reference.usage().calls, 3);
 }
 
 /// Mid-batch cancellation replay: seven members join, three are cancelled

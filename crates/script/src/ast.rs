@@ -195,6 +195,89 @@ impl Program {
     pub fn function_mut(&mut self, name: &str) -> Option<&mut FnDecl> {
         self.functions.iter_mut().find(|f| f.name == name)
     }
+
+    /// A copy with every span reset to [`Span::default`], so two programs can
+    /// be compared structurally — e.g. `parse(pretty(ast)) == ast` holds even
+    /// though printing moves everything to fresh source positions.
+    pub fn strip_spans(&self) -> Program {
+        Program {
+            functions: self
+                .functions
+                .iter()
+                .map(|f| FnDecl {
+                    name: f.name.clone(),
+                    params: f.params.clone(),
+                    body: f.body.iter().map(strip_stmt).collect(),
+                    span: Span::default(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn strip_stmt(stmt: &Stmt) -> Stmt {
+    let s = Span::default();
+    match stmt {
+        Stmt::Let { name, value, .. } => {
+            Stmt::Let { name: name.clone(), value: strip_expr(value), span: s }
+        }
+        Stmt::Assign { target, value, .. } => {
+            let target = match target {
+                LValue::Var(n) => LValue::Var(n.clone()),
+                LValue::Index(n, idx) => LValue::Index(n.clone(), strip_expr(idx)),
+            };
+            Stmt::Assign { target, value: strip_expr(value), span: s }
+        }
+        Stmt::Expr(e) => Stmt::Expr(strip_expr(e)),
+        Stmt::If { cond, then_branch, else_branch, .. } => Stmt::If {
+            cond: strip_expr(cond),
+            then_branch: then_branch.iter().map(strip_stmt).collect(),
+            else_branch: else_branch.iter().map(strip_stmt).collect(),
+            span: s,
+        },
+        Stmt::While { cond, body, .. } => Stmt::While {
+            cond: strip_expr(cond),
+            body: body.iter().map(strip_stmt).collect(),
+            span: s,
+        },
+        Stmt::For { var, iterable, body, .. } => Stmt::For {
+            var: var.clone(),
+            iterable: strip_expr(iterable),
+            body: body.iter().map(strip_stmt).collect(),
+            span: s,
+        },
+        Stmt::Return { value, .. } => {
+            Stmt::Return { value: value.as_ref().map(strip_expr), span: s }
+        }
+        Stmt::Break(_) => Stmt::Break(s),
+        Stmt::Continue(_) => Stmt::Continue(s),
+    }
+}
+
+fn strip_expr(expr: &Expr) -> Expr {
+    let s = Span::default();
+    match expr {
+        Expr::Null(_) => Expr::Null(s),
+        Expr::Bool(v, _) => Expr::Bool(*v, s),
+        Expr::Int(v, _) => Expr::Int(*v, s),
+        Expr::Float(v, _) => Expr::Float(*v, s),
+        Expr::Str(v, _) => Expr::Str(v.clone(), s),
+        Expr::Var(v, _) => Expr::Var(v.clone(), s),
+        Expr::List(items, _) => Expr::List(items.iter().map(strip_expr).collect(), s),
+        Expr::Map(pairs, _) => {
+            Expr::Map(pairs.iter().map(|(k, v)| (k.clone(), strip_expr(v))).collect(), s)
+        }
+        Expr::Unary(op, inner, _) => Expr::Unary(*op, Box::new(strip_expr(inner)), s),
+        Expr::Binary(op, l, r, _) => {
+            Expr::Binary(*op, Box::new(strip_expr(l)), Box::new(strip_expr(r)), s)
+        }
+        Expr::Call(name, args, _) => {
+            Expr::Call(name.clone(), args.iter().map(strip_expr).collect(), s)
+        }
+        Expr::Index(base, idx, _) => {
+            Expr::Index(Box::new(strip_expr(base)), Box::new(strip_expr(idx)), s)
+        }
+    }
 }
 
 #[cfg(test)]

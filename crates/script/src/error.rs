@@ -2,32 +2,47 @@
 
 use std::fmt;
 
-/// A byte range in the source text, with a 1-based line for messages.
+/// A byte range in the source text, with a 1-based line (and, when known, a
+/// 1-based character column) for messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Span {
     pub start: usize,
     pub end: usize,
     pub line: usize,
+    /// 1-based character column of `start` on `line`; 0 when unknown (spans
+    /// built before the lexer tracked columns, or synthesized ones).
+    pub col: usize,
 }
 
 impl Span {
     pub fn new(start: usize, end: usize, line: usize) -> Span {
-        Span { start, end, line }
+        Span { start, end, line, col: 0 }
     }
 
-    /// A span covering both inputs.
+    /// [`Span::new`] with the starting column attached.
+    pub fn with_col(start: usize, end: usize, line: usize, col: usize) -> Span {
+        Span { start, end, line, col }
+    }
+
+    /// A span covering both inputs; line and column come from whichever
+    /// starts first in the source.
     pub fn merge(self, other: Span) -> Span {
-        Span {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-            line: self.line.min(other.line),
-        }
+        let (line, col) = if (self.line, self.start) <= (other.line, other.start) {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span { start: self.start.min(other.start), end: self.end.max(other.end), line, col }
     }
 }
 
 impl fmt::Display for Span {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}", self.line)
+        if self.col > 0 {
+            write!(f, "line {}, col {}", self.line, self.col)
+        } else {
+            write!(f, "line {}", self.line)
+        }
     }
 }
 
@@ -118,5 +133,22 @@ mod tests {
         assert!(err.to_string().contains("bad index"));
         assert_eq!(err.kind(), "runtime");
         assert_eq!(ScriptError::OutOfFuel.kind(), "timeout");
+    }
+
+    #[test]
+    fn error_display_includes_column_when_known() {
+        let err = ScriptError::runtime(Span::with_col(0, 1, 12, 7), "bad index");
+        assert!(err.to_string().contains("line 12, col 7"), "{err}");
+        // Spans without a column keep the old line-only rendering.
+        let bare = ScriptError::runtime(Span::new(0, 1, 12), "bad index");
+        assert!(!bare.to_string().contains("col"), "{bare}");
+    }
+
+    #[test]
+    fn merge_takes_line_and_column_from_the_earlier_span() {
+        let a = Span::with_col(3, 7, 1, 4);
+        let b = Span::with_col(10, 14, 2, 2);
+        assert_eq!(a.merge(b), Span::with_col(3, 14, 1, 4));
+        assert_eq!(b.merge(a), Span::with_col(3, 14, 1, 4));
     }
 }

@@ -13,11 +13,13 @@ struct Lexer<'a> {
     chars: Vec<(usize, char)>,
     pos: usize,
     line: usize,
+    /// 1-based character column of the next char on the current line.
+    col: usize,
 }
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, chars: src.char_indices().collect(), pos: 0, line: 1 }
+        Lexer { src, chars: src.char_indices().collect(), pos: 0, line: 1, col: 1 }
     }
 
     fn peek(&self) -> Option<char> {
@@ -37,6 +39,9 @@ impl<'a> Lexer<'a> {
         if let Some(ch) = c {
             if ch == '\n' {
                 self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
             }
             self.pos += 1;
         }
@@ -45,7 +50,7 @@ impl<'a> Lexer<'a> {
 
     fn error(&self, start: usize, message: impl Into<String>) -> ScriptError {
         ScriptError::Lex {
-            span: Span::new(start, self.byte_offset(), self.line),
+            span: Span::with_col(start, self.byte_offset(), self.line, self.col),
             message: message.into(),
         }
     }
@@ -56,8 +61,12 @@ impl<'a> Lexer<'a> {
             self.skip_trivia();
             let start = self.byte_offset();
             let line = self.line;
+            let col = self.col;
             let Some(c) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span: Span::new(start, start, line) });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::with_col(start, start, line, col),
+                });
                 return Ok(tokens);
             };
             let kind = match c {
@@ -135,7 +144,7 @@ impl<'a> Lexer<'a> {
                 other => return Err(self.error(start, format!("unexpected character `{other}`"))),
             };
             let end = self.byte_offset();
-            tokens.push(Token { kind, span: Span::new(start, end, line) });
+            tokens.push(Token { kind, span: Span::with_col(start, end, line, col) });
         }
     }
 
@@ -323,6 +332,26 @@ mod tests {
         let toks = lex("let a = 1;\nlet b = 2;").unwrap();
         let b_tok = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into())).unwrap();
         assert_eq!(b_tok.span.line, 2);
+    }
+
+    #[test]
+    fn columns_track_within_and_across_lines() {
+        let toks = lex("let a = 1;\n    let bee = 22;").unwrap();
+        let find = |kind: &TokenKind| toks.iter().find(|t| &t.kind == kind).unwrap().span;
+        assert_eq!(find(&TokenKind::Ident("a".into())).col, 5);
+        assert_eq!(find(&TokenKind::Int(1)).col, 9);
+        // Second line restarts the count; indentation is counted in chars.
+        let bee = find(&TokenKind::Ident("bee".into()));
+        assert_eq!((bee.line, bee.col), (2, 9));
+        assert_eq!(find(&TokenKind::Int(22)).col, 15);
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        // `é` is two bytes but one column.
+        let toks = lex("café + x").unwrap();
+        assert_eq!(toks[1].kind, TokenKind::Plus);
+        assert_eq!(toks[1].span.col, 6);
     }
 
     #[test]

@@ -44,6 +44,8 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod bytecode;
+pub mod compile;
 pub mod error;
 pub mod interp;
 pub mod lexer;
@@ -51,11 +53,15 @@ pub mod parser;
 pub mod pretty;
 pub mod token;
 pub mod value;
+pub mod vm;
 
 pub use ast::{BinOp, Expr, FnDecl, Program, Stmt, UnOp};
+pub use bytecode::CompiledScript;
+pub use compile::{compile, source_fingerprint, CompileCache};
 pub use error::{ScriptError, Span};
 pub use interp::{Host, Interpreter, NoHost, DEFAULT_FUEL, DEFAULT_MAX_DEPTH};
 pub use value::Value;
+pub use vm::Vm;
 
 /// Parse MangaScript source into a [`Program`].
 pub fn parse(source: &str) -> Result<Program, ScriptError> {

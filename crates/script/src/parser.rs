@@ -247,7 +247,15 @@ impl<'a> Parser<'a> {
                 let start = self.bump().span;
                 let inner = self.unary_expr()?;
                 let span = start.merge(inner.span());
-                Ok(Expr::Unary(UnOp::Neg, Box::new(inner), span))
+                // Fold a negated numeric literal into the literal: `-5` is
+                // the constant -5, not a negation of 5. The printer emits
+                // negative constants as `-5`, so this keeps
+                // `parse(pretty(ast)) == ast` for them.
+                Ok(match inner {
+                    Expr::Int(v, _) => Expr::Int(v.wrapping_neg(), span),
+                    Expr::Float(v, _) => Expr::Float(-v, span),
+                    other => Expr::Unary(UnOp::Neg, Box::new(other), span),
+                })
             }
             TokenKind::Bang => {
                 let start = self.bump().span;
@@ -463,6 +471,31 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn negated_literals_fold_into_constants() {
+        let p = parse("fn f(x) { return -5 + -2.5 - -x; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return { value: Some(Expr::Binary(BinOp::Sub, left, right, _)), .. } => {
+                match &**left {
+                    Expr::Binary(BinOp::Add, l, r, _) => {
+                        assert!(matches!(**l, Expr::Int(-5, _)));
+                        assert!(matches!(**r, Expr::Float(f, _) if f == -2.5));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                // Negation of a non-literal stays a unary expression.
+                assert!(matches!(**right, Expr::Unary(UnOp::Neg, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = parse("fn f() {\n    let x = ;\n}").unwrap_err();
+        assert!(err.to_string().contains("line 2, col 13"), "{err}");
     }
 
     #[test]

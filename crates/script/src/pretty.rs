@@ -191,19 +191,21 @@ mod tests {
     use super::*;
     use crate::parse;
 
-    /// Strip spans so parse(pretty(p)) can be compared to p structurally.
-    fn normalize(p: &Program) -> String {
-        // Comparing via a second pretty-print is span-insensitive and keeps
-        // the comparison readable on failure.
-        program(p)
-    }
-
     fn roundtrip(src: &str) {
         let p1 = parse(src).unwrap();
         let printed = program(&p1);
         let p2 = parse(&printed)
             .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
-        assert_eq!(normalize(&p1), normalize(&p2), "printed:\n{printed}");
+        // Strict structural equality modulo spans: parse(pretty(ast)) == ast.
+        assert_eq!(p2.strip_spans(), p1.strip_spans(), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn negative_literals_roundtrip_exactly() {
+        // The printer emits `-5`; the parser folds it back into `Int(-5)`
+        // rather than `Neg(Int(5))`, so strict AST equality holds.
+        roundtrip(r#"fn f() { return -5 + -2.5; }"#);
+        roundtrip(r#"fn f() { return [-1, -0.125, {"k": -9}]; }"#);
     }
 
     #[test]
