@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use std::collections::VecDeque;
 
 /// One element of an unbounded record stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StreamItem {
     /// Logical event-time tick. Mostly monotone in emission order; an item
     /// may be stamped up to [`StreamSpec::disorder`] ticks behind the

@@ -1,0 +1,713 @@
+//! Journal wire codec: `JournalRecord` ⇄ JSON bytes.
+//!
+//! The encoding is explicit, field-by-field construction of a
+//! `serde_json::Value` tree (and the reverse), not generic serde — the
+//! concrete `Value` surface is the one codec available in every
+//! environment the workspace builds in, and an explicit codec doubles as
+//! the wire-format specification: what this module writes is exactly the
+//! table documented in DESIGN.md §15.
+//!
+//! Decoding is total and strict: any structural surprise returns
+//! [`CodecError`], which recovery treats as record damage, never a panic.
+
+use crate::json;
+use crate::record::{
+    Checkpoint, FinishedJob, JournalRecord, PendingJob, StreamCheckpoint, WindowCloseRecord,
+    WindowReportRecord,
+};
+use lingua_core::Data;
+use lingua_dataset::generators::stream::StreamItem;
+use lingua_dataset::{ColumnType, Record, Schema, Table, Value as CellValue};
+use lingua_llm_sim::Usage;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A payload that is checksum-valid but not a well-formed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn bad(context: &str) -> CodecError {
+    CodecError(context.to_string())
+}
+
+/// Encode a record as JSON bytes (the frame payload).
+pub fn encode(record: &JournalRecord) -> Vec<u8> {
+    let value = record_to_value(record);
+    serde_json::to_string(&value).expect("value trees always serialize").into_bytes()
+}
+
+/// Decode a frame payload back into a record.
+pub fn decode(payload: &[u8]) -> Result<JournalRecord, CodecError> {
+    let value = json::parse(payload).map_err(|e| bad(&e.to_string()))?;
+    record_from_value(&value)
+}
+
+// ---- helpers ---------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    let mut map = Map::new();
+    for (key, value) in fields {
+        map.insert(key.to_string(), value);
+    }
+    Value::Object(map)
+}
+
+fn get<'a>(value: &'a Value, key: &str) -> Result<&'a Value, CodecError> {
+    value.get(key).ok_or_else(|| bad(&format!("missing field `{key}`")))
+}
+
+fn get_u64(value: &Value, key: &str) -> Result<u64, CodecError> {
+    get(value, key)?.as_u64().ok_or_else(|| bad(&format!("field `{key}` is not a u64")))
+}
+
+fn get_usize(value: &Value, key: &str) -> Result<usize, CodecError> {
+    usize::try_from(get_u64(value, key)?).map_err(|_| bad(&format!("field `{key}` overflows")))
+}
+
+fn get_str<'a>(value: &'a Value, key: &str) -> Result<&'a str, CodecError> {
+    get(value, key)?.as_str().ok_or_else(|| bad(&format!("field `{key}` is not a string")))
+}
+
+fn get_arr<'a>(value: &'a Value, key: &str) -> Result<&'a Vec<Value>, CodecError> {
+    get(value, key)?.as_array().ok_or_else(|| bad(&format!("field `{key}` is not an array")))
+}
+
+// ---- Usage -----------------------------------------------------------
+
+fn usage_to_value(u: &Usage) -> Value {
+    obj(vec![
+        ("calls", Value::from(u.calls)),
+        ("tokens_in", Value::from(u.tokens_in)),
+        ("tokens_out", Value::from(u.tokens_out)),
+        ("cached_calls", Value::from(u.cached_calls)),
+        ("tokens_in_saved", Value::from(u.tokens_in_saved)),
+        ("tokens_out_saved", Value::from(u.tokens_out_saved)),
+        ("failed_calls", Value::from(u.failed_calls)),
+    ])
+}
+
+fn usage_from_value(value: &Value) -> Result<Usage, CodecError> {
+    Ok(Usage {
+        calls: get_u64(value, "calls")?,
+        tokens_in: get_u64(value, "tokens_in")?,
+        tokens_out: get_u64(value, "tokens_out")?,
+        cached_calls: get_u64(value, "cached_calls")?,
+        tokens_in_saved: get_u64(value, "tokens_in_saved")?,
+        tokens_out_saved: get_u64(value, "tokens_out_saved")?,
+        failed_calls: get_u64(value, "failed_calls")?,
+    })
+}
+
+// ---- dataset values --------------------------------------------------
+
+fn cell_to_value(cell: &CellValue) -> Value {
+    match cell {
+        CellValue::Null => Value::Null,
+        CellValue::Bool(b) => obj(vec![("b", Value::Bool(*b))]),
+        CellValue::Int(i) => obj(vec![("i", Value::from(*i))]),
+        CellValue::Float(f) => obj(vec![("f", Value::from(*f))]),
+        CellValue::Str(s) => obj(vec![("s", Value::String(s.clone()))]),
+    }
+}
+
+fn cell_from_value(value: &Value) -> Result<CellValue, CodecError> {
+    if value.is_null() {
+        return Ok(CellValue::Null);
+    }
+    let map = value.as_object().ok_or_else(|| bad("cell is not null or an object"))?;
+    if let Some(b) = map.get("b") {
+        return b.as_bool().map(CellValue::Bool).ok_or_else(|| bad("cell `b` is not a bool"));
+    }
+    if let Some(i) = map.get("i") {
+        return i.as_i64().map(CellValue::Int).ok_or_else(|| bad("cell `i` is not an i64"));
+    }
+    if let Some(f) = map.get("f") {
+        return f.as_f64().map(CellValue::Float).ok_or_else(|| bad("cell `f` is not an f64"));
+    }
+    if let Some(s) = map.get("s") {
+        return s
+            .as_str()
+            .map(|s| CellValue::Str(s.to_string()))
+            .ok_or_else(|| bad("cell `s` is not a string"));
+    }
+    Err(bad("cell object has no known tag"))
+}
+
+fn record_to_json(record: &Record) -> Value {
+    Value::Array(record.values().iter().map(cell_to_value).collect())
+}
+
+fn record_from_json(value: &Value) -> Result<Record, CodecError> {
+    let cells = value.as_array().ok_or_else(|| bad("record is not an array"))?;
+    Ok(Record::new(cells.iter().map(cell_from_value).collect::<Result<_, _>>()?))
+}
+
+fn column_type_name(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Any => "any",
+        ColumnType::Bool => "bool",
+        ColumnType::Int => "int",
+        ColumnType::Float => "float",
+        ColumnType::Str => "str",
+    }
+}
+
+fn column_type_from_name(name: &str) -> Result<ColumnType, CodecError> {
+    Ok(match name {
+        "any" => ColumnType::Any,
+        "bool" => ColumnType::Bool,
+        "int" => ColumnType::Int,
+        "float" => ColumnType::Float,
+        "str" => ColumnType::Str,
+        other => return Err(bad(&format!("unknown column type `{other}`"))),
+    })
+}
+
+fn schema_to_value(schema: &Schema) -> Value {
+    Value::Array(
+        schema
+            .iter()
+            .map(|(name, ty)| {
+                Value::Array(vec![
+                    Value::String(name.to_string()),
+                    Value::String(column_type_name(ty).to_string()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn schema_from_value(value: &Value) -> Result<Schema, CodecError> {
+    let columns = value.as_array().ok_or_else(|| bad("schema is not an array"))?;
+    let mut out = Vec::with_capacity(columns.len());
+    for column in columns {
+        let pair = column.as_array().ok_or_else(|| bad("schema column is not a pair"))?;
+        if pair.len() != 2 {
+            return Err(bad("schema column is not a pair"));
+        }
+        let name = pair[0].as_str().ok_or_else(|| bad("column name is not a string"))?;
+        let ty = pair[1].as_str().ok_or_else(|| bad("column type is not a string"))?;
+        out.push((name.to_string(), column_type_from_name(ty)?));
+    }
+    Ok(Schema::new(out))
+}
+
+fn table_to_value(table: &Table) -> Value {
+    obj(vec![
+        ("name", Value::String(table.name().to_string())),
+        ("schema", schema_to_value(table.schema())),
+        ("rows", Value::Array(table.rows().iter().map(record_to_json).collect())),
+    ])
+}
+
+fn table_from_value(value: &Value) -> Result<Table, CodecError> {
+    let name = get_str(value, "name")?;
+    let schema = schema_from_value(get(value, "schema")?)?;
+    let rows =
+        get_arr(value, "rows")?.iter().map(record_from_json).collect::<Result<Vec<_>, _>>()?;
+    Table::with_rows(name, schema, rows).map_err(|e| bad(&format!("table rejects rows: {e}")))
+}
+
+// ---- Data ------------------------------------------------------------
+
+fn data_to_value(data: &Data) -> Value {
+    match data {
+        Data::Null => Value::Null,
+        Data::Bool(b) => obj(vec![("bool", Value::Bool(*b))]),
+        Data::Int(i) => obj(vec![("int", Value::from(*i))]),
+        Data::Float(f) => obj(vec![("float", Value::from(*f))]),
+        Data::Str(s) => obj(vec![("str", Value::String(s.clone()))]),
+        Data::List(items) => {
+            obj(vec![("list", Value::Array(items.iter().map(data_to_value).collect()))])
+        }
+        Data::Map(entries) => {
+            let mut map = Map::new();
+            for (key, value) in entries {
+                map.insert(key.clone(), data_to_value(value));
+            }
+            obj(vec![("map", Value::Object(map))])
+        }
+        Data::Table(table) => obj(vec![("table", table_to_value(table))]),
+        Data::Record { schema, record } => obj(vec![(
+            "record",
+            obj(vec![("schema", schema_to_value(schema)), ("row", record_to_json(record))]),
+        )]),
+    }
+}
+
+fn data_from_value(value: &Value) -> Result<Data, CodecError> {
+    if value.is_null() {
+        return Ok(Data::Null);
+    }
+    let map = value.as_object().ok_or_else(|| bad("data is not null or an object"))?;
+    if let Some(b) = map.get("bool") {
+        return b.as_bool().map(Data::Bool).ok_or_else(|| bad("data `bool` tag"));
+    }
+    if let Some(i) = map.get("int") {
+        return i.as_i64().map(Data::Int).ok_or_else(|| bad("data `int` tag"));
+    }
+    if let Some(f) = map.get("float") {
+        return f.as_f64().map(Data::Float).ok_or_else(|| bad("data `float` tag"));
+    }
+    if let Some(s) = map.get("str") {
+        return s.as_str().map(|s| Data::Str(s.to_string())).ok_or_else(|| bad("data `str` tag"));
+    }
+    if let Some(items) = map.get("list") {
+        let items = items.as_array().ok_or_else(|| bad("data `list` tag"))?;
+        return Ok(Data::List(items.iter().map(data_from_value).collect::<Result<_, _>>()?));
+    }
+    if let Some(entries) = map.get("map") {
+        let entries = entries.as_object().ok_or_else(|| bad("data `map` tag"))?;
+        let mut out = BTreeMap::new();
+        for (key, value) in entries.iter() {
+            out.insert(key.clone(), data_from_value(value)?);
+        }
+        return Ok(Data::Map(out));
+    }
+    if let Some(table) = map.get("table") {
+        return Ok(Data::Table(table_from_value(table)?));
+    }
+    if let Some(record) = map.get("record") {
+        let schema = schema_from_value(get(record, "schema")?)?;
+        let row = record_from_json(get(record, "row")?)?;
+        return Ok(Data::Record { schema, record: row });
+    }
+    Err(bad("data object has no known tag"))
+}
+
+fn env_to_value(env: &BTreeMap<String, Data>) -> Value {
+    let mut map = Map::new();
+    for (key, value) in env {
+        map.insert(key.clone(), data_to_value(value));
+    }
+    Value::Object(map)
+}
+
+fn env_from_value(value: &Value) -> Result<BTreeMap<String, Data>, CodecError> {
+    let map = value.as_object().ok_or_else(|| bad("env is not an object"))?;
+    let mut out = BTreeMap::new();
+    for (key, value) in map.iter() {
+        out.insert(key.clone(), data_from_value(value)?);
+    }
+    Ok(out)
+}
+
+// ---- stream types ----------------------------------------------------
+
+fn item_to_value(item: &StreamItem) -> Value {
+    obj(vec![
+        ("event_time", Value::from(item.event_time)),
+        ("entity", Value::from(item.entity)),
+        ("record", record_to_json(&item.record)),
+    ])
+}
+
+fn item_from_value(value: &Value) -> Result<StreamItem, CodecError> {
+    Ok(StreamItem {
+        event_time: get_u64(value, "event_time")?,
+        entity: get_u64(value, "entity")?,
+        record: record_from_json(get(value, "record")?)?,
+    })
+}
+
+fn close_to_value(close: &WindowCloseRecord) -> Value {
+    obj(vec![
+        ("window", Value::from(close.window)),
+        ("start", Value::from(close.start)),
+        ("end", Value::from(close.end)),
+        ("records", Value::from(close.records)),
+        ("candidate_pairs", Value::from(close.candidate_pairs)),
+        ("comparisons", Value::from(close.comparisons)),
+        ("true_duplicates", Value::from(close.true_duplicates)),
+        ("inline_judged", Value::from(close.inline_judged)),
+        ("inline_matched", Value::from(close.inline_matched)),
+        ("inputs", env_to_value(&close.inputs)),
+    ])
+}
+
+fn close_from_value(value: &Value) -> Result<WindowCloseRecord, CodecError> {
+    Ok(WindowCloseRecord {
+        window: get_u64(value, "window")?,
+        start: get_u64(value, "start")?,
+        end: get_u64(value, "end")?,
+        records: get_usize(value, "records")?,
+        candidate_pairs: get_usize(value, "candidate_pairs")?,
+        comparisons: get_u64(value, "comparisons")?,
+        true_duplicates: get_usize(value, "true_duplicates")?,
+        inline_judged: get_u64(value, "inline_judged")?,
+        inline_matched: get_u64(value, "inline_matched")?,
+        inputs: env_from_value(get(value, "inputs")?)?,
+    })
+}
+
+fn report_to_value(report: &WindowReportRecord) -> Value {
+    obj(vec![
+        ("window", Value::from(report.window)),
+        ("start", Value::from(report.start)),
+        ("end", Value::from(report.end)),
+        ("records", Value::from(report.records)),
+        ("candidate_pairs", Value::from(report.candidate_pairs)),
+        ("comparisons", Value::from(report.comparisons)),
+        ("judged", Value::from(report.judged)),
+        ("matched", Value::from(report.matched)),
+        ("true_duplicates", Value::from(report.true_duplicates)),
+        ("llm", usage_to_value(&report.llm)),
+    ])
+}
+
+fn report_from_value(value: &Value) -> Result<WindowReportRecord, CodecError> {
+    Ok(WindowReportRecord {
+        window: get_u64(value, "window")?,
+        start: get_u64(value, "start")?,
+        end: get_u64(value, "end")?,
+        records: get_usize(value, "records")?,
+        candidate_pairs: get_usize(value, "candidate_pairs")?,
+        comparisons: get_u64(value, "comparisons")?,
+        judged: get_u64(value, "judged")?,
+        matched: get_u64(value, "matched")?,
+        true_duplicates: get_usize(value, "true_duplicates")?,
+        llm: usage_from_value(get(value, "llm")?)?,
+    })
+}
+
+// ---- jobs ------------------------------------------------------------
+
+fn pending_to_value(job: &PendingJob) -> Value {
+    obj(vec![
+        ("pipeline", Value::String(job.pipeline.clone())),
+        ("fingerprint", Value::from(job.fingerprint)),
+        ("inputs", env_to_value(&job.inputs)),
+    ])
+}
+
+fn pending_from_value(value: &Value) -> Result<PendingJob, CodecError> {
+    Ok(PendingJob {
+        pipeline: get_str(value, "pipeline")?.to_string(),
+        fingerprint: get_u64(value, "fingerprint")?,
+        inputs: env_from_value(get(value, "inputs")?)?,
+    })
+}
+
+fn finished_to_value(job: &FinishedJob) -> Value {
+    obj(vec![
+        ("pipeline", Value::String(job.pipeline.clone())),
+        ("fingerprint", Value::from(job.fingerprint)),
+        ("env", env_to_value(&job.env)),
+        ("llm", usage_to_value(&job.llm)),
+        ("wall_us", Value::from(job.wall_us)),
+    ])
+}
+
+fn finished_from_value(value: &Value) -> Result<FinishedJob, CodecError> {
+    Ok(FinishedJob {
+        pipeline: get_str(value, "pipeline")?.to_string(),
+        fingerprint: get_u64(value, "fingerprint")?,
+        env: env_from_value(get(value, "env")?)?,
+        llm: usage_from_value(get(value, "llm")?)?,
+        wall_us: get_u64(value, "wall_us")?,
+    })
+}
+
+// ---- checkpoint ------------------------------------------------------
+
+fn windows_map_to_value<T>(map: &BTreeMap<u64, T>, f: impl Fn(&T) -> Value) -> Value {
+    let mut out = Map::new();
+    for (window, value) in map {
+        out.insert(window.to_string(), f(value));
+    }
+    Value::Object(out)
+}
+
+fn windows_map_from_value<T>(
+    value: &Value,
+    f: impl Fn(&Value) -> Result<T, CodecError>,
+) -> Result<BTreeMap<u64, T>, CodecError> {
+    let map = value.as_object().ok_or_else(|| bad("window map is not an object"))?;
+    let mut out = BTreeMap::new();
+    for (key, value) in map.iter() {
+        let window: u64 = key.parse().map_err(|_| bad("window key is not a u64"))?;
+        out.insert(window, f(value)?);
+    }
+    Ok(out)
+}
+
+fn stream_to_value(stream: &StreamCheckpoint) -> Value {
+    obj(vec![
+        ("watermark", Value::from(stream.watermark)),
+        ("max_event_time", Value::from(stream.max_event_time)),
+        (
+            "open_windows",
+            windows_map_to_value(&stream.open_windows, |items| {
+                Value::Array(items.iter().map(item_to_value).collect())
+            }),
+        ),
+        ("closed_unreported", windows_map_to_value(&stream.closed_unreported, close_to_value)),
+        ("reported", windows_map_to_value(&stream.reported, report_to_value)),
+    ])
+}
+
+fn stream_from_value(value: &Value) -> Result<StreamCheckpoint, CodecError> {
+    Ok(StreamCheckpoint {
+        watermark: get_u64(value, "watermark")?,
+        max_event_time: get_u64(value, "max_event_time")?,
+        open_windows: windows_map_from_value(get(value, "open_windows")?, |items| {
+            items
+                .as_array()
+                .ok_or_else(|| bad("open window items is not an array"))?
+                .iter()
+                .map(item_from_value)
+                .collect()
+        })?,
+        closed_unreported: windows_map_from_value(
+            get(value, "closed_unreported")?,
+            close_from_value,
+        )?,
+        reported: windows_map_from_value(get(value, "reported")?, report_from_value)?,
+    })
+}
+
+fn checkpoint_to_value(checkpoint: &Checkpoint) -> Value {
+    obj(vec![
+        ("finished", Value::Array(checkpoint.finished.iter().map(finished_to_value).collect())),
+        ("pending", Value::Array(checkpoint.pending.iter().map(pending_to_value).collect())),
+        ("cumulative", usage_to_value(&checkpoint.cumulative)),
+        ("stream", stream_to_value(&checkpoint.stream)),
+    ])
+}
+
+fn checkpoint_from_value(value: &Value) -> Result<Checkpoint, CodecError> {
+    Ok(Checkpoint {
+        finished: get_arr(value, "finished")?
+            .iter()
+            .map(finished_from_value)
+            .collect::<Result<_, _>>()?,
+        pending: get_arr(value, "pending")?
+            .iter()
+            .map(pending_from_value)
+            .collect::<Result<_, _>>()?,
+        cumulative: usage_from_value(get(value, "cumulative")?)?,
+        stream: stream_from_value(get(value, "stream")?)?,
+    })
+}
+
+// ---- the record envelope ---------------------------------------------
+
+fn record_to_value(record: &JournalRecord) -> Value {
+    let kind = Value::String(record.kind().to_string());
+    match record {
+        JournalRecord::JobAccepted(job) => {
+            obj(vec![("kind", kind), ("job", pending_to_value(job))])
+        }
+        JournalRecord::JobStarted { pipeline, fingerprint } => obj(vec![
+            ("kind", kind),
+            ("pipeline", Value::String(pipeline.clone())),
+            ("fingerprint", Value::from(*fingerprint)),
+        ]),
+        JournalRecord::JobFinished(job) => {
+            obj(vec![("kind", kind), ("job", finished_to_value(job))])
+        }
+        JournalRecord::JobFailed { pipeline, fingerprint, llm, reason } => obj(vec![
+            ("kind", kind),
+            ("pipeline", Value::String(pipeline.clone())),
+            ("fingerprint", Value::from(*fingerprint)),
+            ("llm", usage_to_value(llm)),
+            ("reason", Value::String(reason.clone())),
+        ]),
+        JournalRecord::StreamIngest { item, windows } => obj(vec![
+            ("kind", kind),
+            ("item", item_to_value(item)),
+            ("windows", Value::Array(windows.iter().map(|w| Value::from(*w)).collect())),
+        ]),
+        JournalRecord::WatermarkAdvance { watermark, max_event_time } => obj(vec![
+            ("kind", kind),
+            ("watermark", Value::from(*watermark)),
+            ("max_event_time", Value::from(*max_event_time)),
+        ]),
+        JournalRecord::WindowClose(close) => {
+            obj(vec![("kind", kind), ("close", close_to_value(close))])
+        }
+        JournalRecord::ReportSubmitted(report) => {
+            obj(vec![("kind", kind), ("report", report_to_value(report))])
+        }
+        JournalRecord::Checkpoint(checkpoint) => {
+            obj(vec![("kind", kind), ("checkpoint", checkpoint_to_value(checkpoint))])
+        }
+    }
+}
+
+fn record_from_value(value: &Value) -> Result<JournalRecord, CodecError> {
+    match get_str(value, "kind")? {
+        "job_accepted" => Ok(JournalRecord::JobAccepted(pending_from_value(get(value, "job")?)?)),
+        "job_started" => Ok(JournalRecord::JobStarted {
+            pipeline: get_str(value, "pipeline")?.to_string(),
+            fingerprint: get_u64(value, "fingerprint")?,
+        }),
+        "job_finished" => Ok(JournalRecord::JobFinished(finished_from_value(get(value, "job")?)?)),
+        "job_failed" => Ok(JournalRecord::JobFailed {
+            pipeline: get_str(value, "pipeline")?.to_string(),
+            fingerprint: get_u64(value, "fingerprint")?,
+            llm: usage_from_value(get(value, "llm")?)?,
+            reason: get_str(value, "reason")?.to_string(),
+        }),
+        "stream_ingest" => Ok(JournalRecord::StreamIngest {
+            item: item_from_value(get(value, "item")?)?,
+            windows: get_arr(value, "windows")?
+                .iter()
+                .map(|w| w.as_u64().ok_or_else(|| bad("window id is not a u64")))
+                .collect::<Result<_, _>>()?,
+        }),
+        "watermark_advance" => Ok(JournalRecord::WatermarkAdvance {
+            watermark: get_u64(value, "watermark")?,
+            max_event_time: get_u64(value, "max_event_time")?,
+        }),
+        "window_close" => Ok(JournalRecord::WindowClose(close_from_value(get(value, "close")?)?)),
+        "report_submitted" => {
+            Ok(JournalRecord::ReportSubmitted(report_from_value(get(value, "report")?)?))
+        }
+        "checkpoint" => {
+            Ok(JournalRecord::Checkpoint(checkpoint_from_value(get(value, "checkpoint")?)?))
+        }
+        other => Err(bad(&format!("unknown record kind `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_env() -> BTreeMap<String, Data> {
+        let schema = Schema::of_names(["name", "abv"]);
+        let record = Record::new(vec![CellValue::Str("Pliny".into()), CellValue::Float(8.0)]);
+        let table = Table::with_rows("beers", schema.clone(), vec![record.clone()]).unwrap();
+        BTreeMap::from([
+            ("null".to_string(), Data::Null),
+            ("flag".to_string(), Data::Bool(true)),
+            ("n".to_string(), Data::Int(-5)),
+            ("x".to_string(), Data::Float(2.5)),
+            ("s".to_string(), Data::Str("line\n\"quoted\" 🦀".into())),
+            ("xs".to_string(), Data::List(vec![Data::Int(1), Data::Null])),
+            (
+                "m".to_string(),
+                Data::Map(BTreeMap::from([("k".to_string(), Data::Str("v".into()))])),
+            ),
+            ("t".to_string(), Data::Table(table)),
+            ("r".to_string(), Data::Record { schema, record }),
+        ])
+    }
+
+    fn samples() -> Vec<JournalRecord> {
+        let mut llm = Usage::default();
+        llm.record(100, 25);
+        llm.record_cached(40, 10);
+        llm.record_failed(7);
+        let item = StreamItem {
+            event_time: 17,
+            entity: 3,
+            record: Record::new(vec![CellValue::Str("a".into()), CellValue::Int(1)]),
+        };
+        let close = WindowCloseRecord {
+            window: 4,
+            start: 256,
+            end: 320,
+            records: 12,
+            candidate_pairs: 3,
+            comparisons: 30,
+            true_duplicates: 2,
+            inline_judged: 1,
+            inline_matched: 1,
+            inputs: sample_env(),
+        };
+        let report = WindowReportRecord {
+            window: 4,
+            start: 256,
+            end: 320,
+            records: 12,
+            candidate_pairs: 3,
+            comparisons: 30,
+            judged: 3,
+            matched: 2,
+            true_duplicates: 2,
+            llm,
+        };
+        vec![
+            JournalRecord::JobAccepted(PendingJob {
+                pipeline: "clean".into(),
+                fingerprint: u64::MAX,
+                inputs: sample_env(),
+            }),
+            JournalRecord::JobStarted { pipeline: "clean".into(), fingerprint: 9 },
+            JournalRecord::JobFinished(FinishedJob {
+                pipeline: "clean".into(),
+                fingerprint: 9,
+                env: sample_env(),
+                llm,
+                wall_us: 12345,
+            }),
+            JournalRecord::JobFailed {
+                pipeline: "clean".into(),
+                fingerprint: 10,
+                llm,
+                reason: "panicked: boom".into(),
+            },
+            JournalRecord::StreamIngest { item: item.clone(), windows: vec![3, 4] },
+            JournalRecord::WatermarkAdvance { watermark: 64, max_event_time: 80 },
+            JournalRecord::WindowClose(close.clone()),
+            JournalRecord::ReportSubmitted(report.clone()),
+            JournalRecord::Checkpoint(Checkpoint {
+                finished: vec![FinishedJob {
+                    pipeline: "p".into(),
+                    fingerprint: 1,
+                    env: BTreeMap::new(),
+                    llm,
+                    wall_us: 1,
+                }],
+                pending: vec![PendingJob {
+                    pipeline: "p".into(),
+                    fingerprint: 2,
+                    inputs: BTreeMap::new(),
+                }],
+                cumulative: llm,
+                stream: StreamCheckpoint {
+                    watermark: 64,
+                    max_event_time: 80,
+                    open_windows: BTreeMap::from([(5, vec![item])]),
+                    closed_unreported: BTreeMap::from([(4, close)]),
+                    reported: BTreeMap::from([(3, report)]),
+                },
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_record_roundtrips() {
+        for record in samples() {
+            let bytes = encode(&record);
+            let back = decode(&bytes).expect("decodes");
+            assert_eq!(back, record, "roundtrip failed for {}", record.kind());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_shapes_without_panicking() {
+        for bad in [
+            &b"not json"[..],
+            b"{}",
+            b"{\"kind\":\"no_such_kind\"}",
+            b"{\"kind\":\"job_accepted\"}",
+            b"{\"kind\":\"job_finished\",\"job\":{\"pipeline\":3}}",
+            b"[1,2,3]",
+            b"{\"kind\":\"watermark_advance\",\"watermark\":-1,\"max_event_time\":0}",
+        ] {
+            assert!(decode(bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The [`Journal`]: a write-ahead log with an always-current fold.
+//!
+//! Every append both frames the record to storage *and* folds it into an
+//! in-memory [`Checkpoint`]-shaped state. That one fold serves three
+//! masters: it is the checkpoint payload when compaction fires, it is the
+//! recovery state when a journal is reopened, and it keeps compaction O(1)
+//! in journal length (no re-scan to build a checkpoint).
+//!
+//! Write-ahead ordering is the caller's contract: record the event *before*
+//! making its effect observable (finishing a job, handing out a report).
+//! The journal's own contract is that whatever prefix of records reached
+//! storage is recoverable, regardless of where the process died.
+
+use crate::kill::CrashInjector;
+use crate::reader::JournalReader;
+use crate::record::{
+    Checkpoint, FinishedJob, JournalRecord, PendingJob, StreamCheckpoint, WindowCloseRecord,
+    WindowReportRecord,
+};
+use crate::storage::{FileStorage, SimStorage, Storage};
+use crate::writer::JournalWriter;
+use lingua_llm_sim::Usage;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// How a journal is attached to a server or stream engine.
+#[derive(Clone)]
+pub struct JournalTuning {
+    pub storage: Arc<dyn Storage>,
+    /// Appends between compacted checkpoints. Larger = longer recovery
+    /// replay, smaller = more compaction work on the write path.
+    pub checkpoint_interval: usize,
+    /// Crash injector; [`CrashInjector::inert`] in production.
+    pub injector: Arc<CrashInjector>,
+}
+
+impl JournalTuning {
+    pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 256;
+
+    /// Journal to a file at `path`.
+    pub fn file(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::over(Arc::new(FileStorage::open(path)?)))
+    }
+
+    /// Journal to in-memory sim storage (tests, benches, crash harness).
+    pub fn sim(storage: Arc<SimStorage>) -> Self {
+        Self::over(storage)
+    }
+
+    pub fn over(storage: Arc<dyn Storage>) -> Self {
+        Self {
+            storage,
+            checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
+            injector: CrashInjector::inert(),
+        }
+    }
+
+    pub fn with_checkpoint_interval(mut self, interval: usize) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    pub fn with_injector(mut self, injector: Arc<CrashInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+}
+
+impl fmt::Debug for JournalTuning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalTuning")
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("armed", &self.injector.armed())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`Journal::open`] recovered from storage, before the server decides
+/// what to resubmit.
+#[derive(Debug, Clone, Default)]
+pub struct Recovered {
+    /// Records replayed from the log (checkpoint included).
+    pub replayed: u64,
+    /// Damaged tail records skipped (see `ScanResult`).
+    pub corrupt_records_skipped: u64,
+    /// Jobs that finished before the crash, in journal order.
+    pub finished: Vec<FinishedJob>,
+    /// Jobs accepted but never finished, in journal order.
+    pub pending: Vec<PendingJob>,
+    /// Total usage billed by the crashed process, as journaled.
+    pub cumulative: Usage,
+    /// Stream engine state at the crash.
+    pub stream: StreamCheckpoint,
+}
+
+/// Fold state: the live mirror of what a checkpoint would say right now.
+#[derive(Default)]
+struct Fold {
+    finished: BTreeMap<(String, u64), FinishedJob>,
+    pending: BTreeMap<(String, u64), PendingJob>,
+    cumulative: Usage,
+    stream: StreamCheckpoint,
+}
+
+impl Fold {
+    fn apply(&mut self, record: &JournalRecord) {
+        match record {
+            JournalRecord::JobAccepted(job) => {
+                let key = (job.pipeline.clone(), job.fingerprint);
+                // A finished job re-accepted (client retry) stays finished.
+                if !self.finished.contains_key(&key) {
+                    self.pending.insert(key, job.clone());
+                }
+            }
+            // Started is diagnostic only: a started-but-unfinished job is
+            // recovered exactly like a queued one.
+            JournalRecord::JobStarted { .. } => {}
+            JournalRecord::JobFinished(job) => {
+                let key = (job.pipeline.clone(), job.fingerprint);
+                self.pending.remove(&key);
+                self.cumulative.merge(&job.llm);
+                self.finished.insert(key, job.clone());
+            }
+            JournalRecord::JobFailed { pipeline, fingerprint, llm, .. } => {
+                self.pending.remove(&(pipeline.clone(), *fingerprint));
+                self.cumulative.merge(llm);
+            }
+            JournalRecord::StreamIngest { item, windows } => {
+                for window in windows {
+                    self.stream.open_windows.entry(*window).or_default().push(item.clone());
+                }
+                self.stream.max_event_time = self.stream.max_event_time.max(item.event_time);
+            }
+            JournalRecord::WatermarkAdvance { watermark, max_event_time } => {
+                self.stream.watermark = (*watermark).max(self.stream.watermark);
+                self.stream.max_event_time = (*max_event_time).max(self.stream.max_event_time);
+            }
+            JournalRecord::WindowClose(close) => {
+                self.stream.open_windows.remove(&close.window);
+                if !self.stream.reported.contains_key(&close.window) {
+                    self.stream.closed_unreported.insert(close.window, close.clone());
+                }
+            }
+            JournalRecord::ReportSubmitted(report) => {
+                self.stream.closed_unreported.remove(&report.window);
+                self.stream.reported.insert(report.window, report.clone());
+            }
+            JournalRecord::Checkpoint(checkpoint) => {
+                *self = Fold::from_checkpoint(checkpoint);
+            }
+        }
+    }
+
+    fn from_checkpoint(checkpoint: &Checkpoint) -> Self {
+        let mut fold = Fold {
+            cumulative: checkpoint.cumulative,
+            stream: checkpoint.stream.clone(),
+            ..Fold::default()
+        };
+        for job in &checkpoint.finished {
+            fold.finished.insert((job.pipeline.clone(), job.fingerprint), job.clone());
+        }
+        for job in &checkpoint.pending {
+            fold.pending.insert((job.pipeline.clone(), job.fingerprint), job.clone());
+        }
+        fold
+    }
+
+    fn to_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            finished: self.finished.values().cloned().collect(),
+            pending: self.pending.values().cloned().collect(),
+            cumulative: self.cumulative,
+            stream: self.stream.clone(),
+        }
+    }
+}
+
+struct Inner {
+    fold: Fold,
+    appends_since_checkpoint: usize,
+}
+
+/// Append-only journal with checkpoint compaction. Clone the [`Arc`] it
+/// lives in; the journal itself is internally synchronized.
+pub struct Journal {
+    writer: JournalWriter,
+    checkpoint_interval: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Journal {
+    /// Open (or create) a journal over `tuning.storage`: scan the log,
+    /// truncate any damaged suffix so future appends stay readable, and
+    /// seed the fold from what survived.
+    pub fn open(tuning: JournalTuning) -> io::Result<(Self, Recovered)> {
+        let bytes = tuning.storage.read()?;
+        let scan = JournalReader::scan(&bytes);
+        if scan.valid_len < bytes.len() {
+            // Repair the tail: appending after torn bytes would make every
+            // future record unreachable.
+            tuning.storage.replace(&bytes[..scan.valid_len])?;
+        }
+        let mut fold = Fold::default();
+        for record in &scan.records {
+            fold.apply(record);
+        }
+        let recovered = Recovered {
+            replayed: scan.records.len() as u64,
+            corrupt_records_skipped: scan.corrupt_records_skipped,
+            finished: fold.finished.values().cloned().collect(),
+            pending: fold.pending.values().cloned().collect(),
+            cumulative: fold.cumulative,
+            stream: fold.stream.clone(),
+        };
+        let journal = Journal {
+            writer: JournalWriter::new(tuning.storage, tuning.injector),
+            checkpoint_interval: tuning.checkpoint_interval.max(1),
+            inner: Mutex::new(Inner { fold, appends_since_checkpoint: scan.records.len() }),
+        };
+        Ok((journal, recovered))
+    }
+
+    pub fn injector(&self) -> &Arc<CrashInjector> {
+        self.writer.injector()
+    }
+
+    /// Whether the simulated process has crashed (always false in
+    /// production, where the injector is inert).
+    pub fn dead(&self) -> bool {
+        self.writer.dead()
+    }
+
+    /// Append one record, fold it, and compact if the interval elapsed.
+    /// Returns whether the record was durably written — `false` only when
+    /// the crash injector killed the simulated process before or during the
+    /// write, so harnesses can tell "journaled" from "lost" exactly.
+    fn append(&self, record: JournalRecord) -> io::Result<bool> {
+        let mut inner = self.inner.lock();
+        if self.writer.dead() {
+            return Ok(false);
+        }
+        let written = self.writer.append_record(&record)?;
+        if !written {
+            return Ok(false);
+        }
+        inner.fold.apply(&record);
+        inner.appends_since_checkpoint += 1;
+        if inner.appends_since_checkpoint >= self.checkpoint_interval && !self.writer.dead() {
+            let checkpoint = inner.fold.to_checkpoint();
+            if self.writer.write_checkpoint(&checkpoint)? {
+                inner.appends_since_checkpoint = 0;
+            }
+        }
+        Ok(true)
+    }
+
+    pub fn record_job_accepted(
+        &self,
+        pipeline: &str,
+        fingerprint: u64,
+        inputs: &BTreeMap<String, lingua_core::Data>,
+    ) -> io::Result<bool> {
+        self.append(JournalRecord::JobAccepted(PendingJob {
+            pipeline: pipeline.to_string(),
+            fingerprint,
+            inputs: inputs.clone(),
+        }))
+    }
+
+    pub fn record_job_started(&self, pipeline: &str, fingerprint: u64) -> io::Result<bool> {
+        self.append(JournalRecord::JobStarted { pipeline: pipeline.to_string(), fingerprint })
+    }
+
+    pub fn record_job_finished(&self, job: FinishedJob) -> io::Result<bool> {
+        self.append(JournalRecord::JobFinished(job))
+    }
+
+    pub fn record_job_failed(
+        &self,
+        pipeline: &str,
+        fingerprint: u64,
+        llm: Usage,
+        reason: &str,
+    ) -> io::Result<bool> {
+        self.append(JournalRecord::JobFailed {
+            pipeline: pipeline.to_string(),
+            fingerprint,
+            llm,
+            reason: reason.to_string(),
+        })
+    }
+
+    pub fn record_stream_ingest(
+        &self,
+        item: &lingua_dataset::generators::stream::StreamItem,
+        windows: &[u64],
+    ) -> io::Result<bool> {
+        self.append(JournalRecord::StreamIngest { item: item.clone(), windows: windows.to_vec() })
+    }
+
+    pub fn record_watermark(&self, watermark: u64, max_event_time: u64) -> io::Result<bool> {
+        self.append(JournalRecord::WatermarkAdvance { watermark, max_event_time })
+    }
+
+    pub fn record_window_close(&self, close: WindowCloseRecord) -> io::Result<bool> {
+        self.append(JournalRecord::WindowClose(close))
+    }
+
+    pub fn record_report_submitted(&self, report: WindowReportRecord) -> io::Result<bool> {
+        self.append(JournalRecord::ReportSubmitted(report))
+    }
+
+    /// Force a checkpoint + compaction now (shutdown path).
+    pub fn checkpoint_now(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        if self.writer.dead() {
+            return Ok(());
+        }
+        let checkpoint = inner.fold.to_checkpoint();
+        if self.writer.write_checkpoint(&checkpoint)? {
+            inner.appends_since_checkpoint = 0;
+        }
+        Ok(())
+    }
+
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kill::{CrashInjector, KillPoint};
+    use lingua_core::Data;
+
+    fn inputs(n: i64) -> BTreeMap<String, Data> {
+        BTreeMap::from([("n".to_string(), Data::Int(n))])
+    }
+
+    fn finished(pipeline: &str, fp: u64, tokens: usize) -> FinishedJob {
+        let mut llm = Usage::default();
+        llm.record(tokens, tokens / 4);
+        FinishedJob {
+            pipeline: pipeline.into(),
+            fingerprint: fp,
+            env: BTreeMap::from([("out".to_string(), Data::Int(fp as i64))]),
+            llm,
+            wall_us: 10,
+        }
+    }
+
+    #[test]
+    fn roundtrip_pending_and_finished() {
+        let storage = SimStorage::new();
+        let (journal, fresh) = Journal::open(JournalTuning::sim(storage.clone())).unwrap();
+        assert_eq!(fresh.replayed, 0);
+
+        journal.record_job_accepted("clean", 1, &inputs(1)).unwrap();
+        journal.record_job_accepted("clean", 2, &inputs(2)).unwrap();
+        journal.record_job_started("clean", 1).unwrap();
+        journal.record_job_finished(finished("clean", 1, 100)).unwrap();
+        drop(journal);
+
+        let (_journal, recovered) = Journal::open(JournalTuning::sim(storage)).unwrap();
+        assert_eq!(recovered.replayed, 4);
+        assert_eq!(recovered.corrupt_records_skipped, 0);
+        assert_eq!(recovered.finished.len(), 1);
+        assert_eq!(recovered.finished[0].fingerprint, 1);
+        assert_eq!(recovered.pending.len(), 1);
+        assert_eq!(recovered.pending[0].fingerprint, 2);
+        assert_eq!(recovered.cumulative.calls, 1);
+        assert_eq!(recovered.cumulative.tokens_in, 100);
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_log_and_preserves_state() {
+        let storage = SimStorage::new();
+        let tuning = JournalTuning::sim(storage.clone()).with_checkpoint_interval(4);
+        let (journal, _) = Journal::open(tuning).unwrap();
+        for fp in 0..10 {
+            journal.record_job_accepted("p", fp, &inputs(fp as i64)).unwrap();
+            journal.record_job_finished(finished("p", fp, 10)).unwrap();
+        }
+        drop(journal);
+
+        let bytes = storage.snapshot();
+        let scan = JournalReader::scan(&bytes);
+        // Compaction keeps the log short: one checkpoint plus a tail
+        // shorter than the interval.
+        assert!(scan.records.len() <= 4, "log held {} records", scan.records.len());
+        assert!(matches!(scan.records[0], JournalRecord::Checkpoint(_)));
+
+        let (_journal, recovered) = Journal::open(JournalTuning::sim(storage)).unwrap();
+        assert_eq!(recovered.finished.len(), 10);
+        assert_eq!(recovered.pending.len(), 0);
+        assert_eq!(recovered.cumulative.calls, 10);
+    }
+
+    #[test]
+    fn dead_journal_writes_nothing() {
+        let storage = SimStorage::new();
+        let injector = CrashInjector::armed_at(KillPoint::BeforeJournal, 2);
+        let tuning = JournalTuning::sim(storage.clone()).with_injector(injector.clone());
+        let (journal, _) = Journal::open(tuning).unwrap();
+        journal.record_job_accepted("p", 1, &inputs(1)).unwrap();
+        let len_before = storage.len();
+        journal.record_job_accepted("p", 2, &inputs(2)).unwrap(); // dies here
+        journal.record_job_accepted("p", 3, &inputs(3)).unwrap(); // dropped
+        journal.record_job_finished(finished("p", 1, 5)).unwrap(); // dropped
+        assert!(journal.dead());
+        assert_eq!(storage.len(), len_before);
+
+        let (_journal, recovered) = Journal::open(JournalTuning::sim(storage)).unwrap();
+        assert_eq!(recovered.pending.len(), 1);
+        assert_eq!(recovered.finished.len(), 0);
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_on_open() {
+        let storage = SimStorage::new();
+        let (journal, _) = Journal::open(JournalTuning::sim(storage.clone())).unwrap();
+        journal.record_job_accepted("p", 1, &inputs(1)).unwrap();
+        journal.record_job_accepted("p", 2, &inputs(2)).unwrap();
+        drop(journal);
+        storage.truncate(storage.len() - 5);
+
+        let (journal, recovered) = Journal::open(JournalTuning::sim(storage.clone())).unwrap();
+        assert_eq!(recovered.replayed, 1);
+        assert_eq!(recovered.corrupt_records_skipped, 1);
+        // The damaged suffix is gone and new appends are readable.
+        journal.record_job_accepted("p", 3, &inputs(3)).unwrap();
+        drop(journal);
+        let (_journal, again) = Journal::open(JournalTuning::sim(storage)).unwrap();
+        assert_eq!(again.replayed, 2);
+        assert_eq!(again.corrupt_records_skipped, 0);
+        assert_eq!(again.pending.len(), 2);
+    }
+
+    #[test]
+    fn client_retry_of_finished_job_stays_finished() {
+        let storage = SimStorage::new();
+        let (journal, _) = Journal::open(JournalTuning::sim(storage.clone())).unwrap();
+        journal.record_job_accepted("p", 7, &inputs(7)).unwrap();
+        journal.record_job_finished(finished("p", 7, 10)).unwrap();
+        // Recovery resubmission (or a client retry) re-accepts the same
+        // fingerprint; it must not resurrect as pending.
+        journal.record_job_accepted("p", 7, &inputs(7)).unwrap();
+        drop(journal);
+        let (_journal, recovered) = Journal::open(JournalTuning::sim(storage)).unwrap();
+        assert_eq!(recovered.pending.len(), 0);
+        assert_eq!(recovered.finished.len(), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! A small, strict JSON parser producing `serde_json::Value`.
+//!
+//! The journal's wire format is JSON text, but decoding cannot lean on
+//! generic serde deserialization: the workspace builds against a minimal
+//! std-backed serde in offline environments, where only the concrete
+//! `Value` tree exists. Parsing here — against the common `Value` surface —
+//! keeps the journal byte-compatible everywhere the workspace compiles.
+//!
+//! Strictness matters more than features: a journal payload is either
+//! exactly what the writer produced or it is damage, so the parser rejects
+//! trailing garbage, unpaired surrogates, and malformed numbers instead of
+//! guessing.
+
+use serde_json::{Map, Value};
+use std::fmt;
+
+/// Why a payload failed to parse. Recovery treats any parse failure as a
+/// damaged record, so the message only ever feeds diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub at: usize,
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid json at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(bytes: &[u8]) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError { at: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, lit: &'static [u8], message: &'static str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal(b"true", "expected 'true'").map(|_| Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", "expected 'false'").map(|_| Value::Bool(false)),
+            Some(b'n') => self.literal(b"null", "expected 'null'").map(|_| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}' in object"));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']' in array"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.unicode_escape()?),
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b).ok_or_else(|| self.err("invalid utf-8"))?;
+                    let end = start + width;
+                    let chunk =
+                        self.bytes.get(start..end).ok_or_else(|| self.err("truncated utf-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: require a \uXXXX low surrogate.
+            self.literal(b"\\u", "unpaired surrogate")?;
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let cp = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else if (0xDC00..0xE000).contains(&first) {
+            Err(self.err("unpaired surrogate"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("invalid codepoint"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if float {
+            let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            if !f.is_finite() {
+                return Err(self.err("non-finite number"));
+            }
+            Ok(Value::from(f))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let _: i64 = stripped.parse().map_err(|_| self.err("invalid number"))?;
+            let n: i64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::from(n))
+        } else {
+            let n: u64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::from(n))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let text = serde_json::to_string(v).unwrap();
+        let back = parse(text.as_bytes()).unwrap();
+        assert_eq!(&back, v, "roundtrip failed for {text}");
+    }
+
+    #[test]
+    fn roundtrips_every_shape() {
+        let mut map = Map::new();
+        map.insert("neg".into(), Value::from(-42i64));
+        map.insert("big".into(), Value::from(u64::MAX));
+        map.insert("pi".into(), Value::from(3.25f64));
+        map.insert("whole".into(), Value::from(2.0f64));
+        map.insert("s".into(), Value::String("quote \" slash \\ nl \n tab \t".into()));
+        map.insert("unicode".into(), Value::String("héllo 🦀 \u{0007}".into()));
+        map.insert("arr".into(), Value::Array(vec![Value::Null, Value::Bool(true)]));
+        map.insert("nested".into(), Value::Object(Map::new()));
+        roundtrip(&Value::Object(map));
+        roundtrip(&Value::Array(vec![]));
+        roundtrip(&Value::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            &b"{"[..],
+            b"[1,]",
+            b"{\"a\" 1}",
+            b"tru",
+            b"1 2",
+            b"\"\\u12\"",
+            b"\"\\ud800\"",
+            b"nullx",
+            b"{\"a\":}",
+            b"\x01",
+            b"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = parse(b"\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F980}"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Low-level framed appender with kill-point instrumentation.
+
+use crate::frame::encode_frame;
+use crate::kill::{CrashInjector, KillPoint};
+use crate::record::{Checkpoint, JournalRecord};
+use crate::storage::Storage;
+use std::io;
+use std::sync::Arc;
+
+/// Appends CRC-framed records to a [`Storage`], threading every write
+/// through the crash injector. Once the injector reports dead, every write
+/// is silently dropped — the simulated process no longer exists, so nothing
+/// it "does" can reach storage.
+pub struct JournalWriter {
+    storage: Arc<dyn Storage>,
+    injector: Arc<CrashInjector>,
+}
+
+impl JournalWriter {
+    pub fn new(storage: Arc<dyn Storage>, injector: Arc<CrashInjector>) -> Self {
+        Self { storage, injector }
+    }
+
+    pub fn injector(&self) -> &Arc<CrashInjector> {
+        &self.injector
+    }
+
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    pub fn dead(&self) -> bool {
+        self.injector.dead()
+    }
+
+    fn encode(record: &JournalRecord) -> Vec<u8> {
+        encode_frame(&crate::codec::encode(record))
+    }
+
+    /// Append one record. Returns `Ok(true)` when the full frame reached
+    /// storage, `Ok(false)` when the injected crash dropped or tore it.
+    pub fn append_record(&self, record: &JournalRecord) -> io::Result<bool> {
+        if self.injector.fire(KillPoint::BeforeJournal) {
+            return Ok(false);
+        }
+        let frame = Self::encode(record);
+        if self.injector.fire(KillPoint::MidWrite) {
+            // Torn write: the first half of the frame reaches storage, the
+            // process dies before the rest.
+            self.storage.append(&frame[..frame.len() / 2])?;
+            return Ok(false);
+        }
+        self.storage.append(&frame)?;
+        self.injector.fire(KillPoint::AfterJournal);
+        Ok(true)
+    }
+
+    /// Write a checkpoint and compact: atomically replace the whole log
+    /// with just the checkpoint frame, so recovery replays only records
+    /// appended after it. Returns `Ok(true)` when compaction completed.
+    pub fn write_checkpoint(&self, checkpoint: &Checkpoint) -> io::Result<bool> {
+        if self.injector.dead() {
+            return Ok(false);
+        }
+        let frame = Self::encode(&JournalRecord::Checkpoint(checkpoint.clone()));
+        if self.injector.fire(KillPoint::MidCheckpoint) {
+            // The checkpoint frame tears mid-append, before compaction
+            // replaced anything: the old log survives with a damaged tail.
+            self.storage.append(&frame[..frame.len() / 2])?;
+            return Ok(false);
+        }
+        self.storage.replace(&frame)?;
+        self.injector.fire(KillPoint::AfterCheckpoint);
+        Ok(true)
+    }
+
+    pub fn flush(&self) -> io::Result<()> {
+        if self.injector.dead() {
+            return Ok(());
+        }
+        self.storage.flush()
+    }
+}

@@ -120,6 +120,12 @@ pub trait LlmService: Send + Sync {
     fn embed(&self, text: &str) -> Vec<f64>;
     /// Cumulative usage counters.
     fn usage(&self) -> Usage;
+    /// Re-enter previously billed usage into the ledger — crash recovery
+    /// restoring a journaled cumulative bill into a fresh process, so that
+    /// post-restart ledgers still reconcile against the lifetime bill.
+    /// Default is a no-op: wrappers and transports have no ledger of their
+    /// own to restore.
+    fn restore_usage(&self, _usage: &Usage) {}
     /// Simulated wall-clock latency accumulated so far, in milliseconds.
     fn simulated_latency_ms(&self) -> u64;
     /// Generate an LLMGC module program (metered like a completion).
@@ -475,6 +481,10 @@ impl LlmService for SimLlm {
 
     fn usage(&self) -> Usage {
         self.usage.snapshot()
+    }
+
+    fn restore_usage(&self, usage: &Usage) {
+        self.usage.merge(usage);
     }
 
     fn simulated_latency_ms(&self) -> u64 {

@@ -46,6 +46,10 @@ pub enum InvalidConfig {
     /// the instant it opened, so no second member could ever share a
     /// call and the batcher would add lock traffic for nothing.
     ZeroBatchWindow,
+    /// Durability: `checkpoint_interval == 0` — the journal would compact
+    /// after every append, turning the O(1) write path into a full-state
+    /// serialization per record.
+    ZeroCheckpointInterval,
 }
 
 impl fmt::Display for InvalidConfig {
@@ -96,6 +100,13 @@ impl fmt::Display for InvalidConfig {
                      second member could ever share a call)"
                 )
             }
+            InvalidConfig::ZeroCheckpointInterval => {
+                write!(
+                    f,
+                    "journal checkpoint_interval must be > 0 (every append would \
+                     rewrite the whole compacted state)"
+                )
+            }
         }
     }
 }
@@ -137,6 +148,16 @@ pub enum ServeError {
     Internal { reason: String },
     /// The server has been shut down; no further submissions are accepted.
     Shutdown,
+    /// The job was still queued when shutdown began and the worker pool
+    /// could no longer run it. Distinct from [`ServeError::Shutdown`]
+    /// (refused at the door): this job *was* admitted, and when a journal
+    /// is attached it stays journaled as pending so the next incarnation
+    /// resurrects it.
+    ShuttingDown,
+    /// The write-ahead journal could not record a durable event (storage
+    /// failure). Surfaced instead of silently degrading to a non-durable
+    /// server.
+    Journal { reason: String },
 }
 
 impl fmt::Display for ServeError {
@@ -165,6 +186,12 @@ impl fmt::Display for ServeError {
                 write!(f, "internal serving invariant violated: {reason}")
             }
             ServeError::Shutdown => write!(f, "server is shut down"),
+            ServeError::ShuttingDown => {
+                write!(f, "server began shutting down while the job was still queued")
+            }
+            ServeError::Journal { reason } => {
+                write!(f, "write-ahead journal failure: {reason}")
+            }
         }
     }
 }
@@ -192,7 +219,7 @@ mod tests {
     fn invalid_config_names_the_knob() {
         // Every variant's message names the offending knob, so `start()`
         // failures stay actionable even when only the string is logged.
-        let cases: [(InvalidConfig, &str); 11] = [
+        let cases: [(InvalidConfig, &str); 12] = [
             (InvalidConfig::ZeroWorkers, "workers"),
             (InvalidConfig::ZeroQueueCapacity, "queue_capacity"),
             (InvalidConfig::ZeroDefaultTimeout, "default_timeout"),
@@ -204,6 +231,7 @@ mod tests {
             (InvalidConfig::ZeroWatermarkInterval, "watermark_interval"),
             (InvalidConfig::ZeroBatchSize, "max_batch_size"),
             (InvalidConfig::ZeroBatchWindow, "max_wait"),
+            (InvalidConfig::ZeroCheckpointInterval, "checkpoint_interval"),
         ];
         for (which, knob) in cases {
             assert!(which.to_string().contains(knob), "{which:?} should mention {knob}");
@@ -235,6 +263,10 @@ mod tests {
             .to_string()
             .contains("no instance"));
         assert!(ServeError::Cancelled.to_string().contains("cancelled"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(ServeError::Journal { reason: "disk gone".into() }
+            .to_string()
+            .contains("disk gone"));
     }
 
     #[test]

@@ -123,6 +123,7 @@ impl JobCore {
         while state.result.is_none() {
             self.done.wait(&mut state);
         }
+        // Invariant: the condvar loop above only exits with `result` set.
         state.result.clone().expect("checked above")
     }
 

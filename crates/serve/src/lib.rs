@@ -40,6 +40,12 @@
 //!   executor, gateway, and script fuel cap ([`ServeError::DeadlineExceeded`],
 //!   [`ServeError::Cancelled`]); and a watchdog flags stuck jobs in
 //!   [`HealthSnapshot`].
+//! * Durability (see `DESIGN.md` §"Durable execution & crash recovery") —
+//!   with [`ServeConfig`]`::journal` set, every job lifecycle event is
+//!   written ahead to a `lingua-durable` journal; `start()` replays the log
+//!   (restoring finished results, the billed ledger, and pending jobs for
+//!   [`PipelineServer::resume_recovered`]), and the replay is surfaced in
+//!   [`MetricsSnapshot::recovery`].
 //!
 //! ## Quick start
 //!

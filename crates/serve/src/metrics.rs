@@ -8,6 +8,7 @@
 //! concurrency, and [`Metrics`] aggregates the server-wide view.
 
 use lingua_core::TrapKind;
+use lingua_durable::RecoverySnapshot;
 use lingua_gateway::{BatchSnapshot, GatewaySnapshot};
 use lingua_llm_sim::cost::count_tokens;
 use lingua_llm_sim::{
@@ -177,6 +178,7 @@ impl Metrics {
             },
             gateway: None,
             batch: None,
+            recovery: None,
             trace: None,
         }
     }
@@ -278,6 +280,10 @@ pub struct MetricsSnapshot {
     /// wraps the LLM service (set automatically by `ServeConfig::batch`,
     /// or manually via `PipelineServer::attach_batcher`).
     pub batch: Option<BatchSnapshot>,
+    /// What journal recovery replayed at `start()`, when
+    /// `ServeConfig::journal` is set (filled in by
+    /// `PipelineServer::metrics`); `None` on a journal-less server.
+    pub recovery: Option<RecoverySnapshot>,
     /// Rollup of the trace stream, when the context factory carries an
     /// enabled tracer (see `ContextFactory::with_tracer`).
     pub trace: Option<TraceSummary>,
@@ -366,6 +372,16 @@ impl MetricsSnapshot {
         }
         if let Some(batch) = &self.batch {
             out.push_str(&batch.report());
+        }
+        if let Some(recovery) = &self.recovery {
+            out.push_str(&format!(
+                "\x20 recovery        {} record(s) replayed, {} job(s) resumed, \
+                 {} duplicate(s) skipped, {} corrupt record(s) skipped\n",
+                recovery.replayed,
+                recovery.resumed_jobs,
+                recovery.skipped_duplicates,
+                recovery.corrupt_records_skipped,
+            ));
         }
         if let Some(trace) = &self.trace {
             out.push_str(&trace.report_line());

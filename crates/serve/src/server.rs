@@ -22,12 +22,15 @@ use crate::registry::PipelineRegistry;
 use crate::supervisor::{supervisor_loop, EscapePanic, SupervisePolicy, Supervision, WorkerGuard};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use lingua_core::{Compiler, ContextFactory, CoreError, Data, Executor, PhysicalPipeline};
+use lingua_durable::{
+    FinishedJob, Journal, JournalTuning, PendingJob, RecoverySnapshot, StreamCheckpoint,
+};
 use lingua_gateway::{BatchConfig, Batcher, Gateway};
 use lingua_llm_sim::hotpath::DEFAULT_SHARDS;
 use lingua_llm_sim::{CancelReason, CancelScope, CancelToken, LlmService, ShardedLru, Usage};
 use lingua_trace::{ManualSpan, SpanKind};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,6 +78,13 @@ pub struct ServeConfig {
     /// in [`MetricsSnapshot::batch`]. `None` leaves the LLM path
     /// untouched.
     pub batch: Option<BatchTuning>,
+    /// Write-ahead journaling (`lingua-durable`). When set, `start()`
+    /// replays the journal — restoring finished results into the result
+    /// cache, the billed ledger into the LLM service, and queued-but-
+    /// unfinished jobs for [`PipelineServer::resume_recovered`] — and every
+    /// job lifecycle event is journaled before its effect becomes
+    /// observable. `None` keeps the server purely in-memory.
+    pub journal: Option<JournalTuning>,
 }
 
 /// Event-time knobs for a windowed streaming engine riding this server.
@@ -181,6 +191,7 @@ impl Default for ServeConfig {
             stuck_multiplier: 4,
             stream: None,
             batch: None,
+            journal: None,
         }
     }
 }
@@ -220,6 +231,11 @@ impl ServeConfig {
         }
         if let Some(batch) = &self.batch {
             batch.validate()?;
+        }
+        if let Some(journal) = &self.journal {
+            if journal.checkpoint_interval == 0 {
+                return Err(ServeError::InvalidConfig(InvalidConfig::ZeroCheckpointInterval));
+            }
         }
         Ok(())
     }
@@ -307,6 +323,29 @@ struct Shared {
     /// Micro-batcher wrapped around the LLM service, when batching is on;
     /// its counters are folded into [`MetricsSnapshot`].
     batcher: Mutex<Option<Arc<Batcher>>>,
+    /// Write-ahead journal, when durability is configured. Every lifecycle
+    /// event is appended here *before* its effect becomes observable.
+    journal: Option<Arc<Journal>>,
+    /// What `start()` recovered from the journal and how resubmission of it
+    /// is going; surfaced in [`MetricsSnapshot::recovery`].
+    recovery: Mutex<RecoveryState>,
+}
+
+/// Recovery bookkeeping shared between `start()`, `submit()`, and
+/// `resume_recovered()`.
+#[derive(Default)]
+struct RecoveryState {
+    /// Operator-visible counters; `Some` exactly when a journal replay ran.
+    snapshot: Option<RecoverySnapshot>,
+    /// Journaled-but-unfinished jobs awaiting [`PipelineServer::resume_recovered`].
+    pending: Vec<PendingJob>,
+    /// Result-cache keys restored from journaled finished jobs; a cache hit
+    /// on one of these is a crash-retry answered without re-execution and
+    /// counts toward `skipped_duplicates`.
+    restored: HashSet<u64>,
+    /// Stream-engine state recovered from the journal, for a
+    /// `lingua-stream` engine attaching to this server.
+    stream: StreamCheckpoint,
 }
 
 struct QueueItem {
@@ -366,6 +405,17 @@ impl PipelineServer {
         config: ServeConfig,
     ) -> Result<PipelineServer, ServeError> {
         config.validate()?;
+        // Open (and replay) the journal before anything else: recovery must
+        // finish restoring the result cache and the ledger before the first
+        // submission can race it.
+        let opened = match &config.journal {
+            Some(tuning) => {
+                let (journal, recovered) = Journal::open(tuning.clone())
+                    .map_err(|err| ServeError::Journal { reason: err.to_string() })?;
+                Some((Arc::new(journal), recovered))
+            }
+            None => None,
+        };
         // Batching wraps the factory's LLM *before* the factory is stored:
         // every per-job UsageMeter then sits on top of the batcher, so jobs
         // meter their own usage while their completions join shared
@@ -392,7 +442,56 @@ impl PipelineServer {
             config: config.clone(),
             gateway: Mutex::new(None),
             batcher: Mutex::new(batcher),
+            journal: opened.as_ref().map(|(journal, _)| Arc::clone(journal)),
+            recovery: Mutex::new(RecoveryState::default()),
         });
+        if let Some((_, recovered)) = opened {
+            let tracer = shared.factory.tracer();
+            let span = tracer.begin(SpanKind::Recovery, "journal_replay", || {
+                vec![("replayed".into(), recovered.replayed.to_string())]
+            });
+            // Finished jobs re-enter the result cache, so a crash retry (or
+            // a recovered resubmission) is answered from the journal instead
+            // of re-executing — the exactly-once guard.
+            let mut restored = HashSet::new();
+            for job in &recovered.finished {
+                let key = job_key(&job.pipeline, job.fingerprint);
+                shared.results.insert(
+                    key,
+                    Arc::new(JobOutput {
+                        env: job.env.clone(),
+                        llm: job.llm,
+                        wall: Duration::from_micros(job.wall_us),
+                    }),
+                );
+                restored.insert(key);
+            }
+            // The journaled lifetime bill re-enters the shared ledger (a
+            // no-op for services without one), so billing reconciles across
+            // the crash: ledger == recovered bill + post-restart bill.
+            shared.factory.llm().restore_usage(&recovered.cumulative);
+            tracer.end(span, || {
+                vec![
+                    ("finished_restored".into(), recovered.finished.len().to_string()),
+                    ("pending".into(), recovered.pending.len().to_string()),
+                    (
+                        "corrupt_records_skipped".into(),
+                        recovered.corrupt_records_skipped.to_string(),
+                    ),
+                ]
+            });
+            *shared.recovery.lock() = RecoveryState {
+                snapshot: Some(RecoverySnapshot {
+                    replayed: recovered.replayed,
+                    resumed_jobs: 0,
+                    skipped_duplicates: 0,
+                    corrupt_records_skipped: recovered.corrupt_records_skipped,
+                }),
+                pending: recovered.pending,
+                restored,
+                stream: recovered.stream,
+            };
+        }
         let (high_tx, high_rx) = bounded(config.queue_capacity);
         let (normal_tx, normal_rx) = bounded(config.queue_capacity);
         let workers = config.resolved_workers();
@@ -459,6 +558,8 @@ impl PipelineServer {
 
     /// Start with default configuration.
     pub fn with_defaults(factory: ContextFactory) -> PipelineServer {
+        // Invariant: `start` only fails on invalid config knobs or a journal
+        // I/O error; the defaults validate and configure no journal.
         PipelineServer::start(factory, ServeConfig::default())
             .expect("the default configuration is valid")
     }
@@ -484,6 +585,71 @@ impl PipelineServer {
     /// configured (or attached).
     pub fn batcher(&self) -> Option<Arc<Batcher>> {
         self.shared.batcher.lock().clone()
+    }
+
+    /// The write-ahead journal, when durability is configured.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.shared.journal.clone()
+    }
+
+    /// What `start()` recovered from the journal (`None` without one), with
+    /// resumption counters updated as resubmissions land.
+    pub fn recovery(&self) -> Option<RecoverySnapshot> {
+        self.shared.recovery.lock().snapshot
+    }
+
+    /// Stream-engine state recovered from the journal, for a
+    /// `lingua-stream` engine attaching to this server. Default (empty)
+    /// state when no journal is configured or the log held no stream
+    /// records.
+    pub fn recovered_stream(&self) -> StreamCheckpoint {
+        self.shared.recovery.lock().stream.clone()
+    }
+
+    /// Resubmit every journaled-but-unfinished job recovered at `start()`.
+    ///
+    /// Call after registering the pipelines those jobs referenced. Jobs
+    /// whose results were restored into the cache are skipped (counted as
+    /// `skipped_duplicates`); the rest re-enter the queue through the
+    /// normal admission path (counted as `resumed_jobs`). Jobs naming an
+    /// unregistered pipeline, or bounced by a full queue, stay pending for
+    /// a later call (and remain journaled for the next recovery).
+    pub fn resume_recovered(&self) -> Result<Vec<JobHandle>, ServeError> {
+        let pending = std::mem::take(&mut self.shared.recovery.lock().pending);
+        let mut handles = Vec::new();
+        let mut stranded = Vec::new();
+        let (mut resumed, mut skipped) = (0u64, 0u64);
+        for job in pending {
+            if !self.shared.registry.contains(&job.pipeline) {
+                stranded.push(job);
+                continue;
+            }
+            if self.shared.results.get(job_key(&job.pipeline, job.fingerprint)).is_some() {
+                skipped += 1;
+                continue;
+            }
+            let request = SubmitRequest {
+                pipeline: job.pipeline.clone(),
+                inputs: job.inputs.clone(),
+                priority: Priority::Normal,
+                timeout: None,
+            };
+            match self.submit(request) {
+                Ok(handle) => {
+                    resumed += 1;
+                    handles.push(handle);
+                }
+                Err(ServeError::Full { .. }) => stranded.push(job),
+                Err(err) => return Err(err),
+            }
+        }
+        let mut recovery = self.shared.recovery.lock();
+        recovery.pending = stranded;
+        if let Some(snapshot) = recovery.snapshot.as_mut() {
+            snapshot.resumed_jobs += resumed;
+            snapshot.skipped_duplicates += skipped;
+        }
+        Ok(handles)
     }
 
     /// The pipeline registry (register/unregister/list).
@@ -542,6 +708,7 @@ impl PipelineServer {
         if let Some(batcher) = self.shared.batcher.lock().as_ref() {
             snapshot.batch = Some(batcher.snapshot());
         }
+        snapshot.recovery = self.shared.recovery.lock().snapshot;
         snapshot.trace = self.shared.factory.tracer().summary();
         snapshot
     }
@@ -558,8 +725,11 @@ impl PipelineServer {
             _ => return Err(ServeError::Shutdown),
         };
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let dedup_enabled =
-            self.shared.config.dedup_inflight || self.shared.config.result_cache_capacity > 0;
+        // A journal needs the fingerprint even with dedup off: it is the
+        // durable identity that recovery and the exactly-once guard key on.
+        let dedup_enabled = self.shared.config.dedup_inflight
+            || self.shared.config.result_cache_capacity > 0
+            || self.shared.journal.is_some();
         // Fingerprint the inputs once; the result cache hashes it with the
         // pipeline id into a compact u64 job key, while the in-flight table
         // keeps the pipeline id exact.
@@ -596,9 +766,21 @@ impl PipelineServer {
         if let Some(fp) = fp {
             // Result-cache hits resolve against the sharded LRU without ever
             // touching the in-flight mutex.
-            if let Some(output) = self.shared.results.get(job_key(&request.pipeline, fp)) {
+            let key = job_key(&request.pipeline, fp);
+            if let Some(output) = self.shared.results.get(key) {
                 let core = JobCore::finished(Ok(output));
                 metrics.cache_hit();
+                // A hit served from a journal-restored output is a crash
+                // retry the exactly-once guard answered without
+                // re-execution; count it for the recovery snapshot.
+                if self.shared.journal.is_some() {
+                    let mut recovery = self.shared.recovery.lock();
+                    if recovery.restored.contains(&key) {
+                        if let Some(snapshot) = recovery.snapshot.as_mut() {
+                            snapshot.skipped_duplicates += 1;
+                        }
+                    }
+                }
                 let span =
                     tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(fp)));
                 tracer.end(span, || vec![("path".into(), "cache_hit".into())]);
@@ -625,6 +807,15 @@ impl PipelineServer {
             let span =
                 tracer.begin(SpanKind::ServeJob, &request.pipeline, || job_attrs(id, Some(fp)));
             tracer.instant_under(Some(span.id()), SpanKind::ServeJob, "queued", Vec::new);
+            // WAL ordering: the accept is durable *before* the job can be
+            // observed queued, so a crash at any later instant recovers it.
+            // A storage failure refuses the submission — a silently
+            // non-durable server would be worse than a rejected job.
+            if let Some(journal) = &self.shared.journal {
+                journal
+                    .record_job_accepted(&request.pipeline, fp, &request.inputs)
+                    .map_err(|err| ServeError::Journal { reason: err.to_string() })?;
+            }
             // queue_depth is incremented *before* the send: a worker can pop
             // and dequeue() the item the instant try_send returns, and with a
             // saturating decrement an enqueue() landing after it would leave
@@ -641,6 +832,17 @@ impl PipelineServer {
                 Err(err) => {
                     metrics.dequeue();
                     metrics.reject();
+                    // Balance the journal: the accepted record is already
+                    // durable, and without this the next recovery would
+                    // resurrect a job the caller was told is rejected.
+                    if let Some(journal) = &self.shared.journal {
+                        let _ = journal.record_job_failed(
+                            &request.pipeline,
+                            fp,
+                            Usage::default(),
+                            "rejected_full",
+                        );
+                    }
                     let (TrySendError::Full(returned) | TrySendError::Disconnected(returned)) = err;
                     if let Some(span) = returned.span {
                         tracer.end(span, || vec![("path".into(), "rejected_full".into())]);
@@ -681,8 +883,11 @@ impl PipelineServer {
     /// Graceful shutdown: stop admitting, stop the supervisor (no restarts
     /// during teardown), drain queued jobs, join workers. Any job still
     /// queued after the pool exits — possible only if every worker crashed
-    /// past its restart budget — is failed with [`ServeError::Shutdown`]
-    /// rather than left hanging. Idempotent; also invoked on drop.
+    /// past its restart budget — is failed with a typed
+    /// [`ServeError::ShuttingDown`] rather than left hanging or silently
+    /// dropped; with a journal attached those jobs stay journaled as
+    /// pending, so the next incarnation resurrects them. Idempotent; also
+    /// invoked on drop.
     pub fn shutdown(&mut self) {
         self.supervision.shutdown.store(true, Ordering::Release);
         self.high_tx.take();
@@ -694,6 +899,13 @@ impl PipelineServer {
         for worker in self.supervision.take_handles() {
             let _ = worker.join();
         }
+        // Durability before the drain: compact and flush everything the
+        // journal holds — including still-queued jobs as pending — so even a
+        // crash *during* this teardown loses nothing.
+        if let Some(journal) = &self.shared.journal {
+            let _ = journal.checkpoint_now();
+            let _ = journal.flush();
+        }
         let tracer = self.shared.factory.tracer();
         let drain = |rx: &Receiver<QueueItem>| {
             while let Ok(mut item) = rx.try_recv() {
@@ -702,7 +914,7 @@ impl PipelineServer {
                 if let Some(span) = item.span.take() {
                     tracer.end(span, || vec![("path".into(), "shutdown".into())]);
                 }
-                finish(&self.shared, &item, Err(ServeError::Shutdown));
+                finish(&self.shared, &item, Err(ServeError::ShuttingDown));
             }
         };
         drain(&self.high_rx);
@@ -811,6 +1023,7 @@ fn process(
         if Instant::now() > deadline {
             shared.metrics.time_out();
             end_span(&mut item, "timeout");
+            journal_failure(shared, &item, "timeout", Usage::default());
             finish(shared, &item, Err(ServeError::Timeout { waited: item.enqueued.elapsed() }));
             return;
         }
@@ -819,10 +1032,16 @@ fn process(
     if item.core.cancel.explicitly_cancelled() {
         shared.metrics.cancel_job(Usage::default());
         end_span(&mut item, "cancelled");
+        journal_failure(shared, &item, "cancelled", Usage::default());
         finish(shared, &item, Err(ServeError::Cancelled));
         return;
     }
     item.core.set_running();
+    if let (Some(journal), Some(fp)) = (&shared.journal, item.fingerprint) {
+        // Diagnostic only (recovery treats started exactly like queued), so
+        // best-effort: a failed append must not fail the job.
+        let _ = journal.record_job_started(&item.pipeline, fp);
+    }
 
     // Refresh the cached instance if missing or stale.
     let current = shared.registry.generation(&item.pipeline);
@@ -836,6 +1055,7 @@ fn process(
             Err(err) => {
                 shared.metrics.fail(Usage::default());
                 end_span(&mut item, "failed");
+                journal_failure(shared, &item, "instantiate_failed", Usage::default());
                 finish(shared, &item, Err(err));
                 return;
             }
@@ -848,6 +1068,7 @@ fn process(
             // than unwind the worker on a broken internal assumption.
             shared.metrics.fail(Usage::default());
             end_span(&mut item, "failed");
+            journal_failure(shared, &item, "internal", Usage::default());
             finish(
                 shared,
                 &item,
@@ -901,11 +1122,13 @@ fn process(
             // the `llm_partial` meter so ledgers still reconcile to the cent.
             shared.metrics.deadline_exceed(meter.usage());
             end_span(&mut item, "deadline_exceeded");
+            journal_failure(shared, &item, "deadline_exceeded", meter.usage());
             finish(shared, &item, Err(ServeError::DeadlineExceeded { elapsed: wall }));
         }
         Ok(Err(CoreError::Cancelled { reason: CancelReason::Cancelled })) => {
             shared.metrics.cancel_job(meter.usage());
             end_span(&mut item, "cancelled");
+            journal_failure(shared, &item, "cancelled", meter.usage());
             finish(shared, &item, Err(ServeError::Cancelled));
         }
         Ok(Err(err)) => {
@@ -914,6 +1137,7 @@ fn process(
             }
             shared.metrics.fail(meter.usage());
             end_span(&mut item, "failed");
+            journal_failure(shared, &item, "failed", meter.usage());
             finish(shared, &item, Err(ServeError::Core(err)));
         }
         Err(payload) => {
@@ -922,6 +1146,7 @@ fn process(
             instances.remove(&item.pipeline);
             shared.metrics.panic_job(meter.usage());
             end_span(&mut item, "panicked");
+            journal_failure(shared, &item, "panicked", meter.usage());
             tracer.instant(SpanKind::Supervisor, "job_panicked", || {
                 vec![
                     ("worker".into(), worker.to_string()),
@@ -945,6 +1170,17 @@ fn process(
     }
 }
 
+/// Journal a terminal failure before its result is published (WAL
+/// ordering). Best-effort: the job already failed, and a storage error must
+/// not unwind the worker. Shutdown-drained jobs are deliberately *not*
+/// routed here — they stay journaled as pending so the next incarnation
+/// resurrects them.
+fn journal_failure(shared: &Shared, item: &QueueItem, reason: &str, llm: Usage) {
+    if let (Some(journal), Some(fp)) = (&shared.journal, item.fingerprint) {
+        let _ = journal.record_job_failed(&item.pipeline, fp, llm, reason);
+    }
+}
+
 /// Completion bookkeeping: feed the result cache, release the in-flight
 /// reservation, wake every waiter. The cache is fed *before* the reservation
 /// is dropped so a concurrent duplicate always finds the job in one of the
@@ -952,6 +1188,18 @@ fn process(
 fn finish(shared: &Shared, item: &QueueItem, result: Result<Arc<JobOutput>, ServeError>) {
     if let Some(fp) = item.fingerprint {
         if let Ok(output) = &result {
+            // WAL ordering: the finish is durable before the result becomes
+            // observable through the cache or any waiter, so a recovered
+            // journal can never claim a job finished that no caller saw.
+            if let Some(journal) = &shared.journal {
+                let _ = journal.record_job_finished(FinishedJob {
+                    pipeline: item.pipeline.clone(),
+                    fingerprint: fp,
+                    env: output.env.clone(),
+                    llm: output.llm,
+                    wall_us: output.wall.as_micros() as u64,
+                });
+            }
             shared.results.insert(job_key(&item.pipeline, fp), Arc::clone(output));
         }
         shared.in_flight.lock().remove(&(item.pipeline.clone(), fp));

@@ -13,6 +13,12 @@ pub enum StreamError {
     Serve(ServeError),
     /// The configured blocking-key column is not in the stream schema.
     UnknownKeyColumn { column: String },
+    /// Backpressure retry budget exhausted: the serve queue stayed full
+    /// through every jittered retry. Distinct from a raw
+    /// [`ServeError::Full`] (one rejected submission): this is the engine
+    /// reporting that backoff did not help — the source must slow down or
+    /// the pool must grow. `attempts` is how many retries were burned.
+    Saturated { attempts: u32 },
 }
 
 impl fmt::Display for StreamError {
@@ -22,6 +28,13 @@ impl fmt::Display for StreamError {
             StreamError::UnknownKeyColumn { column } => {
                 write!(f, "blocking key column {column:?} is not in the stream schema")
             }
+            StreamError::Saturated { attempts } => {
+                write!(
+                    f,
+                    "serve queue stayed saturated through {attempts} backpressure \
+                     retries; slow the source or grow the worker pool"
+                )
+            }
         }
     }
 }
@@ -30,7 +43,7 @@ impl std::error::Error for StreamError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StreamError::Serve(inner) => Some(inner),
-            StreamError::UnknownKeyColumn { .. } => None,
+            StreamError::UnknownKeyColumn { .. } | StreamError::Saturated { .. } => None,
         }
     }
 }
@@ -52,5 +65,7 @@ mod tests {
         assert!(err.to_string().contains("color"));
         let err: StreamError = ServeError::InvalidConfig(InvalidConfig::ZeroWindow).into();
         assert!(err.to_string().contains("window"));
+        let err = StreamError::Saturated { attempts: 37 };
+        assert!(err.to_string().contains("37"), "carries the retry count: {err}");
     }
 }

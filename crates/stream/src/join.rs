@@ -7,6 +7,7 @@
 //! watermark closes a window, the smaller side's index is probed by the
 //! other side's records and the matching pairs are emitted exactly once.
 
+use crate::error::StreamError;
 use crate::window::{closed_through, windows_for, WindowId};
 use lingua_dataset::generators::stream::StreamItem;
 use lingua_serve::StreamTuning;
@@ -61,9 +62,16 @@ pub struct WindowJoin {
 }
 
 impl WindowJoin {
-    pub fn new(tuning: StreamTuning, key_left: KeyFn, key_right: KeyFn) -> WindowJoin {
-        tuning.validate().expect("join built over validated tuning");
-        WindowJoin {
+    /// Build a join over a validated tuning. A zero window/slide or a slide
+    /// larger than the window is a caller configuration error and surfaces
+    /// typed, exactly as [`crate::StreamEngine::start`] would surface it.
+    pub fn new(
+        tuning: StreamTuning,
+        key_left: KeyFn,
+        key_right: KeyFn,
+    ) -> Result<WindowJoin, StreamError> {
+        tuning.validate().map_err(StreamError::Serve)?;
+        Ok(WindowJoin {
             tuning,
             key_left,
             key_right,
@@ -71,7 +79,7 @@ impl WindowJoin {
             right: SideState::new(),
             watermark: 0,
             emitted_through: None,
-        }
+        })
     }
 
     /// Ingest one record on `side`. Records whose every window has already
@@ -163,6 +171,7 @@ mod tests {
     fn join(window: u64, slide: u64) -> WindowJoin {
         let key = || Box::new(|i: &StreamItem| i.record.get(0).unwrap().render()) as KeyFn;
         WindowJoin::new(StreamTuning { window, slide, watermark_interval: 1 }, key(), key())
+            .expect("test tuning is valid")
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub enum SpanKind {
     /// token attribution stays on `LlmCall` end edges so the trace
     /// conservation laws keep a single source of truth).
     Batch,
+    /// One journal replay at server start (`lingua-durable`): the span
+    /// brackets cache restoration and ledger restore; its end edge carries
+    /// how much state survived the crash and how much tail was damaged.
+    Recovery,
 }
 
 impl SpanKind {
@@ -72,6 +76,7 @@ impl SpanKind {
             SpanKind::StreamWindow => "stream_window",
             SpanKind::Plan => "plan",
             SpanKind::Batch => "batch",
+            SpanKind::Recovery => "recovery",
         }
     }
 }
